@@ -1,0 +1,135 @@
+package ppdm_test
+
+// One benchmark per paper table/figure plus extensions (E1–E13), each running the
+// corresponding experiment at a reduced scale so the bench suite stays
+// fast; run `go run ./cmd/ppdm-bench` for the paper-scale numbers. A few
+// micro-benchmarks of the hot paths follow.
+
+import (
+	"io"
+	"testing"
+
+	"ppdm"
+)
+
+// benchScale keeps experiment benchmarks to a few hundred milliseconds.
+const benchScale = 0.02
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := ppdm.RunExperiment(id, ppdm.ExperimentConfig{Scale: benchScale, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1ReconstructPlateau(b *testing.B)   { benchExperiment(b, "E1") }
+func BenchmarkE2ReconstructTriangles(b *testing.B) { benchExperiment(b, "E2") }
+func BenchmarkE3SynthAttributes(b *testing.B)      { benchExperiment(b, "E3") }
+func BenchmarkE4FunctionBalance(b *testing.B)      { benchExperiment(b, "E4") }
+func BenchmarkE5AccuracyByAlgorithm(b *testing.B)  { benchExperiment(b, "E5") }
+func BenchmarkE6AccuracyVsPrivacy(b *testing.B)    { benchExperiment(b, "E6") }
+func BenchmarkE7IntervalSensitivity(b *testing.B)  { benchExperiment(b, "E7") }
+func BenchmarkE8ASvsEM(b *testing.B)               { benchExperiment(b, "E8") }
+func BenchmarkE9PrivacyMetrics(b *testing.B)       { benchExperiment(b, "E9") }
+func BenchmarkE10TrainingCost(b *testing.B)        { benchExperiment(b, "E10") }
+func BenchmarkE11TreeVsNaiveBayes(b *testing.B)    { benchExperiment(b, "E11") }
+func BenchmarkE12AssociationRules(b *testing.B)    { benchExperiment(b, "E12") }
+
+// --- micro-benchmarks of the pipeline's hot paths ---
+
+func benchData(b *testing.B, n int) *ppdm.Table {
+	b.Helper()
+	tb, err := ppdm.Generate(ppdm.GenConfig{Function: ppdm.F2, N: n, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tb
+}
+
+func BenchmarkGenerate10k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ppdm.Generate(ppdm.GenConfig{Function: ppdm.F2, N: 10000, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPerturbTable10k(b *testing.B) {
+	tb := benchData(b, 10000)
+	models, err := ppdm.ModelsForAllAttrs(tb.Schema(), "gaussian", 1.0, ppdm.DefaultConfidence)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ppdm.PerturbTable(tb, models, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct10k(b *testing.B) {
+	tb := benchData(b, 10000)
+	models, _ := ppdm.ModelsForAllAttrs(tb.Schema(), "gaussian", 1.0, ppdm.DefaultConfidence)
+	perturbed, _ := ppdm.PerturbTable(tb, models, 2)
+	ageIdx, _ := tb.Schema().AttrIndex("age")
+	col := perturbed.Column(ageIdx)
+	part, _ := ppdm.NewPartition(20, 80, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ppdm.Reconstruct(col, ppdm.ReconstructConfig{
+			Partition: part, Noise: models[ageIdx], Epsilon: 1e-3,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchTrain(b *testing.B, mode ppdm.Mode) {
+	tb := benchData(b, 10000)
+	models, _ := ppdm.ModelsForAllAttrs(tb.Schema(), "gaussian", 1.0, ppdm.DefaultConfidence)
+	perturbed, _ := ppdm.PerturbTable(tb, models, 2)
+	cfg := ppdm.TrainConfig{Mode: mode}
+	input := perturbed
+	if mode == ppdm.Original {
+		input = tb
+	}
+	if mode.NeedsNoise() {
+		cfg.Noise = models
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ppdm.Train(input, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainOriginal10k(b *testing.B)   { benchTrain(b, ppdm.Original) }
+func BenchmarkTrainRandomized10k(b *testing.B) { benchTrain(b, ppdm.Randomized) }
+func BenchmarkTrainGlobal10k(b *testing.B)     { benchTrain(b, ppdm.Global) }
+func BenchmarkTrainByClass10k(b *testing.B)    { benchTrain(b, ppdm.ByClass) }
+func BenchmarkTrainLocal10k(b *testing.B)      { benchTrain(b, ppdm.Local) }
+
+func BenchmarkPredict(b *testing.B) {
+	tb := benchData(b, 10000)
+	clf, err := ppdm.Train(tb, ppdm.TrainConfig{Mode: ppdm.Original})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := tb.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := clf.Predict(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE13DPBridge(b *testing.B) { benchExperiment(b, "E13") }

@@ -1,0 +1,12 @@
+// Command ppdm-bench regenerates the paper's tables and figures; see
+// internal/experiments for the experiment catalogue and DESIGN.md for the
+// mapping to the published artifacts.
+package main
+
+import (
+	"os"
+
+	"ppdm/internal/cli"
+)
+
+func main() { os.Exit(cli.Bench(os.Args[1:], os.Stdout, os.Stderr)) }

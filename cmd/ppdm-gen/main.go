@@ -1,0 +1,12 @@
+// Command ppdm-gen generates the synthetic classification benchmark of the
+// paper's evaluation as CSV, optionally perturbed with uniform or gaussian
+// noise at a chosen privacy level.
+package main
+
+import (
+	"os"
+
+	"ppdm/internal/cli"
+)
+
+func main() { os.Exit(cli.Gen(os.Args[1:], os.Stdout, os.Stderr)) }

@@ -1,0 +1,12 @@
+// Command ppdm-reconstruct demonstrates the paper's distribution
+// reconstruction on synthetic shapes, printing original, perturbed, and
+// reconstructed histograms side by side.
+package main
+
+import (
+	"os"
+
+	"ppdm/internal/cli"
+)
+
+func main() { os.Exit(cli.Reconstruct(os.Args[1:], os.Stdout, os.Stderr)) }

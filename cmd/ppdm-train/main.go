@@ -1,0 +1,11 @@
+// Command ppdm-train trains a privacy-preserving decision-tree classifier
+// from CSV data produced by ppdm-gen and evaluates it on clean test data.
+package main
+
+import (
+	"os"
+
+	"ppdm/internal/cli"
+)
+
+func main() { os.Exit(cli.Train(os.Args[1:], os.Stdout, os.Stderr)) }

@@ -1,0 +1,70 @@
+// Credit scoring under privacy law: a lender trains a loan-approval model
+// on customer records it is not allowed to see in the clear.
+//
+// The scenario uses benchmark function F5 (approval depends on age, salary,
+// and outstanding loan bands) and sweeps the privacy level from 25% to 200%,
+// reporting how much model accuracy each training strategy retains — the
+// paper's central accuracy-vs-privacy trade-off.
+//
+// Run with: go run ./examples/creditscoring
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ppdm"
+)
+
+func main() {
+	train, err := ppdm.Generate(ppdm.GenConfig{Function: ppdm.F5, N: 40000, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	test, err := ppdm.Generate(ppdm.GenConfig{Function: ppdm.F5, N: 5000, Seed: 22})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	origClf, err := ppdm.Train(train, ppdm.TrainConfig{Mode: ppdm.Original})
+	if err != nil {
+		log.Fatal(err)
+	}
+	origEv, err := origClf.Evaluate(test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loan-approval model, clean data (no privacy): %.1f%% accuracy\n\n", 100*origEv.Accuracy)
+
+	fmt.Println("privacy   randomized   byclass   retained")
+	for _, level := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
+		models, err := ppdm.ModelsForAllAttrs(train.Schema(), "gaussian", level, ppdm.DefaultConfidence)
+		if err != nil {
+			log.Fatal(err)
+		}
+		perturbed, err := ppdm.PerturbTable(train, models, 23)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rand := evaluate(perturbed, test, ppdm.TrainConfig{Mode: ppdm.Randomized})
+		bc := evaluate(perturbed, test, ppdm.TrainConfig{Mode: ppdm.ByClass, Noise: models})
+		fmt.Printf("%5.0f%%    %8.1f%%   %6.1f%%   %7.1f%%\n",
+			level*100, 100*rand, 100*bc, 100*bc/origEv.Accuracy)
+	}
+	fmt.Println("\nretained = byclass accuracy as a fraction of the no-privacy model.")
+	fmt.Println("F5's approval bands are narrow, so accuracy decays as the noise widens;")
+	fmt.Println("up to ~75% privacy the reconstructed model stays clearly better than")
+	fmt.Println("guessing the majority class, at 100%+ the bands drown in the noise.")
+}
+
+func evaluate(train, test *ppdm.Table, cfg ppdm.TrainConfig) float64 {
+	clf, err := ppdm.Train(train, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := clf.Evaluate(test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ev.Accuracy
+}

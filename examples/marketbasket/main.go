@@ -1,0 +1,79 @@
+// Market basket: mining association rules from purchase histories nobody
+// is willing to share in the clear.
+//
+// Each customer's basket is randomized on their own device — every item's
+// presence bit is flipped with probability 30%, so any single randomized
+// basket is deniable — yet by inverting the randomization channel the
+// retailer recovers the true frequent itemsets. This realizes the SIGMOD
+// 2000 paper's stated future work (association rules over randomized data,
+// cf. Evfimievski et al., KDD 2002).
+//
+// Run with: go run ./examples/marketbasket
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ppdm"
+)
+
+func main() {
+	// Synthetic purchase data with planted item affinities.
+	data, patterns, err := ppdm.GenerateBaskets(ppdm.BasketGenConfig{
+		N: 50000, Items: 40, Patterns: 6, PatternSize: 3, PatternProb: 0.15, Seed: 9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d customers, 40 products, %d planted buying patterns\n\n", data.N(), len(patterns))
+
+	mining := ppdm.MiningConfig{MinSupport: 0.1, MaxSize: 3}
+	reference, err := ppdm.FrequentItemsets(data, mining)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Customers randomize their baskets before sharing.
+	bf, err := ppdm.NewBitFlip(0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	randomized, err := bf.Randomize(data, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after randomization every bit is flipped with p=0.3 — an adversary's\n")
+	fmt.Printf("posterior odds about any one purchase are only %.1f:1\n\n", bf.DeniabilityOdds())
+
+	// Naive mining of the randomized data misses the structure...
+	naive, err := ppdm.FrequentItemsets(randomized, mining)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nBoth, nFP, nFN := ppdm.CompareMining(reference, naive)
+
+	// ...channel inversion recovers it.
+	corrected, err := ppdm.FrequentFromRandomized(randomized, bf, mining)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cBoth, cFP, cFN := ppdm.CompareMining(reference, corrected)
+
+	fmt.Printf("frequent itemsets in the clean data:        %d\n", len(reference))
+	fmt.Printf("mining randomized data without correction:  %d found, %d false, %d missed\n", nBoth, nFP, nFN)
+	fmt.Printf("mining with channel inversion:              %d found, %d false, %d missed\n\n", cBoth, cFP, cFN)
+
+	fmt.Println("planted pattern   true support   estimated from randomized")
+	for _, pat := range patterns {
+		truth, err := data.Support(pat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := bf.EstimateSupport(randomized, pat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s  %10.2f%%   %10.2f%%\n", fmt.Sprint(pat), 100*truth, 100*est)
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: the whole privacy-preserving pipeline in one file.
+//
+// Data providers perturb their records at 100% privacy (gaussian noise), the
+// miner reconstructs per-class attribute distributions and trains a decision
+// tree, and the model is evaluated on clean test data — the experiment at
+// the heart of the SIGMOD 2000 paper.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ppdm"
+)
+
+func main() {
+	// 1. The "true" data: the paper's synthetic benchmark, function F2
+	//    (class depends on age and salary bands).
+	train, err := ppdm.Generate(ppdm.GenConfig{Function: ppdm.F2, N: 20000, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	test, err := ppdm.Generate(ppdm.GenConfig{Function: ppdm.F2, N: 5000, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Providers randomize every attribute at 100% privacy: with 95%
+	//    confidence, no value can be pinned to an interval narrower than
+	//    its attribute's whole domain.
+	models, err := ppdm.ModelsForAllAttrs(train.Schema(), "gaussian", 1.0, ppdm.DefaultConfidence)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perturbed, err := ppdm.PerturbTable(train, models, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("collected", perturbed.N(), "randomized records (the miner never sees the originals)")
+
+	// 3. Train with the paper's algorithms and compare on clean test data.
+	for _, mode := range []ppdm.Mode{ppdm.Original, ppdm.Randomized, ppdm.ByClass} {
+		cfg := ppdm.TrainConfig{Mode: mode}
+		input := perturbed
+		if mode == ppdm.Original {
+			input = train // upper-bound baseline: training on the true data
+		}
+		if mode.NeedsNoise() {
+			cfg.Noise = models
+		}
+		clf, err := ppdm.Train(input, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev, err := clf.Evaluate(test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11s accuracy %.1f%%  (tree: %d nodes)\n",
+			mode.String()+":", 100*ev.Accuracy, clf.Tree.NodeCount())
+	}
+	fmt.Println("\nByClass recovers most of the accuracy that plain randomization loses,")
+	fmt.Println("while every individual value stayed private at the 100% level.")
+}

@@ -1,0 +1,198 @@
+package assoc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Itemset is a frequent itemset with its (exact or estimated) support.
+type Itemset struct {
+	Items   []int // sorted ascending
+	Support float64
+}
+
+// Key returns a canonical string key for set comparison.
+func (s Itemset) Key() string {
+	return fmt.Sprint(s.Items)
+}
+
+// MiningConfig bounds the Apriori search.
+type MiningConfig struct {
+	// MinSupport is the frequency threshold in (0, 1].
+	MinSupport float64
+	// MaxSize bounds the itemset size (0 means DefaultMaxSize). Estimation
+	// cost grows as 2^size, and the channel inversion's variance grows with
+	// size too, so randomized mining keeps this small.
+	MaxSize int
+}
+
+// DefaultMaxSize is the default itemset-size bound.
+const DefaultMaxSize = 4
+
+func (c MiningConfig) withDefaults() (MiningConfig, error) {
+	if !(c.MinSupport > 0 && c.MinSupport <= 1) {
+		return c, fmt.Errorf("assoc: min support %v must be in (0,1]", c.MinSupport)
+	}
+	if c.MaxSize == 0 {
+		c.MaxSize = DefaultMaxSize
+	}
+	if c.MaxSize < 1 || c.MaxSize > 16 {
+		return c, fmt.Errorf("assoc: max size %d must be in [1,16]", c.MaxSize)
+	}
+	return c, nil
+}
+
+// supportFn estimates the support of an itemset.
+type supportFn func(items []int) (float64, error)
+
+// Frequent mines all frequent itemsets of the clean dataset with exact
+// support counting (classic Apriori). Results are sorted by size, then
+// lexicographically.
+func Frequent(d *Dataset, cfg MiningConfig) ([]Itemset, error) {
+	if d == nil || d.N() == 0 {
+		return nil, fmt.Errorf("assoc: empty dataset")
+	}
+	return apriori(d.NumItems(), cfg, d.Support)
+}
+
+// FrequentFromRandomized mines frequent itemsets of the *original* data
+// given only the randomized dataset: candidate supports are estimated by
+// inverting the randomization channel.
+func FrequentFromRandomized(randomized *Dataset, bf BitFlip, cfg MiningConfig) ([]Itemset, error) {
+	if randomized == nil || randomized.N() == 0 {
+		return nil, fmt.Errorf("assoc: empty dataset")
+	}
+	return apriori(randomized.NumItems(), cfg, func(items []int) (float64, error) {
+		return bf.EstimateSupport(randomized, items)
+	})
+}
+
+// apriori runs level-wise candidate generation over the item universe.
+func apriori(numItems int, cfg MiningConfig, support supportFn) ([]Itemset, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+
+	// Level 1: frequent single items.
+	var level []Itemset
+	for it := 0; it < numItems; it++ {
+		s, err := support([]int{it})
+		if err != nil {
+			return nil, err
+		}
+		if s >= cfg.MinSupport {
+			level = append(level, Itemset{Items: []int{it}, Support: s})
+		}
+	}
+	all := append([]Itemset(nil), level...)
+
+	for size := 2; size <= cfg.MaxSize && len(level) >= 2; size++ {
+		candidates := generateCandidates(level)
+		var next []Itemset
+		for _, cand := range candidates {
+			s, err := support(cand)
+			if err != nil {
+				return nil, err
+			}
+			if s >= cfg.MinSupport {
+				next = append(next, Itemset{Items: cand, Support: s})
+			}
+		}
+		level = next
+		all = append(all, level...)
+	}
+
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Items, all[j].Items
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for x := range a {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return false
+	})
+	return all, nil
+}
+
+// generateCandidates joins frequent (k-1)-itemsets sharing a (k-2)-prefix
+// and prunes candidates with an infrequent (k-1)-subset — the classic
+// Apriori candidate generation.
+func generateCandidates(level []Itemset) [][]int {
+	frequent := make(map[string]bool, len(level))
+	for _, s := range level {
+		frequent[s.Key()] = true
+	}
+	var out [][]int
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i].Items, level[j].Items
+			if !samePrefix(a, b) {
+				continue
+			}
+			var cand []int
+			if a[len(a)-1] < b[len(b)-1] {
+				cand = append(append([]int(nil), a...), b[len(b)-1])
+			} else {
+				cand = append(append([]int(nil), b...), a[len(a)-1])
+			}
+			if allSubsetsFrequent(cand, frequent) {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+func samePrefix(a, b []int) bool {
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func allSubsetsFrequent(cand []int, frequent map[string]bool) bool {
+	sub := make([]int, 0, len(cand)-1)
+	for skip := range cand {
+		sub = sub[:0]
+		for i, v := range cand {
+			if i != skip {
+				sub = append(sub, v)
+			}
+		}
+		if !frequent[Itemset{Items: sub}.Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+// CompareMining reports how well the mined collection matches the reference
+// collection: itemsets found in both, false positives (mined but not
+// reference), and false negatives (reference but not mined).
+func CompareMining(reference, mined []Itemset) (both, falsePos, falseNeg int) {
+	ref := make(map[string]bool, len(reference))
+	for _, s := range reference {
+		ref[s.Key()] = true
+	}
+	seen := make(map[string]bool, len(mined))
+	for _, s := range mined {
+		seen[s.Key()] = true
+		if ref[s.Key()] {
+			both++
+		} else {
+			falsePos++
+		}
+	}
+	for _, s := range reference {
+		if !seen[s.Key()] {
+			falseNeg++
+		}
+	}
+	return both, falsePos, falseNeg
+}

@@ -1,0 +1,129 @@
+// Package assoc implements privacy-preserving association-rule mining over
+// boolean transaction data — the extension the SIGMOD 2000 paper names as
+// future work, realized in the literature by Evfimievski, Srikant, Agrawal
+// & Gehrke (KDD 2002).
+//
+// Each transaction is a set of items. Providers randomize their
+// transactions with independent per-item bit flips before sharing them; the
+// miner estimates the true support of candidate itemsets by inverting the
+// per-item randomization channel, and runs Apriori over the estimated
+// supports. Individual transactions stay plausibly deniable while frequent
+// itemsets are recovered.
+package assoc
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Dataset is a collection of boolean transactions over a fixed item
+// universe, stored as packed bitsets.
+type Dataset struct {
+	numItems int
+	words    int      // words per transaction
+	rows     []uint64 // row-major packed bits
+	n        int
+}
+
+// NewDataset returns an empty dataset over items 0..numItems-1.
+func NewDataset(numItems int) (*Dataset, error) {
+	if numItems <= 0 {
+		return nil, fmt.Errorf("assoc: need a positive item count, got %d", numItems)
+	}
+	return &Dataset{numItems: numItems, words: (numItems + 63) / 64}, nil
+}
+
+// NumItems returns the size of the item universe.
+func (d *Dataset) NumItems() int { return d.numItems }
+
+// N returns the number of transactions.
+func (d *Dataset) N() int { return d.n }
+
+// Add appends one transaction given as a list of item IDs. Duplicate items
+// are allowed and collapse; out-of-range items are an error.
+func (d *Dataset) Add(items []int) error {
+	row := make([]uint64, d.words)
+	for _, it := range items {
+		if it < 0 || it >= d.numItems {
+			return fmt.Errorf("assoc: item %d outside universe [0,%d)", it, d.numItems)
+		}
+		row[it/64] |= 1 << (uint(it) % 64)
+	}
+	d.rows = append(d.rows, row...)
+	d.n++
+	return nil
+}
+
+// Contains reports whether transaction i contains the item.
+func (d *Dataset) Contains(i, item int) bool {
+	return d.rows[i*d.words+item/64]&(1<<(uint(item)%64)) != 0
+}
+
+// ContainsAll reports whether transaction i contains every item of the set.
+func (d *Dataset) ContainsAll(i int, items []int) bool {
+	for _, it := range items {
+		if !d.Contains(i, it) {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the number of items in transaction i.
+func (d *Dataset) Size(i int) int {
+	total := 0
+	for w := 0; w < d.words; w++ {
+		total += bits.OnesCount64(d.rows[i*d.words+w])
+	}
+	return total
+}
+
+// Support returns the exact fraction of transactions containing every item
+// of the set.
+func (d *Dataset) Support(items []int) (float64, error) {
+	if d.n == 0 {
+		return 0, errors.New("assoc: empty dataset")
+	}
+	for _, it := range items {
+		if it < 0 || it >= d.numItems {
+			return 0, fmt.Errorf("assoc: item %d outside universe [0,%d)", it, d.numItems)
+		}
+	}
+	count := 0
+	for i := 0; i < d.n; i++ {
+		if d.ContainsAll(i, items) {
+			count++
+		}
+	}
+	return float64(count) / float64(d.n), nil
+}
+
+// PatternCounts returns, for the given (small) item list, the observed
+// frequency of every presence/absence pattern across all transactions:
+// counts[mask] is the number of transactions t where item items[b] ∈ t
+// exactly for the bits b set in mask. len(items) is limited to 20 to bound
+// the 2^k table.
+func (d *Dataset) PatternCounts(items []int) ([]int, error) {
+	k := len(items)
+	if k == 0 || k > 20 {
+		return nil, fmt.Errorf("assoc: pattern counting needs 1..20 items, got %d", k)
+	}
+	for _, it := range items {
+		if it < 0 || it >= d.numItems {
+			return nil, fmt.Errorf("assoc: item %d outside universe [0,%d)", it, d.numItems)
+		}
+	}
+	counts := make([]int, 1<<uint(k))
+	for i := 0; i < d.n; i++ {
+		mask := 0
+		base := i * d.words
+		for b, it := range items {
+			if d.rows[base+it/64]&(1<<(uint(it)%64)) != 0 {
+				mask |= 1 << uint(b)
+			}
+		}
+		counts[mask]++
+	}
+	return counts, nil
+}

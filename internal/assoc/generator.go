@@ -1,0 +1,114 @@
+package assoc
+
+import (
+	"fmt"
+
+	"ppdm/internal/prng"
+)
+
+// GenConfig parameterizes the synthetic market-basket generator, a small
+// cousin of the IBM Quest generator: transactions are unions of a few
+// correlated "patterns" plus background noise items.
+type GenConfig struct {
+	// N is the number of transactions.
+	N int
+	// Items is the size of the item universe.
+	Items int
+	// Patterns is the number of correlated itemsets planted in the data
+	// (default 5).
+	Patterns int
+	// PatternSize is the size of each planted pattern (default 3).
+	PatternSize int
+	// PatternProb is the probability that a transaction includes any given
+	// pattern (default 0.15).
+	PatternProb float64
+	// NoiseProb is the probability that any item appears in a transaction
+	// as background noise (default 0.01).
+	NoiseProb float64
+	// Seed drives generation.
+	Seed uint64
+}
+
+func (c GenConfig) withDefaults() (GenConfig, error) {
+	if c.N <= 0 {
+		return c, fmt.Errorf("assoc: N must be positive, got %d", c.N)
+	}
+	if c.Items < 2 {
+		return c, fmt.Errorf("assoc: need >= 2 items, got %d", c.Items)
+	}
+	if c.Patterns == 0 {
+		c.Patterns = 5
+	}
+	if c.PatternSize == 0 {
+		c.PatternSize = 3
+	}
+	if c.PatternProb == 0 {
+		c.PatternProb = 0.15
+	}
+	if c.NoiseProb == 0 {
+		c.NoiseProb = 0.01
+	}
+	if c.Patterns < 1 || c.PatternSize < 1 || c.PatternSize > c.Items {
+		return c, fmt.Errorf("assoc: invalid pattern configuration %d x %d", c.Patterns, c.PatternSize)
+	}
+	if c.PatternProb < 0 || c.PatternProb > 1 || c.NoiseProb < 0 || c.NoiseProb > 1 {
+		return c, fmt.Errorf("assoc: probabilities must be in [0,1]")
+	}
+	return c, nil
+}
+
+// Generate draws a synthetic basket dataset and returns it together with
+// the planted patterns (each pattern's items, sorted), so experiments can
+// check whether mining recovers them.
+func Generate(cfg GenConfig) (*Dataset, [][]int, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	r := prng.New(cfg.Seed)
+
+	// Plant patterns: disjoint random item groups where possible.
+	perm := r.Perm(cfg.Items)
+	patterns := make([][]int, cfg.Patterns)
+	pos := 0
+	for p := range patterns {
+		pat := make([]int, cfg.PatternSize)
+		for i := range pat {
+			pat[i] = perm[pos%cfg.Items]
+			pos++
+		}
+		sortInts(pat)
+		patterns[p] = pat
+	}
+
+	d, err := NewDataset(cfg.Items)
+	if err != nil {
+		return nil, nil, err
+	}
+	var tx []int
+	for i := 0; i < cfg.N; i++ {
+		tx = tx[:0]
+		for _, pat := range patterns {
+			if r.Bernoulli(cfg.PatternProb) {
+				tx = append(tx, pat...)
+			}
+		}
+		for it := 0; it < cfg.Items; it++ {
+			if r.Bernoulli(cfg.NoiseProb) {
+				tx = append(tx, it)
+			}
+		}
+		if err := d.Add(tx); err != nil {
+			return nil, nil, err
+		}
+	}
+	return d, patterns, nil
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

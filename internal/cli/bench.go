@@ -1,0 +1,53 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"ppdm/internal/experiments"
+)
+
+// Bench runs the paper-reproduction experiment harness.
+//
+// Usage: ppdm-bench [-run E1,E5|all] [-scale 1.0] [-seed 42] [-list]
+func Bench(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ppdm-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	run := fs.String("run", "all", "comma-separated experiment IDs (e.g. E1,E5) or \"all\"")
+	scale := fs.Float64("scale", 1.0, "workload scale; 1.0 = the paper's full size")
+	seed := fs.Uint64("seed", 42, "seed for data generation and perturbation")
+	list := fs.Bool("list", false, "list available experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(stdout, "%-4s %s\n     %s\n", e.ID, e.Title, e.PaperRef)
+		}
+		return 0
+	}
+
+	var ids []string
+	if *run == "all" {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	for _, id := range ids {
+		res, err := experiments.RunByID(id, cfg)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if err := res.Render(stdout); err != nil {
+			return fail(stderr, err)
+		}
+	}
+	return 0
+}

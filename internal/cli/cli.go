@@ -1,0 +1,46 @@
+// Package cli implements the logic behind the repository's command-line
+// tools (cmd/ppdm-bench, cmd/ppdm-gen, cmd/ppdm-train, cmd/ppdm-reconstruct)
+// in a testable form: every command is a function from arguments and output
+// writers to an exit code.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"ppdm/internal/dataset"
+	"ppdm/internal/synth"
+)
+
+// fail prints the error and returns exit code 1.
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "error:", err)
+	return 1
+}
+
+// writeTableCSV writes a table to the named file, or to stdout for "-".
+func writeTableCSV(t *dataset.Table, path string, stdout io.Writer) error {
+	if path == "-" || path == "" {
+		return t.WriteCSV(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readBenchmarkCSV loads a CSV file in the synthetic-benchmark schema.
+func readBenchmarkCSV(path string) (*dataset.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadCSV(f, synth.Schema())
+}

@@ -1,0 +1,151 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ppdm/internal/bayes"
+	"ppdm/internal/core"
+	"ppdm/internal/dataset"
+	"ppdm/internal/noise"
+	"ppdm/internal/reconstruct"
+)
+
+// Train trains a privacy-preserving classifier on a benchmark CSV (as
+// written by ppdm-gen) and evaluates it on a clean test CSV.
+//
+// For the reconstruction modes the noise flags must describe how the
+// training file was perturbed.
+//
+// Usage: ppdm-train -train train.csv -test test.csv [-mode byclass]
+// [-family gaussian] [-privacy 1.0] [-conf 0.95] [-intervals 50]
+// [-algorithm bayes|em] [-print-tree]
+func Train(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ppdm-train", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	trainPath := fs.String("train", "", "training CSV (perturbed for all modes except original)")
+	testPath := fs.String("test", "", "clean test CSV")
+	modeName := fs.String("mode", "byclass", "training mode: original|randomized|global|byclass|local")
+	family := fs.String("family", "gaussian", "noise family the training data was perturbed with")
+	level := fs.Float64("privacy", 1.0, "privacy level the training data was perturbed at")
+	conf := fs.Float64("conf", noise.DefaultConfidence, "confidence level of the privacy guarantee")
+	intervals := fs.Int("intervals", 0, "intervals per attribute (0 = default)")
+	algorithm := fs.String("algorithm", "bayes", "reconstruction algorithm: bayes|em")
+	learner := fs.String("learner", "tree", "learner: tree|nb (naive Bayes supports original/randomized/byclass)")
+	printTree := fs.Bool("print-tree", false, "print the trained decision tree")
+	savePath := fs.String("save", "", "write the trained tree model as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *trainPath == "" || *testPath == "" {
+		return fail(stderr, fmt.Errorf("both -train and -test are required"))
+	}
+	mode, err := core.ParseMode(*modeName)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	var alg reconstruct.Algorithm
+	switch *algorithm {
+	case "bayes":
+		alg = reconstruct.Bayes
+	case "em":
+		alg = reconstruct.EM
+	default:
+		return fail(stderr, fmt.Errorf("unknown reconstruction algorithm %q", *algorithm))
+	}
+
+	trainTable, err := readBenchmarkCSV(*trainPath)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	testTable, err := readBenchmarkCSV(*testPath)
+	if err != nil {
+		return fail(stderr, err)
+	}
+
+	var models map[int]noise.Model
+	if mode.NeedsNoise() {
+		models, err = noise.ModelsForAllAttrs(trainTable.Schema(), *family, *level, *conf)
+		if err != nil {
+			return fail(stderr, err)
+		}
+	}
+
+	var ev core.Evaluation
+	var treeClf *core.Classifier
+	switch *learner {
+	case "tree":
+		cfg := core.Config{Mode: mode, Intervals: *intervals, ReconAlgorithm: alg, Noise: models}
+		treeClf, err = core.Train(trainTable, cfg)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		ev, err = treeClf.Evaluate(testTable)
+	case "nb":
+		cfg := bayes.Config{Mode: mode, Intervals: *intervals, ReconAlgorithm: alg, Noise: models}
+		var nb *bayes.Classifier
+		nb, err = bayes.Train(trainTable, cfg)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		ev, err = nb.Evaluate(testTable)
+	default:
+		return fail(stderr, fmt.Errorf("unknown learner %q (want tree or nb)", *learner))
+	}
+	if err != nil {
+		return fail(stderr, err)
+	}
+
+	printEvaluation(stdout, *learner, mode, trainTable, testTable, *trainPath, *testPath, ev, treeClf, *printTree)
+
+	if *savePath != "" {
+		if treeClf == nil {
+			return fail(stderr, fmt.Errorf("-save requires the tree learner"))
+		}
+		f, err := os.Create(*savePath)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if err := treeClf.Save(f); err != nil {
+			f.Close()
+			return fail(stderr, err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stderr, "saved model to %s\n", *savePath)
+	}
+	return 0
+}
+
+// printEvaluation renders the shared result block of ppdm-train.
+func printEvaluation(stdout io.Writer, learner string, mode core.Mode, trainTable, testTable *dataset.Table,
+	trainPath, testPath string, ev core.Evaluation, treeClf *core.Classifier, printTree bool) {
+	fmt.Fprintf(stdout, "learner:    %s\n", learner)
+	fmt.Fprintf(stdout, "mode:       %s\n", mode)
+	fmt.Fprintf(stdout, "train:      %d records (%s)\n", trainTable.N(), trainPath)
+	fmt.Fprintf(stdout, "test:       %d records (%s)\n", testTable.N(), testPath)
+	fmt.Fprintf(stdout, "accuracy:   %.2f%% (%d/%d)\n", 100*ev.Accuracy, ev.Correct, ev.N)
+	if treeClf != nil {
+		fmt.Fprintf(stdout, "tree size:  %d nodes, %d leaves, depth %d\n",
+			treeClf.Tree.NodeCount(), treeClf.Tree.LeafCount(), treeClf.Tree.Depth())
+	}
+	fmt.Fprintln(stdout, "confusion matrix (rows = actual, cols = predicted):")
+	for a, row := range ev.Confusion {
+		fmt.Fprintf(stdout, "  %s:", testTable.Schema().Classes[a])
+		for _, c := range row {
+			fmt.Fprintf(stdout, " %6d", c)
+		}
+		fmt.Fprintln(stdout)
+	}
+	if printTree && treeClf != nil {
+		names := make([]string, trainTable.Schema().NumAttrs())
+		for i, a := range trainTable.Schema().Attrs {
+			names[i] = a.Name
+		}
+		fmt.Fprintln(stdout, "\ntree:")
+		fmt.Fprint(stdout, treeClf.Tree.Render(names, trainTable.Schema().Classes))
+	}
+}

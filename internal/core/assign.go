@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// apportion converts a probability vector into integer counts summing to n
+// using the largest-remainder method, with ties broken by lower index so the
+// result is deterministic.
+func apportion(p []float64, n int) []int {
+	counts := make([]int, len(p))
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, len(p))
+	assigned := 0
+	for i, v := range p {
+		exact := v * float64(n)
+		counts[i] = int(exact)
+		assigned += counts[i]
+		rems[i] = rem{idx: i, frac: exact - float64(counts[i])}
+	}
+	sort.SliceStable(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	for i := 0; assigned < n; i++ {
+		counts[rems[i%len(rems)].idx]++
+		assigned++
+	}
+	return counts
+}
+
+// orderedAssign implements the paper's re-assignment step: given the
+// perturbed values of a set of records and the reconstructed distribution p
+// over k intervals, it sorts the records by perturbed value and assigns the
+// smallest apportion(p, n)[0] of them to interval 0, the next block to
+// interval 1, and so on. Sorting preserves the association between a
+// record's rank and its likely position in the original distribution, which
+// is what lets each record keep its own class label.
+//
+// The returned slice gives the assigned interval per record, aligned with
+// the input order.
+func orderedAssign(values []float64, p []float64) ([]int, error) {
+	n := len(values)
+	if n == 0 {
+		return nil, nil
+	}
+	if len(p) == 0 {
+		return nil, fmt.Errorf("core: orderedAssign with empty distribution")
+	}
+	counts := apportion(p, n)
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return values[order[a]] < values[order[b]] })
+
+	bins := make([]int, n)
+	b, used := 0, 0
+	for _, idx := range order {
+		for b < len(counts)-1 && used >= counts[b] {
+			b++
+			used = 0
+		}
+		bins[idx] = b
+		used++
+	}
+	return bins, nil
+}

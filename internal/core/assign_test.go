@@ -1,0 +1,194 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ppdm/internal/prng"
+	"ppdm/internal/stats"
+)
+
+func TestApportionExact(t *testing.T) {
+	counts := apportion([]float64{0.5, 0.25, 0.25}, 8)
+	want := []int{4, 2, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("apportion = %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestApportionRemainders(t *testing.T) {
+	// 1/3 each over 10 records: 3.33 each, largest remainders break ties by
+	// index: 4,3,3.
+	counts := apportion([]float64{1.0 / 3, 1.0 / 3, 1.0 / 3}, 10)
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != 10 {
+		t.Fatalf("apportion sums to %d", sum)
+	}
+	if counts[0] != 4 || counts[1] != 3 || counts[2] != 3 {
+		t.Fatalf("apportion = %v, want [4 3 3]", counts)
+	}
+}
+
+func TestApportionSumsProperty(t *testing.T) {
+	f := func(seed uint64, kRaw uint8, nRaw uint16) bool {
+		r := prng.New(seed)
+		k := int(kRaw%30) + 1
+		n := int(nRaw % 5000)
+		p := make([]float64, k)
+		for i := range p {
+			p[i] = r.Float64()
+		}
+		stats.Normalize(p)
+		counts := apportion(p, n)
+		sum := 0
+		for _, c := range counts {
+			if c < 0 {
+				return false
+			}
+			sum += c
+		}
+		return sum == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderedAssignEmpty(t *testing.T) {
+	bins, err := orderedAssign(nil, []float64{1})
+	if err != nil || bins != nil {
+		t.Fatalf("empty assign = %v, %v", bins, err)
+	}
+	if _, err := orderedAssign([]float64{1}, nil); err == nil {
+		t.Fatal("empty distribution accepted")
+	}
+}
+
+func TestOrderedAssignCountsMatchApportion(t *testing.T) {
+	r := prng.New(5)
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = r.Uniform(0, 1)
+	}
+	p := []float64{0.1, 0.4, 0.3, 0.2}
+	bins, err := orderedAssign(values, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int, len(p))
+	for _, b := range bins {
+		got[b]++
+	}
+	want := apportion(p, len(values))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("assignment counts %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOrderedAssignPreservesOrder(t *testing.T) {
+	// The record with a smaller perturbed value never lands in a higher bin.
+	r := prng.New(6)
+	values := make([]float64, 200)
+	for i := range values {
+		values[i] = r.Gaussian(50, 20)
+	}
+	p := []float64{0.25, 0.25, 0.25, 0.25}
+	bins, err := orderedAssign(values, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := make([]int, len(values))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] < values[idx[b]] })
+	prev := -1
+	for _, i := range idx {
+		if bins[i] < prev {
+			t.Fatal("ordered assignment violated monotonicity")
+		}
+		prev = bins[i]
+	}
+}
+
+func TestOrderedAssignSkipsZeroBins(t *testing.T) {
+	values := []float64{3, 1, 2, 4}
+	p := []float64{0.5, 0, 0, 0.5}
+	bins, err := orderedAssign(values, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 0, 0, 3} // two smallest to bin 0, two largest to bin 3
+	for i := range want {
+		if bins[i] != want[i] {
+			t.Fatalf("bins = %v, want %v", bins, want)
+		}
+	}
+}
+
+func TestOrderedAssignProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, kRaw uint8) bool {
+		r := prng.New(seed)
+		n := int(nRaw%500) + 1
+		k := int(kRaw%20) + 1
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = r.Gaussian(0, 100)
+		}
+		p := make([]float64, k)
+		for i := range p {
+			p[i] = r.Float64()
+		}
+		stats.Normalize(p)
+		bins, err := orderedAssign(values, p)
+		if err != nil || len(bins) != n {
+			return false
+		}
+		counts := make([]int, k)
+		for _, b := range bins {
+			if b < 0 || b >= k {
+				return false
+			}
+			counts[b]++
+		}
+		want := apportion(p, n)
+		for i := range want {
+			if counts[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeParseAndString(t *testing.T) {
+	for _, m := range Modes() {
+		parsed, err := ParseMode(m.String())
+		if err != nil || parsed != m {
+			t.Errorf("round trip of %v failed: %v, %v", m, parsed, err)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("bogus mode parsed")
+	}
+	if Mode(99).Valid() {
+		t.Error("Mode(99) claims valid")
+	}
+	if !Global.NeedsNoise() || !ByClass.NeedsNoise() || !Local.NeedsNoise() {
+		t.Error("reconstruction modes must need noise")
+	}
+	if Original.NeedsNoise() || Randomized.NeedsNoise() {
+		t.Error("baseline modes must not need noise")
+	}
+}

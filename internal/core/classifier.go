@@ -1,0 +1,64 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ppdm/internal/dataset"
+)
+
+// Predict classifies a record of raw attribute values (clean test data): the
+// record is discretized through the classifier's partitions and routed
+// through the tree.
+func (c *Classifier) Predict(rec []float64) (int, error) {
+	if len(rec) != len(c.Partitions) {
+		return 0, fmt.Errorf("core: record has %d attributes, classifier expects %d", len(rec), len(c.Partitions))
+	}
+	bins := make([]int, len(rec))
+	for j, v := range rec {
+		bins[j] = c.Partitions[j].Bin(v)
+	}
+	return c.Tree.Predict(bins)
+}
+
+// Evaluation summarizes classifier performance on a test table.
+type Evaluation struct {
+	N        int
+	Correct  int
+	Accuracy float64
+	// Confusion[actual][predicted] counts test records.
+	Confusion [][]int
+}
+
+// Evaluate classifies every record of the test table and reports accuracy.
+// As in the paper, the test data should be clean (unperturbed).
+func (c *Classifier) Evaluate(test *dataset.Table) (Evaluation, error) {
+	if test == nil || test.N() == 0 {
+		return Evaluation{}, errors.New("core: empty test table")
+	}
+	if test.Schema().NumAttrs() != len(c.Partitions) {
+		return Evaluation{}, fmt.Errorf("core: test table has %d attributes, classifier expects %d",
+			test.Schema().NumAttrs(), len(c.Partitions))
+	}
+	k := c.Tree.NumClasses
+	ev := Evaluation{N: test.N(), Confusion: make([][]int, k)}
+	for i := range ev.Confusion {
+		ev.Confusion[i] = make([]int, k)
+	}
+	for i := 0; i < test.N(); i++ {
+		pred, err := c.Predict(test.Row(i))
+		if err != nil {
+			return Evaluation{}, err
+		}
+		actual := test.Label(i)
+		if actual >= k {
+			return Evaluation{}, fmt.Errorf("core: test label %d outside model's %d classes", actual, k)
+		}
+		ev.Confusion[actual][pred]++
+		if pred == actual {
+			ev.Correct++
+		}
+	}
+	ev.Accuracy = float64(ev.Correct) / float64(ev.N)
+	return ev, nil
+}

@@ -1,0 +1,77 @@
+// Package core implements the primary contribution of the SIGMOD 2000 paper:
+// building decision-tree classifiers over randomized data by reconstructing
+// attribute distributions (§4).
+//
+// Five training modes are provided. Original and Randomized are the paper's
+// upper and lower baselines: they bin the supplied values directly (the
+// caller feeds clean data to Original and perturbed data to Randomized).
+// Global, ByClass, and Local reconstruct the original distribution of each
+// attribute from its perturbed values and then re-assign records to
+// intervals in sorted order, in proportion to the reconstructed
+// distribution:
+//
+//   - Global reconstructs once per attribute over all records;
+//   - ByClass reconstructs per attribute per class;
+//   - Local repeats the ByClass reconstruction at every tree node over just
+//     the records reaching that node.
+//
+// Models are always evaluated on clean (unperturbed) test data, as in the
+// paper.
+package core
+
+import "fmt"
+
+// Mode selects the training strategy.
+type Mode int
+
+const (
+	// Original trains directly on the supplied values (feed clean data).
+	Original Mode = iota
+	// Randomized trains directly on the supplied values (feed perturbed
+	// data); the paper's no-correction lower baseline.
+	Randomized
+	// Global reconstructs each attribute's distribution once over all
+	// records before training.
+	Global
+	// ByClass reconstructs each attribute's distribution separately per
+	// class before training.
+	ByClass
+	// Local redoes the per-class reconstruction at every tree node.
+	Local
+)
+
+var modeNames = map[Mode]string{
+	Original:   "original",
+	Randomized: "randomized",
+	Global:     "global",
+	ByClass:    "byclass",
+	Local:      "local",
+}
+
+// String returns the lower-case mode name.
+func (m Mode) String() string {
+	if s, ok := modeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode parses a mode name (case-sensitive, lower-case).
+func ParseMode(s string) (Mode, error) {
+	for m, name := range modeNames {
+		if name == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown mode %q", s)
+}
+
+// Valid reports whether m is a defined mode.
+func (m Mode) Valid() bool { _, ok := modeNames[m]; return ok }
+
+// NeedsNoise reports whether the mode requires noise models for
+// reconstruction.
+func (m Mode) NeedsNoise() bool { return m == Global || m == ByClass || m == Local }
+
+// Modes lists all training modes in presentation order.
+func Modes() []Mode { return []Mode{Original, Randomized, Global, ByClass, Local} }

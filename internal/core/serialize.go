@@ -1,0 +1,111 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"ppdm/internal/dataset"
+	"ppdm/internal/reconstruct"
+	"ppdm/internal/tree"
+)
+
+// classifierJSON is the on-disk representation of a trained classifier: the
+// schema is flattened into attributes + class names so the whole model is a
+// single self-describing JSON document.
+type classifierJSON struct {
+	Format     string                  `json:"format"`
+	Mode       string                  `json:"mode"`
+	Attrs      []dataset.Attribute     `json:"attrs"`
+	Classes    []string                `json:"classes"`
+	Partitions []reconstruct.Partition `json:"partitions"`
+	Tree       *tree.Tree              `json:"tree"`
+}
+
+// modelFormat identifies the serialization format/version.
+const modelFormat = "ppdm-classifier/1"
+
+// Save writes the classifier as JSON. The model is self-contained: Load
+// restores it without access to the training data.
+func (c *Classifier) Save(w io.Writer) error {
+	if c == nil || c.Tree == nil || c.Schema == nil {
+		return errors.New("core: cannot save incomplete classifier")
+	}
+	doc := classifierJSON{
+		Format:     modelFormat,
+		Mode:       c.Mode.String(),
+		Attrs:      c.Schema.Attrs,
+		Classes:    c.Schema.Classes,
+		Partitions: c.Partitions,
+		Tree:       c.Tree,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Load restores a classifier saved with Save, validating the document
+// thoroughly (it may come from an untrusted source).
+func Load(r io.Reader) (*Classifier, error) {
+	var doc classifierJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("core: decoding classifier: %w", err)
+	}
+	if doc.Format != modelFormat {
+		return nil, fmt.Errorf("core: unsupported model format %q", doc.Format)
+	}
+	mode, err := ParseMode(doc.Mode)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := dataset.NewSchema(doc.Attrs, doc.Classes)
+	if err != nil {
+		return nil, fmt.Errorf("core: invalid schema in model: %w", err)
+	}
+	if len(doc.Partitions) != schema.NumAttrs() {
+		return nil, fmt.Errorf("core: model has %d partitions for %d attributes", len(doc.Partitions), schema.NumAttrs())
+	}
+	for j, p := range doc.Partitions {
+		if _, err := reconstruct.NewPartition(p.Lo, p.Hi, p.K); err != nil {
+			return nil, fmt.Errorf("core: partition %d: %w", j, err)
+		}
+	}
+	if doc.Tree == nil {
+		return nil, errors.New("core: model has no tree")
+	}
+	if err := doc.Tree.Validate(); err != nil {
+		return nil, err
+	}
+	if doc.Tree.NumAttrs != schema.NumAttrs() {
+		return nil, fmt.Errorf("core: tree expects %d attributes, schema has %d", doc.Tree.NumAttrs, schema.NumAttrs())
+	}
+	if doc.Tree.NumClasses != schema.NumClasses() {
+		return nil, fmt.Errorf("core: tree expects %d classes, schema has %d", doc.Tree.NumClasses, schema.NumClasses())
+	}
+	// every split cut must lie inside its attribute's partition
+	var checkCuts func(n *tree.Node) error
+	checkCuts = func(n *tree.Node) error {
+		if n.IsLeaf() {
+			return nil
+		}
+		if n.Cut >= doc.Partitions[n.Attr].K-1 {
+			return fmt.Errorf("core: cut %d outside partition of attribute %d (%d intervals)", n.Cut, n.Attr, doc.Partitions[n.Attr].K)
+		}
+		if err := checkCuts(n.Left); err != nil {
+			return err
+		}
+		return checkCuts(n.Right)
+	}
+	if err := checkCuts(doc.Tree.Root); err != nil {
+		return nil, err
+	}
+	return &Classifier{
+		Mode:       mode,
+		Tree:       doc.Tree,
+		Schema:     schema,
+		Partitions: doc.Partitions,
+	}, nil
+}

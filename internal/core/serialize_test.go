@@ -1,0 +1,121 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ppdm/internal/noise"
+	"ppdm/internal/synth"
+)
+
+func trainSmallClassifier(t *testing.T) *Classifier {
+	t.Helper()
+	train, err := synth.Generate(synth.Config{Function: synth.F2, N: 3000, Seed: 81})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, _ := noise.ModelsForAllAttrs(train.Schema(), "gaussian", 0.5, noise.DefaultConfidence)
+	perturbed, _ := noise.PerturbTable(train, models, 82)
+	clf, err := Train(perturbed, Config{Mode: ByClass, Noise: models})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clf
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	clf := trainSmallClassifier(t)
+	var buf bytes.Buffer
+	if err := clf.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Mode != clf.Mode {
+		t.Errorf("mode changed: %v != %v", loaded.Mode, clf.Mode)
+	}
+	if loaded.Tree.NodeCount() != clf.Tree.NodeCount() {
+		t.Errorf("tree size changed: %d != %d", loaded.Tree.NodeCount(), clf.Tree.NodeCount())
+	}
+	// identical predictions on fresh data
+	test, _ := synth.Generate(synth.Config{Function: synth.F2, N: 500, Seed: 83})
+	for i := 0; i < test.N(); i++ {
+		a, err := clf.Predict(test.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Predict(test.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("prediction %d differs after round trip", i)
+		}
+	}
+	// schema survives by value
+	if loaded.Schema.NumAttrs() != clf.Schema.NumAttrs() {
+		t.Error("schema attrs lost")
+	}
+	if _, ok := loaded.Schema.AttrIndex("age"); !ok {
+		t.Error("attribute lookup broken after load")
+	}
+}
+
+func TestSaveIncomplete(t *testing.T) {
+	var buf bytes.Buffer
+	var nilClf *Classifier
+	if err := nilClf.Save(&buf); err == nil {
+		t.Error("nil classifier saved")
+	}
+	if err := (&Classifier{}).Save(&buf); err == nil {
+		t.Error("empty classifier saved")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"not json", "hello"},
+		{"wrong format", `{"format":"other/9","mode":"byclass","attrs":[],"classes":[],"partitions":[],"tree":null}`},
+		{"unknown field", `{"format":"ppdm-classifier/1","bogus":1}`},
+		{"bad mode", `{"format":"ppdm-classifier/1","mode":"nope","attrs":[{"Name":"x","Kind":0,"Lo":0,"Hi":1,"Cardinality":0,"Step":0}],"classes":["a","b"],"partitions":[{"Lo":0,"Hi":1,"K":2}],"tree":null}`},
+		{"no tree", `{"format":"ppdm-classifier/1","mode":"byclass","attrs":[{"Name":"x","Kind":0,"Lo":0,"Hi":1,"Cardinality":0,"Step":0}],"classes":["a","b"],"partitions":[{"Lo":0,"Hi":1,"K":2}],"tree":null}`},
+	}
+	for _, c := range cases {
+		if _, err := Load(strings.NewReader(c.doc)); err == nil {
+			t.Errorf("%s: Load succeeded", c.name)
+		}
+	}
+}
+
+func TestLoadRejectsCorruptedTree(t *testing.T) {
+	clf := trainSmallClassifier(t)
+	var buf bytes.Buffer
+	if err := clf.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// sabotage: point a split at a non-existent attribute
+	doc := buf.String()
+	bad := strings.Replace(doc, `"Attr": 0`, `"Attr": 99`, 1)
+	if bad == doc {
+		t.Skip("no Attr field found to corrupt")
+	}
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Error("corrupted tree loaded")
+	}
+}
+
+func TestLoadRejectsPartitionMismatch(t *testing.T) {
+	clf := trainSmallClassifier(t)
+	var buf bytes.Buffer
+	if err := clf.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// sabotage: shrink a partition below the tree's cuts
+	bad := strings.Replace(buf.String(), `"K": 50`, `"K": 1`, 1)
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Error("partition mismatch loaded")
+	}
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ppdm/internal/dataset"
+	"ppdm/internal/noise"
+	"ppdm/internal/reconstruct"
+	"ppdm/internal/tree"
+)
+
+// Defaults used when the corresponding Config field is zero.
+const (
+	// DefaultIntervals is the per-attribute interval count used for both
+	// reconstruction and tree splits. Attributes with a declared Step get
+	// fewer (see effectiveIntervals).
+	DefaultIntervals = 50
+	// DefaultReconEpsilon is the reconstruction stopping threshold used in
+	// training. It is looser than the reconstruct package default on
+	// purpose: early stopping regularizes the deconvolution, and running it
+	// to tighter tolerances measurably over-sharpens the estimated
+	// distributions and hurts downstream accuracy.
+	DefaultReconEpsilon = 1e-3
+	// DefaultLocalMinRecords is the node size below which Local mode stops
+	// re-reconstructing and falls back to the root ByClass counting
+	// (reconstruction on a handful of records is pure noise).
+	DefaultLocalMinRecords = 1000
+)
+
+// Config parameterizes Train.
+type Config struct {
+	// Mode selects the training strategy.
+	Mode Mode
+	// Intervals is the number of equal-width intervals per attribute
+	// (default DefaultIntervals). Both reconstruction and tree splits use
+	// this partition, as in the paper.
+	Intervals int
+	// Noise maps attribute index -> the noise model the training values
+	// were perturbed with. Required for Global/ByClass/Local; attributes
+	// without an entry are treated as unperturbed and binned directly.
+	Noise map[int]noise.Model
+	// ReconAlgorithm selects reconstruct.Bayes (default) or reconstruct.EM.
+	ReconAlgorithm reconstruct.Algorithm
+	// ReconMaxIters and ReconEpsilon tune the reconstruction loop; zero
+	// values use the reconstruct package defaults.
+	ReconMaxIters int
+	ReconEpsilon  float64
+	// Tree configures the decision-tree learner.
+	Tree tree.Config
+	// LocalMinRecords is Local mode's re-reconstruction threshold (default
+	// DefaultLocalMinRecords).
+	LocalMinRecords int
+}
+
+// Classifier is a trained privacy-preserving decision-tree model: the tree
+// plus the attribute partitions used to discretize records at prediction
+// time.
+type Classifier struct {
+	Mode       Mode
+	Tree       *tree.Tree
+	Schema     *dataset.Schema
+	Partitions []reconstruct.Partition
+}
+
+// Train builds a classifier from the training table according to cfg.Mode.
+// For Original pass clean data; for every other mode pass the perturbed
+// table (and, for the reconstruction modes, the noise models it was
+// perturbed with).
+func Train(train *dataset.Table, cfg Config) (*Classifier, error) {
+	if train == nil || train.N() == 0 {
+		return nil, errors.New("core: empty training table")
+	}
+	if !cfg.Mode.Valid() {
+		return nil, fmt.Errorf("core: invalid mode %d", int(cfg.Mode))
+	}
+	if cfg.Intervals == 0 {
+		cfg.Intervals = DefaultIntervals
+	}
+	if cfg.Intervals < 2 {
+		return nil, fmt.Errorf("core: need >= 2 intervals, got %d", cfg.Intervals)
+	}
+	if cfg.LocalMinRecords == 0 {
+		cfg.LocalMinRecords = DefaultLocalMinRecords
+	}
+	if cfg.ReconEpsilon == 0 {
+		cfg.ReconEpsilon = DefaultReconEpsilon
+	}
+	if cfg.Mode.NeedsNoise() && len(cfg.Noise) == 0 {
+		return nil, fmt.Errorf("core: mode %v requires noise models", cfg.Mode)
+	}
+	if cfg.Tree.MinLeaf == 0 {
+		// Perturbed training data carries per-record noise that a
+		// fully-grown tree happily memorizes; a sample-size-scaled leaf
+		// minimum keeps all modes comparable at every scale.
+		cfg.Tree.MinLeaf = adaptiveMinLeaf(train.N())
+	}
+
+	s := train.Schema()
+	parts := make([]reconstruct.Partition, s.NumAttrs())
+	for j, a := range s.Attrs {
+		p, err := reconstruct.NewPartition(a.Lo, a.Hi, effectiveIntervals(a, cfg.Intervals))
+		if err != nil {
+			return nil, fmt.Errorf("core: attribute %q: %w", a.Name, err)
+		}
+		parts[j] = p
+	}
+
+	labels := make([]int, train.N())
+	for i := range labels {
+		labels[i] = train.Label(i)
+	}
+
+	var src tree.Source
+	switch cfg.Mode {
+	case Original, Randomized:
+		cols, err := directColumns(train, parts)
+		if err != nil {
+			return nil, err
+		}
+		src, err = staticSource(cols, parts, labels, s.NumClasses())
+		if err != nil {
+			return nil, err
+		}
+	case Global:
+		cols, err := globalColumns(train, parts, cfg)
+		if err != nil {
+			return nil, err
+		}
+		src, err = staticSource(cols, parts, labels, s.NumClasses())
+		if err != nil {
+			return nil, err
+		}
+	case ByClass:
+		cols, err := byClassColumns(train, parts, cfg)
+		if err != nil {
+			return nil, err
+		}
+		src, err = staticSource(cols, parts, labels, s.NumClasses())
+		if err != nil {
+			return nil, err
+		}
+	case Local:
+		fallback, err := byClassColumns(train, parts, cfg)
+		if err != nil {
+			return nil, err
+		}
+		src = &localSource{
+			table:    train,
+			labels:   labels,
+			parts:    parts,
+			cfg:      cfg,
+			fallback: fallback,
+			classes:  s.NumClasses(),
+		}
+	}
+
+	tr, err := tree.Grow(src, cfg.Tree)
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{Mode: cfg.Mode, Tree: tr, Schema: s, Partitions: parts}, nil
+}
+
+// adaptiveMinLeaf returns the default minimum leaf size for n training
+// records: roughly sqrt(n), at least 10.
+func adaptiveMinLeaf(n int) int {
+	m := 10
+	for m*m < n {
+		m++
+	}
+	if m < 10 {
+		m = 10
+	}
+	return m
+}
+
+// effectiveIntervals caps the interval count at the attribute's natural
+// resolution (see dataset.Attribute.Intervals). Splitting a 5-valued
+// attribute into 20 intervals makes the reconstruction deconvolution
+// ill-conditioned and was measurably worse than no reconstruction at all.
+func effectiveIntervals(a dataset.Attribute, k int) int { return a.Intervals(k) }
+
+// staticSource wraps assignment columns in a tree.StaticSource.
+func staticSource(cols [][]int, parts []reconstruct.Partition, labels []int, classes int) (tree.Source, error) {
+	bins := make([]int, len(parts))
+	for j, p := range parts {
+		bins[j] = p.K
+	}
+	return tree.NewStaticSource(cols, bins, labels, classes)
+}
+
+// directColumns bins every value into its own interval: the
+// Original/Randomized path.
+func directColumns(t *dataset.Table, parts []reconstruct.Partition) ([][]int, error) {
+	cols := make([][]int, len(parts))
+	for j := range parts {
+		col := make([]int, t.N())
+		for i := 0; i < t.N(); i++ {
+			col[i] = parts[j].Bin(t.Row(i)[j])
+		}
+		cols[j] = col
+	}
+	return cols, nil
+}
+
+// reconCfg assembles the reconstruction configuration for one attribute.
+func reconCfg(cfg Config, part reconstruct.Partition, m noise.Model) reconstruct.Config {
+	return reconstruct.Config{
+		Partition: part,
+		Noise:     m,
+		Algorithm: cfg.ReconAlgorithm,
+		MaxIters:  cfg.ReconMaxIters,
+		Epsilon:   cfg.ReconEpsilon,
+	}
+}
+
+// globalColumns implements the Global mode: one reconstruction per attribute
+// over all records, then ordered re-assignment.
+func globalColumns(t *dataset.Table, parts []reconstruct.Partition, cfg Config) ([][]int, error) {
+	cols := make([][]int, len(parts))
+	for j := range parts {
+		values := t.Column(j)
+		m, perturbed := cfg.Noise[j]
+		if !perturbed {
+			col := make([]int, t.N())
+			for i, v := range values {
+				col[i] = parts[j].Bin(v)
+			}
+			cols[j] = col
+			continue
+		}
+		res, err := reconstruct.Reconstruct(values, reconCfg(cfg, parts[j], m))
+		if err != nil {
+			return nil, fmt.Errorf("core: reconstructing attribute %d: %w", j, err)
+		}
+		col, err := orderedAssign(values, res.P)
+		if err != nil {
+			return nil, err
+		}
+		cols[j] = col
+	}
+	return cols, nil
+}
+
+// byClassColumns implements the ByClass mode: per attribute, reconstruct and
+// re-assign each class's records independently.
+func byClassColumns(t *dataset.Table, parts []reconstruct.Partition, cfg Config) ([][]int, error) {
+	s := t.Schema()
+	cols := make([][]int, len(parts))
+	for j := range parts {
+		col := make([]int, t.N())
+		m, perturbed := cfg.Noise[j]
+		if !perturbed {
+			for i := 0; i < t.N(); i++ {
+				col[i] = parts[j].Bin(t.Row(i)[j])
+			}
+			cols[j] = col
+			continue
+		}
+		for c := 0; c < s.NumClasses(); c++ {
+			values, rowIdx := t.ColumnForClass(j, c)
+			if len(values) == 0 {
+				continue
+			}
+			res, err := reconstruct.Reconstruct(values, reconCfg(cfg, parts[j], m))
+			if err != nil {
+				return nil, fmt.Errorf("core: reconstructing attribute %d class %d: %w", j, c, err)
+			}
+			bins, err := orderedAssign(values, res.P)
+			if err != nil {
+				return nil, err
+			}
+			for i, row := range rowIdx {
+				col[row] = bins[i]
+			}
+		}
+		cols[j] = col
+	}
+	return cols, nil
+}

@@ -1,0 +1,82 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the table as CSV: a header row with attribute names plus a
+// final "class" column holding class names, then one row per record.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, t.schema.NumAttrs()+1)
+	for _, a := range t.schema.Attrs {
+		header = append(header, a.Name)
+	}
+	header = append(header, "class")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	row := make([]string, len(header))
+	for i := 0; i < t.N(); i++ {
+		for j, v := range t.rows[i] {
+			row[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		row[len(row)-1] = t.schema.Classes[t.labels[i]]
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: writing CSV record %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table in the format produced by WriteCSV. The header is
+// validated against the schema: it must list the schema's attribute names in
+// order, followed by "class". Unknown class names and malformed numbers are
+// reported with their record number.
+func ReadCSV(r io.Reader, s *Schema) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = s.NumAttrs() + 1
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	for j, a := range s.Attrs {
+		if header[j] != a.Name {
+			return nil, fmt.Errorf("dataset: CSV column %d is %q, schema expects %q", j, header[j], a.Name)
+		}
+	}
+	if header[len(header)-1] != "class" {
+		return nil, fmt.Errorf("dataset: CSV last column is %q, expected \"class\"", header[len(header)-1])
+	}
+
+	t := NewTable(s)
+	values := make([]float64, s.NumAttrs())
+	for rec := 1; ; rec++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV record %d: %w", rec, err)
+		}
+		for j := 0; j < s.NumAttrs(); j++ {
+			v, err := strconv.ParseFloat(row[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV record %d attribute %q: %w", rec, s.Attrs[j].Name, err)
+			}
+			values[j] = v
+		}
+		label := s.ClassIndex(row[len(row)-1])
+		if label < 0 {
+			return nil, fmt.Errorf("dataset: CSV record %d has unknown class %q", rec, row[len(row)-1])
+		}
+		if err := t.Append(values, label); err != nil {
+			return nil, fmt.Errorf("dataset: CSV record %d: %w", rec, err)
+		}
+	}
+}

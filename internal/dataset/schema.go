@@ -1,0 +1,215 @@
+// Package dataset implements the tabular-data substrate used by the
+// reproduction: typed schemas, in-memory record tables, class labels, random
+// splits, and CSV interchange.
+//
+// A record is a fixed-length []float64 plus an integer class label.
+// Categorical attributes are stored as float64-encoded small integers; their
+// schema entry records the cardinality so downstream code (perturbation,
+// discretization, tree induction) can treat them correctly.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Kind distinguishes numeric (continuous/ordinal) from categorical
+// attributes.
+type Kind int
+
+const (
+	// Numeric attributes take real values in a closed domain [Lo, Hi].
+	Numeric Kind = iota
+	// Categorical attributes take integer codes 0..Cardinality-1.
+	Categorical
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Numeric:
+		return "numeric"
+	case Categorical:
+		return "categorical"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Attribute describes one column of a table.
+type Attribute struct {
+	Name string
+	Kind Kind
+
+	// Lo and Hi bound the domain of a numeric attribute. For categorical
+	// attributes they are 0 and Cardinality-1 for convenience.
+	Lo, Hi float64
+
+	// Cardinality is the number of distinct codes of a categorical
+	// attribute; 0 for numeric attributes.
+	Cardinality int
+
+	// Step is the granularity of a numeric attribute: 0 for continuous
+	// values, 1 for integer-valued (ordinal) attributes, and so on.
+	// Partition-based algorithms must not split the domain finer than Step
+	// — reconstructing a 5-valued attribute over 20 intervals turns the
+	// deconvolution ill-conditioned.
+	Step float64
+}
+
+// NumericAttr returns a numeric attribute on [lo, hi].
+func NumericAttr(name string, lo, hi float64) Attribute {
+	return Attribute{Name: name, Kind: Numeric, Lo: lo, Hi: hi}
+}
+
+// IntegerAttr returns a numeric attribute that only takes integer values in
+// [lo, hi] (Step = 1).
+func IntegerAttr(name string, lo, hi float64) Attribute {
+	a := NumericAttr(name, lo, hi)
+	a.Step = 1
+	return a
+}
+
+// CategoricalAttr returns a categorical attribute with codes 0..card-1.
+func CategoricalAttr(name string, card int) Attribute {
+	return Attribute{Name: name, Kind: Categorical, Lo: 0, Hi: float64(card - 1), Cardinality: card, Step: 1}
+}
+
+// Width returns the width of the attribute's domain (Hi − Lo). The paper's
+// privacy levels are expressed as a percentage of this width.
+func (a Attribute) Width() float64 { return a.Hi - a.Lo }
+
+// Validate reports whether the attribute definition is internally
+// consistent.
+func (a Attribute) Validate() error {
+	if a.Name == "" {
+		return errors.New("dataset: attribute has empty name")
+	}
+	switch a.Kind {
+	case Numeric:
+		if math.IsNaN(a.Lo) || math.IsNaN(a.Hi) || math.IsInf(a.Lo, 0) || math.IsInf(a.Hi, 0) {
+			return fmt.Errorf("dataset: attribute %q has non-finite bounds", a.Name)
+		}
+		if !(a.Hi > a.Lo) {
+			return fmt.Errorf("dataset: attribute %q has empty domain [%v, %v]", a.Name, a.Lo, a.Hi)
+		}
+		if a.Step < 0 || math.IsNaN(a.Step) || a.Step > a.Hi-a.Lo {
+			return fmt.Errorf("dataset: attribute %q has invalid step %v", a.Name, a.Step)
+		}
+	case Categorical:
+		if a.Cardinality < 2 {
+			return fmt.Errorf("dataset: categorical attribute %q needs cardinality >= 2, got %d", a.Name, a.Cardinality)
+		}
+	default:
+		return fmt.Errorf("dataset: attribute %q has unknown kind %d", a.Name, int(a.Kind))
+	}
+	return nil
+}
+
+// Intervals caps a requested interval count k at the attribute's natural
+// resolution: an attribute with Step > 0 has at most Width/Step + 1 distinct
+// values, and partitioning finer than that makes distribution
+// reconstruction ill-conditioned. Continuous attributes (Step == 0) return
+// k unchanged.
+func (a Attribute) Intervals(k int) int {
+	if a.Step <= 0 {
+		return k
+	}
+	steps := int(a.Width()/a.Step) + 1
+	if steps < 2 {
+		steps = 2
+	}
+	if steps < k {
+		return steps
+	}
+	return k
+}
+
+// Contains reports whether v is inside the attribute's domain (and, for
+// categorical attributes, an integral code).
+func (a Attribute) Contains(v float64) bool {
+	if math.IsNaN(v) {
+		return false
+	}
+	if a.Kind == Categorical {
+		return v == math.Trunc(v) && v >= 0 && int(v) < a.Cardinality
+	}
+	return v >= a.Lo && v <= a.Hi
+}
+
+// Schema is an ordered set of attributes plus the class-label vocabulary.
+type Schema struct {
+	Attrs   []Attribute
+	Classes []string // class code i is named Classes[i]
+
+	byName map[string]int
+}
+
+// NewSchema validates the attribute list and class names and returns a
+// Schema. Attribute names must be unique and there must be at least two
+// classes.
+func NewSchema(attrs []Attribute, classes []string) (*Schema, error) {
+	if len(attrs) == 0 {
+		return nil, errors.New("dataset: schema needs at least one attribute")
+	}
+	if len(classes) < 2 {
+		return nil, errors.New("dataset: schema needs at least two classes")
+	}
+	byName := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := byName[a.Name]; dup {
+			return nil, fmt.Errorf("dataset: duplicate attribute name %q", a.Name)
+		}
+		byName[a.Name] = i
+	}
+	seen := make(map[string]bool, len(classes))
+	for _, c := range classes {
+		if c == "" {
+			return nil, errors.New("dataset: empty class name")
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("dataset: duplicate class name %q", c)
+		}
+		seen[c] = true
+	}
+	return &Schema{
+		Attrs:   append([]Attribute(nil), attrs...),
+		Classes: append([]string(nil), classes...),
+		byName:  byName,
+	}, nil
+}
+
+// MustSchema is NewSchema that panics on error; for constant schemas.
+func MustSchema(attrs []Attribute, classes []string) *Schema {
+	s, err := NewSchema(attrs, classes)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumAttrs returns the number of attributes.
+func (s *Schema) NumAttrs() int { return len(s.Attrs) }
+
+// NumClasses returns the number of classes.
+func (s *Schema) NumClasses() int { return len(s.Classes) }
+
+// AttrIndex returns the index of the named attribute.
+func (s *Schema) AttrIndex(name string) (int, bool) {
+	i, ok := s.byName[name]
+	return i, ok
+}
+
+// ClassIndex returns the code of the named class, or -1.
+func (s *Schema) ClassIndex(name string) int {
+	for i, c := range s.Classes {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}

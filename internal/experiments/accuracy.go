@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ppdm/internal/core"
+	"ppdm/internal/dataset"
+	"ppdm/internal/noise"
+	"ppdm/internal/synth"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E5",
+		Title:    "Classification accuracy by training algorithm (100% privacy, gaussian)",
+		PaperRef: "paper §5.2, accuracy-by-algorithm figure",
+		Run:      runE5,
+	})
+	register(Experiment{
+		ID:       "E6",
+		Title:    "Classification accuracy vs privacy level",
+		PaperRef: "paper §5.2, accuracy-vs-privacy figures",
+		Run:      runE6,
+	})
+}
+
+// trainEval trains one mode and returns test accuracy.
+func trainEval(mode core.Mode, clean, perturbed, test *dataset.Table, models map[int]noise.Model) (float64, error) {
+	cfg := core.Config{Mode: mode}
+	if mode.NeedsNoise() {
+		cfg.Noise = models
+	}
+	input := perturbed
+	if mode == core.Original {
+		input = clean
+	}
+	clf, err := core.Train(input, cfg)
+	if err != nil {
+		return 0, fmt.Errorf("mode %v: %w", mode, err)
+	}
+	ev, err := clf.Evaluate(test)
+	if err != nil {
+		return 0, fmt.Errorf("mode %v: %w", mode, err)
+	}
+	return ev.Accuracy, nil
+}
+
+func runE5(cfg Config) (*Result, error) {
+	nTrain := cfg.scaled(100000, 4000)
+	nTest := cfg.scaled(5000, 1000)
+	const privacy = 1.0
+
+	tb := Table{
+		Title:   "test accuracy per function and training algorithm",
+		Columns: []string{"function", "original", "randomized", "global", "byclass", "local"},
+	}
+	for f := synth.F1; f <= synth.F5; f++ {
+		clean, err := synth.Generate(synth.Config{Function: f, N: nTrain, Seed: cfg.Seed + uint64(f)})
+		if err != nil {
+			return nil, err
+		}
+		test, err := synth.Generate(synth.Config{Function: f, N: nTest, Seed: cfg.Seed + 100 + uint64(f)})
+		if err != nil {
+			return nil, err
+		}
+		models, err := noise.ModelsForAllAttrs(clean.Schema(), "gaussian", privacy, noise.DefaultConfidence)
+		if err != nil {
+			return nil, err
+		}
+		perturbed, err := noise.PerturbTable(clean, models, cfg.Seed+200+uint64(f))
+		if err != nil {
+			return nil, err
+		}
+		row := []string{f.String()}
+		for _, mode := range core.Modes() {
+			acc, err := trainEval(mode, clean, perturbed, test, models)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pct(acc))
+		}
+		tb.Rows = append(tb.Rows, row)
+	}
+	return &Result{
+		ID:       "E5",
+		Title:    "Classification accuracy by training algorithm (100% privacy, gaussian)",
+		PaperRef: "paper §5.2, accuracy-by-algorithm figure",
+		Notes: []string{
+			fmt.Sprintf("train n = %d (perturbed), test n = %d (clean)", nTrain, nTest),
+			"expected shape: original highest; byclass/local close behind; randomized loses the most",
+		},
+		Tables: []Table{tb},
+	}, nil
+}
+
+func runE6(cfg Config) (*Result, error) {
+	nTrain := cfg.scaled(100000, 4000)
+	nTest := cfg.scaled(5000, 1000)
+	levels := []float64{0.25, 0.5, 1.0, 1.5, 2.0}
+
+	res := &Result{
+		ID:       "E6",
+		Title:    "Classification accuracy vs privacy level",
+		PaperRef: "paper §5.2, accuracy-vs-privacy figures",
+		Notes: []string{
+			fmt.Sprintf("train n = %d (perturbed), test n = %d (clean); privacy at 95%% confidence", nTrain, nTest),
+		},
+	}
+	for f := synth.F1; f <= synth.F5; f++ {
+		clean, err := synth.Generate(synth.Config{Function: f, N: nTrain, Seed: cfg.Seed + uint64(f)})
+		if err != nil {
+			return nil, err
+		}
+		test, err := synth.Generate(synth.Config{Function: f, N: nTest, Seed: cfg.Seed + 100 + uint64(f)})
+		if err != nil {
+			return nil, err
+		}
+		origAcc, err := trainEval(core.Original, clean, clean, test, nil)
+		if err != nil {
+			return nil, err
+		}
+		tb := Table{
+			Title: fmt.Sprintf("%s: accuracy vs privacy (original = %s)", f, pct(origAcc)),
+			Columns: []string{
+				"privacy", "byclass(gauss)", "byclass(unif)", "randomized(gauss)", "randomized(unif)",
+			},
+		}
+		for _, level := range levels {
+			var byClass, randomized [2]float64 // indexed gaussian=0, uniform=1
+			for fi, family := range []string{"gaussian", "uniform"} {
+				models, err := noise.ModelsForAllAttrs(clean.Schema(), family, level, noise.DefaultConfidence)
+				if err != nil {
+					return nil, err
+				}
+				perturbed, err := noise.PerturbTable(clean, models, cfg.Seed+300+uint64(f))
+				if err != nil {
+					return nil, err
+				}
+				if byClass[fi], err = trainEval(core.ByClass, clean, perturbed, test, models); err != nil {
+					return nil, err
+				}
+				if randomized[fi], err = trainEval(core.Randomized, clean, perturbed, test, models); err != nil {
+					return nil, err
+				}
+			}
+			tb.Rows = append(tb.Rows, []string{
+				pct(level), pct(byClass[0]), pct(byClass[1]), pct(randomized[0]), pct(randomized[1]),
+			})
+		}
+		res.Tables = append(res.Tables, tb)
+	}
+	return res, nil
+}

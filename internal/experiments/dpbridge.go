@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ppdm/internal/core"
+	"ppdm/internal/noise"
+	"ppdm/internal/synth"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E13",
+		Title:    "Differential-privacy bridge: ε-calibrated Laplace noise through the paper's pipeline",
+		PaperRef: "extension: connects the paper's interval privacy to local DP",
+		Run:      runE13,
+	})
+}
+
+// runE13 perturbs each attribute with Laplace(width/ε) noise — the local
+// differential-privacy mechanism — and reports what the paper's metric
+// calls that noise, and how much model accuracy the reconstruction
+// pipeline retains at each ε.
+func runE13(cfg Config) (*Result, error) {
+	nTrain := cfg.scaled(100000, 4000)
+	nTest := cfg.scaled(5000, 1000)
+
+	clean, err := synth.Generate(synth.Config{Function: synth.F2, N: nTrain, Seed: cfg.Seed + 61})
+	if err != nil {
+		return nil, err
+	}
+	test, err := synth.Generate(synth.Config{Function: synth.F2, N: nTest, Seed: cfg.Seed + 62})
+	if err != nil {
+		return nil, err
+	}
+	origAcc, err := trainEval(core.Original, clean, clean, test, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	tb := Table{
+		Title: fmt.Sprintf("F2 accuracy under ε-DP Laplace perturbation (original = %s)", pct(origAcc)),
+		Columns: []string{
+			"epsilon", "interval privacy @95%", "byclass", "randomized",
+		},
+	}
+	for _, eps := range []float64{8, 4, 2, 1, 0.5} {
+		models := make(map[int]noise.Model, clean.Schema().NumAttrs())
+		var level float64
+		for j, a := range clean.Schema().Attrs {
+			l, err := noise.LaplaceForEpsilon(eps, a.Width())
+			if err != nil {
+				return nil, err
+			}
+			models[j] = l
+			level = noise.PrivacyLevel(l, a.Width(), noise.DefaultConfidence)
+		}
+		perturbed, err := noise.PerturbTable(clean, models, cfg.Seed+63)
+		if err != nil {
+			return nil, err
+		}
+		bc, err := trainEval(core.ByClass, clean, perturbed, test, models)
+		if err != nil {
+			return nil, err
+		}
+		rd, err := trainEval(core.Randomized, clean, perturbed, test, models)
+		if err != nil {
+			return nil, err
+		}
+		tb.Rows = append(tb.Rows, []string{
+			f2(eps), pct(level), pct(bc), pct(rd),
+		})
+	}
+	return &Result{
+		ID:       "E13",
+		Title:    "Differential-privacy bridge: ε-calibrated Laplace noise through the paper's pipeline",
+		PaperRef: "extension: connects the paper's interval privacy to local DP",
+		Notes: []string{
+			fmt.Sprintf("train n = %d (perturbed), test n = %d (clean); noise = Laplace(width/ε) per attribute", nTrain, nTest),
+			"interval privacy column translates each ε into the paper's 95%-confidence metric",
+			"ε ≤ 1 (strong local DP) implies interval privacy far above 200% — beyond the paper's operating range",
+		},
+		Tables: []Table{tb},
+	}, nil
+}

@@ -1,0 +1,165 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (and this reproduction's extension experiments) as printable
+// numeric series.
+//
+// Each experiment is identified by a stable ID (E1…E10, see DESIGN.md for
+// the mapping to the published figures), runs deterministically from a seed,
+// and scales from quick smoke runs (Scale ≪ 1) to the paper's full workload
+// (Scale = 1: 100,000 training records, 5,000 test records).
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Scale multiplies the paper's workload sizes; 1.0 reproduces the
+	// published scale, smaller values give proportionally smaller runs.
+	// Zero means 1.0.
+	Scale float64
+	// Seed drives all data generation and perturbation.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Scale < 0 {
+		return fmt.Errorf("experiments: scale %v must be positive", c.Scale)
+	}
+	return nil
+}
+
+// scaled returns n scaled by the config, with a floor that keeps the
+// workload statistically meaningful.
+func (c Config) scaled(n, floor int) int {
+	v := int(float64(n) * c.Scale)
+	if v < floor {
+		v = floor
+	}
+	return v
+}
+
+// Table is one printable series: a header and rows of formatted cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Result is the output of one experiment run.
+type Result struct {
+	ID       string
+	Title    string
+	PaperRef string
+	Notes    []string
+	Tables   []Table
+}
+
+// Render pretty-prints the result.
+func (r *Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n   (%s)\n", r.ID, r.Title, r.PaperRef); err != nil {
+		return err
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "   note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	for _, t := range r.Tables {
+		if _, err := fmt.Fprintf(w, "\n-- %s --\n", t.Title); err != nil {
+			return err
+		}
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		for i, c := range t.Columns {
+			if i > 0 {
+				fmt.Fprint(tw, "\t")
+			}
+			fmt.Fprint(tw, c)
+		}
+		fmt.Fprintln(tw)
+		for _, row := range t.Rows {
+			for i, cell := range row {
+				if i > 0 {
+					fmt.Fprint(tw, "\t")
+				}
+				fmt.Fprint(tw, cell)
+			}
+			fmt.Fprintln(tw)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Experiment couples an ID with its runner.
+type Experiment struct {
+	ID       string
+	Title    string
+	PaperRef string
+	Run      func(Config) (*Result, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate ID " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every registered experiment ordered by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// E2 sorts before E10 only with numeric comparison
+		return idNum(out[i].ID) < idNum(out[j].ID)
+	})
+	return out
+}
+
+func idNum(id string) int {
+	var n int
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// ByID looks up an experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// RunByID runs one experiment by ID.
+func RunByID(id string, cfg Config) (*Result, error) {
+	e, ok := ByID(id)
+	if !ok {
+		return nil, errors.New("experiments: unknown experiment " + id)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return e.Run(cfg.withDefaults())
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func f4(v float64) string  { return fmt.Sprintf("%.4f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

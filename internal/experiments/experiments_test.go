@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const testScale = 0.02 // tiny but statistically meaningful smoke scale
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 13 {
+		t.Fatalf("registry has %d experiments, want 13", len(all))
+	}
+	for i, e := range all {
+		want := "E" + strconv.Itoa(i+1)
+		if e.ID != want {
+			t.Errorf("experiment %d has ID %s, want %s", i, e.ID, want)
+		}
+		if e.Title == "" || e.PaperRef == "" || e.Run == nil {
+			t.Errorf("%s: incomplete registration", e.ID)
+		}
+	}
+	if _, ok := ByID("E5"); !ok {
+		t.Error("ByID(E5) failed")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("ByID(E99) succeeded")
+	}
+}
+
+func TestRunByIDUnknown(t *testing.T) {
+	if _, err := RunByID("E99", Config{Scale: testScale}); err == nil {
+		t.Error("unknown ID accepted")
+	}
+	if _, err := RunByID("E1", Config{Scale: -1}); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
+
+// Every experiment must run at smoke scale and produce well-formed tables.
+func TestAllExperimentsSmoke(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(Config{Scale: testScale, Seed: 7}.withDefaults())
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if res.ID != e.ID {
+				t.Errorf("result ID %s != %s", res.ID, e.ID)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range res.Tables {
+				if len(tb.Columns) == 0 || len(tb.Rows) == 0 {
+					t.Fatalf("%s table %q is empty", e.ID, tb.Title)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Columns) {
+						t.Fatalf("%s table %q row has %d cells, want %d", e.ID, tb.Title, len(row), len(tb.Columns))
+					}
+				}
+			}
+			var buf bytes.Buffer
+			if err := res.Render(&buf); err != nil {
+				t.Fatalf("render failed: %v", err)
+			}
+			if !strings.Contains(buf.String(), e.ID) {
+				t.Error("render output missing experiment ID")
+			}
+		})
+	}
+}
+
+// E1: reconstruction must beat the raw randomized histogram at every privacy
+// level in the summary table.
+func TestE1ReconstructionQualityShape(t *testing.T) {
+	res, err := RunByID("E1", Config{Scale: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary := res.Tables[len(res.Tables)-1]
+	if !strings.Contains(summary.Title, "L1") {
+		t.Fatalf("expected summary table last, got %q", summary.Title)
+	}
+	for _, row := range summary.Rows {
+		raw := parseFloat(t, row[1])
+		rec := parseFloat(t, row[2])
+		if rec >= raw {
+			t.Errorf("privacy %s: reconstruction L1 %v not below randomized %v", row[0], rec, raw)
+		}
+	}
+}
+
+// E4: F1's Group A fraction is analytically 2/3.
+func TestE4F1Balance(t *testing.T) {
+	res, err := RunByID("E4", Config{Scale: 0.2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Tables[0].Rows[0]
+	if row[0] != "F1" {
+		t.Fatalf("first row is %v", row)
+	}
+	frac := parseFloat(t, row[1])
+	if frac < 0.64 || frac > 0.70 {
+		t.Errorf("F1 Group A fraction = %v, want ~0.667", frac)
+	}
+}
+
+// E5: the ordering original >= byclass > randomized must hold on average
+// across the five functions.
+func TestE5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E5 at meaningful scale is slow")
+	}
+	res, err := RunByID("E5", Config{Scale: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumOrig, sumRand, sumByClass float64
+	for _, row := range res.Tables[0].Rows {
+		sumOrig += parsePct(t, row[1])
+		sumRand += parsePct(t, row[2])
+		sumByClass += parsePct(t, row[4])
+	}
+	if sumOrig <= sumByClass {
+		t.Errorf("original (%v) should beat byclass (%v) on average", sumOrig, sumByClass)
+	}
+	if sumByClass <= sumRand {
+		t.Errorf("byclass (%v) should beat randomized (%v) on average", sumByClass, sumRand)
+	}
+}
+
+// E9: at 95%-matched interval privacy, uniform and gaussian entropy privacy
+// nearly coincide; at 50%-matched, gaussian must carry ~1.5x more.
+func TestE9Shape(t *testing.T) {
+	res, err := RunByID("E9", Config{Scale: 0.1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 12 {
+		t.Fatalf("E9 has %d rows, want 12", len(rows))
+	}
+	for i := 0; i < 3; i++ {
+		un95 := parseFloat(t, rows[i][3])
+		ga95 := parseFloat(t, rows[i+3][3])
+		if rel := (ga95 - un95) / un95; rel < -0.02 || rel > 0.05 {
+			t.Errorf("95%%-matched level %d: gaussian Π %v vs uniform Π %v (rel %v), want near-equal", i, ga95, un95, rel)
+		}
+		un50 := parseFloat(t, rows[6+i][3])
+		ga50 := parseFloat(t, rows[9+i][3])
+		if ga50 < 1.3*un50 {
+			t.Errorf("50%%-matched level %d: gaussian Π %v should be ≥1.3x uniform Π %v", i, ga50, un50)
+		}
+	}
+}
+
+func parseFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("cannot parse %q: %v", s, err)
+	}
+	return v
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	return parseFloat(t, s) / 100
+}

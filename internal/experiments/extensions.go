@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ppdm/internal/assoc"
+	"ppdm/internal/bayes"
+	"ppdm/internal/core"
+	"ppdm/internal/noise"
+	"ppdm/internal/synth"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E11",
+		Title:    "Classifier transparency: decision tree vs naive Bayes",
+		PaperRef: "extension: paper §6 notes the scheme is classifier-agnostic",
+		Run:      runE11,
+	})
+	register(Experiment{
+		ID:       "E12",
+		Title:    "Association rules over randomized transactions",
+		PaperRef: "extension: paper future work; Evfimievski et al., KDD 2002",
+		Run:      runE12,
+	})
+}
+
+// runE11 trains both learners on the same perturbed data and compares how
+// much accuracy reconstruction recovers for each.
+func runE11(cfg Config) (*Result, error) {
+	nTrain := cfg.scaled(100000, 4000)
+	nTest := cfg.scaled(5000, 1000)
+	const privacy = 1.0
+
+	tb := Table{
+		Title: "test accuracy at 100% privacy (gaussian): tree vs naive Bayes",
+		Columns: []string{
+			"function", "tree original", "tree randomized", "tree byclass",
+			"nb original", "nb randomized", "nb byclass",
+		},
+	}
+	for f := synth.F1; f <= synth.F5; f++ {
+		clean, err := synth.Generate(synth.Config{Function: f, N: nTrain, Seed: cfg.Seed + uint64(f)})
+		if err != nil {
+			return nil, err
+		}
+		test, err := synth.Generate(synth.Config{Function: f, N: nTest, Seed: cfg.Seed + 100 + uint64(f)})
+		if err != nil {
+			return nil, err
+		}
+		models, err := noise.ModelsForAllAttrs(clean.Schema(), "gaussian", privacy, noise.DefaultConfidence)
+		if err != nil {
+			return nil, err
+		}
+		perturbed, err := noise.PerturbTable(clean, models, cfg.Seed+200+uint64(f))
+		if err != nil {
+			return nil, err
+		}
+
+		row := []string{f.String()}
+		for _, mode := range []core.Mode{core.Original, core.Randomized, core.ByClass} {
+			acc, err := trainEval(mode, clean, perturbed, test, models)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pct(acc))
+		}
+		for _, mode := range []core.Mode{core.Original, core.Randomized, core.ByClass} {
+			bcfg := bayes.Config{Mode: mode}
+			input := perturbed
+			if mode == core.Original {
+				input = clean
+			}
+			if mode == core.ByClass {
+				bcfg.Noise = models
+			}
+			clf, err := bayes.Train(input, bcfg)
+			if err != nil {
+				return nil, err
+			}
+			ev, err := clf.Evaluate(test)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pct(ev.Accuracy))
+		}
+		tb.Rows = append(tb.Rows, row)
+	}
+	return &Result{
+		ID:       "E11",
+		Title:    "Classifier transparency: decision tree vs naive Bayes",
+		PaperRef: "extension: paper §6 notes the scheme is classifier-agnostic",
+		Notes: []string{
+			fmt.Sprintf("train n = %d (perturbed), test n = %d (clean)", nTrain, nTest),
+			"naive Bayes consumes the reconstructed class-conditional distributions directly",
+		},
+		Tables: []Table{tb},
+	}, nil
+}
+
+// runE12 mines frequent itemsets from randomized baskets at several flip
+// probabilities and compares against mining the clean data.
+func runE12(cfg Config) (*Result, error) {
+	n := cfg.scaled(100000, 5000)
+	gen := assoc.GenConfig{N: n, Items: 40, Patterns: 6, PatternSize: 3, PatternProb: 0.15, Seed: cfg.Seed + 51}
+	data, patterns, err := assoc.Generate(gen)
+	if err != nil {
+		return nil, err
+	}
+	mining := assoc.MiningConfig{MinSupport: 0.1, MaxSize: 3}
+	reference, err := assoc.Frequent(data, mining)
+	if err != nil {
+		return nil, err
+	}
+
+	tb := Table{
+		Title: fmt.Sprintf("frequent-itemset recovery from randomized baskets (reference: %d itemsets from clean data)", len(reference)),
+		Columns: []string{
+			"flip prob", "deniability odds", "corrected: found/FP/FN",
+			"uncorrected: found/FP/FN", "max |supp err|",
+		},
+	}
+	for _, f := range []float64{0.1, 0.2, 0.3, 0.4} {
+		bf, err := assoc.NewBitFlip(f)
+		if err != nil {
+			return nil, err
+		}
+		randomized, err := bf.Randomize(data, cfg.Seed+52)
+		if err != nil {
+			return nil, err
+		}
+		mined, err := assoc.FrequentFromRandomized(randomized, bf, mining)
+		if err != nil {
+			return nil, err
+		}
+		both, fp, fn := assoc.CompareMining(reference, mined)
+		naive, err := assoc.Frequent(randomized, mining)
+		if err != nil {
+			return nil, err
+		}
+		nBoth, nFP, nFN := assoc.CompareMining(reference, naive)
+
+		// worst support estimation error over the planted patterns
+		var worst float64
+		for _, pat := range patterns {
+			truth, err := data.Support(pat)
+			if err != nil {
+				return nil, err
+			}
+			est, err := bf.EstimateSupport(randomized, pat)
+			if err != nil {
+				return nil, err
+			}
+			if d := abs(truth - est); d > worst {
+				worst = d
+			}
+		}
+		tb.Rows = append(tb.Rows, []string{
+			pct(f), f2(bf.DeniabilityOdds()),
+			fmt.Sprintf("%d/%d/%d", both, fp, fn),
+			fmt.Sprintf("%d/%d/%d", nBoth, nFP, nFN),
+			f4(worst),
+		})
+	}
+	return &Result{
+		ID:       "E12",
+		Title:    "Association rules over randomized transactions",
+		PaperRef: "extension: paper future work; Evfimievski et al., KDD 2002",
+		Notes: []string{
+			fmt.Sprintf("n = %d baskets, 40 items, 6 planted patterns, min support 10%%", n),
+			"corrected mining inverts the per-item bit-flip channel before thresholding",
+		},
+		Tables: []Table{tb},
+	}, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

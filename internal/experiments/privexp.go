@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ppdm/internal/noise"
+	"ppdm/internal/privacy"
+	"ppdm/internal/prng"
+	"ppdm/internal/reconstruct"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E9",
+		Title:    "Privacy metrics: interval vs entropy vs conditional",
+		PaperRef: "paper §2.2 + extension (PODS 2001)",
+		Run:      runE9,
+	})
+}
+
+func runE9(cfg Config) (*Result, error) {
+	const width = 100.0
+	n := cfg.scaled(20000, 2000)
+	part, err := reconstruct.NewPartition(0, width, 50)
+	if err != nil {
+		return nil, err
+	}
+	prior := make([]float64, part.K)
+	for i := range prior {
+		prior[i] = 1 / float64(part.K)
+	}
+
+	tb := Table{
+		Title: "privacy measures for noise at matched interval privacy (uniform data on [0,100])",
+		Columns: []string{
+			"noise", "confidence", "interval privacy", "entropy privacy Π(Y)",
+			"posterior Π(X|W)", "privacy loss", "worst-case interval",
+		},
+	}
+	// Matching at 95% confidence makes uniform and gaussian nearly
+	// indistinguishable under the entropy measure (Π ≈ 1.053·level·width
+	// for both); matching at 50% exposes the gap the PODS'01 paper pointed
+	// out (gaussian Π ≈ 1.5× uniform Π).
+	for _, conf := range []float64{noise.DefaultConfidence, 0.5} {
+		for _, family := range []string{"uniform", "gaussian"} {
+			for _, level := range []float64{0.5, 1.0, 2.0} {
+				m, err := noise.ForPrivacy(family, level, width, conf)
+				if err != nil {
+					return nil, err
+				}
+				r := prng.New(cfg.Seed + 21)
+				perturbed := make([]float64, n)
+				for i := range perturbed {
+					perturbed[i] = r.Uniform(0, width) + m.Sample(r)
+				}
+				iv, err := privacy.IntervalPrivacy(m, width, conf)
+				if err != nil {
+					return nil, err
+				}
+				ep, err := privacy.ModelEntropyPrivacy(m, 8*width, 16000)
+				if err != nil {
+					return nil, err
+				}
+				cond, err := privacy.ConditionalFromPrior(perturbed, prior, part, m)
+				if err != nil {
+					return nil, err
+				}
+				// Worst case over a deterministic grid of observations,
+				// including near-edge values where the domain clips the
+				// noise.
+				worst := width
+				for _, obs := range []float64{-level * width / 2, 0, 25, 50, 75, 100, 100 + level*width/2} {
+					wc, err := privacy.WorstCaseInterval(obs, prior, part, m, conf)
+					if err != nil {
+						return nil, err
+					}
+					if wc < worst {
+						worst = wc
+					}
+				}
+				tb.Rows = append(tb.Rows, []string{
+					fmt.Sprintf("%s %.0f%%", family, level*100),
+					pct(conf), pct(iv), f2(ep), f2(cond.Posterior), pct(cond.Loss), f2(worst),
+				})
+			}
+		}
+	}
+	return &Result{
+		ID:       "E9",
+		Title:    "Privacy metrics: interval vs entropy vs conditional",
+		PaperRef: "paper §2.2 + extension (PODS 2001)",
+		Notes: []string{
+			fmt.Sprintf("n = %d perturbed observations per row", n),
+			"at 95%-matched interval privacy, uniform and gaussian carry almost identical entropy privacy",
+			"at 50%-matched privacy, gaussian provides ~1.5x the entropy privacy of uniform (PODS'01)",
+			"worst-case column shows how edge observations breach the nominal level",
+		},
+		Tables: []Table{tb},
+	}, nil
+}

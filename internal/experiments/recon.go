@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ppdm/internal/noise"
+	"ppdm/internal/prng"
+	"ppdm/internal/reconstruct"
+	"ppdm/internal/stats"
+)
+
+// The two synthetic shapes the paper uses to demonstrate reconstruction:
+// a plateau and a double-triangle, both on [0, 100].
+
+func plateauSamples(n int, r *prng.Source) []float64 {
+	// 10% background uniform over the whole domain, 90% flat plateau on
+	// [25, 75].
+	out := make([]float64, n)
+	for i := range out {
+		if r.Bernoulli(0.9) {
+			out[i] = r.Uniform(25, 75)
+		} else {
+			out[i] = r.Uniform(0, 100)
+		}
+	}
+	return out
+}
+
+func triangleSamples(n int, r *prng.Source) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		if r.Bernoulli(0.5) {
+			out[i] = r.Triangular(5, 25, 45)
+		} else {
+			out[i] = r.Triangular(55, 75, 95)
+		}
+	}
+	return out
+}
+
+func init() {
+	register(Experiment{
+		ID:       "E1",
+		Title:    "Reconstructing the original distribution: plateau, uniform noise",
+		PaperRef: "paper §3.2, reconstruction figure (plateau)",
+		Run:      runE1,
+	})
+	register(Experiment{
+		ID:       "E2",
+		Title:    "Reconstructing the original distribution: triangles, gaussian noise",
+		PaperRef: "paper §3.2, reconstruction figure (triangles)",
+		Run:      runE2,
+	})
+	register(Experiment{
+		ID:       "E7",
+		Title:    "Reconstruction error vs interval count (ablation)",
+		PaperRef: "paper §3.1 partitioning discussion",
+		Run:      runE7,
+	})
+	register(Experiment{
+		ID:       "E8",
+		Title:    "Bayes (midpoint) vs EM (exact-interval) reconstruction",
+		PaperRef: "extension: Agrawal & Aggarwal, PODS 2001",
+		Run:      runE8,
+	})
+}
+
+// reconSeries builds the original/randomized/reconstructed distribution
+// table for one shape and noise model, at the given privacy levels.
+func reconSeries(title string, samples func(int, *prng.Source) []float64, family string, levels []float64, cfg Config) ([]Table, []string, error) {
+	const k = 20
+	n := cfg.scaled(100000, 2000)
+	r := prng.New(cfg.Seed + 1)
+	original := samples(n, r)
+	part, err := reconstruct.NewPartition(0, 100, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	truth := part.Histogram(original)
+
+	tables := make([]Table, 0, len(levels)+1)
+	notes := []string{fmt.Sprintf("n = %d samples, %d intervals on [0,100]", n, k)}
+	summary := Table{
+		Title:   "reconstruction quality (L1 distance to original distribution)",
+		Columns: []string{"privacy", "L1(randomized)", "L1(reconstructed)", "iterations"},
+	}
+	for _, level := range levels {
+		m, err := noise.ForPrivacy(family, level, 100, noise.DefaultConfidence)
+		if err != nil {
+			return nil, nil, err
+		}
+		nr := prng.New(cfg.Seed + 2)
+		perturbed := make([]float64, n)
+		for i, v := range original {
+			perturbed[i] = v + m.Sample(nr)
+		}
+		res, err := reconstruct.Reconstruct(perturbed, reconstruct.Config{Partition: part, Noise: m, Epsilon: 1e-3})
+		if err != nil {
+			return nil, nil, err
+		}
+		raw := part.Histogram(perturbed)
+		tb := Table{
+			Title:   fmt.Sprintf("%s, %s noise, privacy %.0f%%", title, family, level*100),
+			Columns: []string{"midpoint", "original", "randomized", "reconstructed"},
+		}
+		for b := 0; b < k; b++ {
+			tb.Rows = append(tb.Rows, []string{
+				f2(part.Midpoint(b)), f4(truth[b]), f4(raw[b]), f4(res.P[b]),
+			})
+		}
+		tables = append(tables, tb)
+		l1raw, _ := stats.L1(truth, raw)
+		l1rec, _ := stats.L1(truth, res.P)
+		summary.Rows = append(summary.Rows, []string{
+			pct(level), f4(l1raw), f4(l1rec), fmt.Sprint(res.Iters),
+		})
+	}
+	tables = append(tables, summary)
+	return tables, notes, nil
+}
+
+func runE1(cfg Config) (*Result, error) {
+	tables, notes, err := reconSeries("plateau", plateauSamples, "uniform", []float64{0.5, 1.0}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:       "E1",
+		Title:    "Reconstructing the original distribution: plateau, uniform noise",
+		PaperRef: "paper §3.2, reconstruction figure (plateau)",
+		Notes:    notes,
+		Tables:   tables,
+	}, nil
+}
+
+func runE2(cfg Config) (*Result, error) {
+	tables, notes, err := reconSeries("triangles", triangleSamples, "gaussian", []float64{0.5, 1.0}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:       "E2",
+		Title:    "Reconstructing the original distribution: triangles, gaussian noise",
+		PaperRef: "paper §3.2, reconstruction figure (triangles)",
+		Notes:    notes,
+		Tables:   tables,
+	}, nil
+}
+
+func runE7(cfg Config) (*Result, error) {
+	n := cfg.scaled(100000, 2000)
+	r := prng.New(cfg.Seed + 7)
+	original := triangleSamples(n, r)
+	m, err := noise.GaussianForPrivacy(1.0, 100, noise.DefaultConfidence)
+	if err != nil {
+		return nil, err
+	}
+	nr := prng.New(cfg.Seed + 8)
+	perturbed := make([]float64, n)
+	for i, v := range original {
+		perturbed[i] = v + m.Sample(nr)
+	}
+	tb := Table{
+		Title:   "reconstruction L1 error vs interval count (gaussian noise, 100% privacy)",
+		Columns: []string{"intervals", "L1(randomized)", "L1(bayes)", "L1(em)"},
+	}
+	for _, k := range []int{5, 10, 20, 50, 100, 200} {
+		part, err := reconstruct.NewPartition(0, 100, k)
+		if err != nil {
+			return nil, err
+		}
+		truth := part.Histogram(original)
+		raw := part.Histogram(perturbed)
+		resB, err := reconstruct.Reconstruct(perturbed, reconstruct.Config{Partition: part, Noise: m, Epsilon: 1e-3})
+		if err != nil {
+			return nil, err
+		}
+		resE, err := reconstruct.Reconstruct(perturbed, reconstruct.Config{Partition: part, Noise: m, Algorithm: reconstruct.EM, Epsilon: 1e-3})
+		if err != nil {
+			return nil, err
+		}
+		l1raw, _ := stats.L1(truth, raw)
+		l1b, _ := stats.L1(truth, resB.P)
+		l1e, _ := stats.L1(truth, resE.P)
+		tb.Rows = append(tb.Rows, []string{fmt.Sprint(k), f4(l1raw), f4(l1b), f4(l1e)})
+	}
+	return &Result{
+		ID:       "E7",
+		Title:    "Reconstruction error vs interval count (ablation)",
+		PaperRef: "paper §3.1 partitioning discussion",
+		Notes:    []string{fmt.Sprintf("n = %d triangle samples", n)},
+		Tables:   []Table{tb},
+	}, nil
+}
+
+func runE8(cfg Config) (*Result, error) {
+	m, err := noise.GaussianForPrivacy(1.0, 100, noise.DefaultConfidence)
+	if err != nil {
+		return nil, err
+	}
+	part, err := reconstruct.NewPartition(0, 100, 20)
+	if err != nil {
+		return nil, err
+	}
+	tb := Table{
+		Title:   "reconstruction L1 error vs sample size (gaussian noise, 100% privacy, 20 intervals)",
+		Columns: []string{"n", "L1(randomized)", "L1(bayes)", "L1(em)", "iters(bayes)", "iters(em)"},
+	}
+	for _, base := range []int{500, 2000, 10000, 50000, 100000} {
+		n := cfg.scaled(base, 200)
+		r := prng.New(cfg.Seed + 11)
+		original := triangleSamples(n, r)
+		nr := prng.New(cfg.Seed + 12)
+		perturbed := make([]float64, n)
+		for i, v := range original {
+			perturbed[i] = v + m.Sample(nr)
+		}
+		truth := part.Histogram(original)
+		raw := part.Histogram(perturbed)
+		resB, err := reconstruct.Reconstruct(perturbed, reconstruct.Config{Partition: part, Noise: m, Epsilon: 1e-3})
+		if err != nil {
+			return nil, err
+		}
+		resE, err := reconstruct.Reconstruct(perturbed, reconstruct.Config{Partition: part, Noise: m, Algorithm: reconstruct.EM, Epsilon: 1e-3})
+		if err != nil {
+			return nil, err
+		}
+		l1raw, _ := stats.L1(truth, raw)
+		l1b, _ := stats.L1(truth, resB.P)
+		l1e, _ := stats.L1(truth, resE.P)
+		tb.Rows = append(tb.Rows, []string{
+			fmt.Sprint(n), f4(l1raw), f4(l1b), f4(l1e),
+			fmt.Sprint(resB.Iters), fmt.Sprint(resE.Iters),
+		})
+	}
+	return &Result{
+		ID:       "E8",
+		Title:    "Bayes (midpoint) vs EM (exact-interval) reconstruction",
+		PaperRef: "extension: Agrawal & Aggarwal, PODS 2001",
+		Tables:   []Table{tb},
+	}, nil
+}

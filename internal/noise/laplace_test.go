@@ -1,0 +1,141 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"ppdm/internal/prng"
+)
+
+func TestNewLaplaceValidation(t *testing.T) {
+	for _, b := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewLaplace(b); err == nil {
+			t.Errorf("NewLaplace(%v) accepted", b)
+		}
+	}
+	if _, err := NewLaplace(3); err != nil {
+		t.Errorf("NewLaplace(3) rejected: %v", err)
+	}
+}
+
+func TestLaplaceDensityCDF(t *testing.T) {
+	l, _ := NewLaplace(2)
+	if d := l.Density(0); math.Abs(d-0.25) > 1e-12 {
+		t.Errorf("Density(0) = %v, want 0.25", d)
+	}
+	// symmetry
+	if math.Abs(l.Density(3)-l.Density(-3)) > 1e-12 {
+		t.Error("density not symmetric")
+	}
+	if c := l.CDF(0); math.Abs(c-0.5) > 1e-12 {
+		t.Errorf("CDF(0) = %v, want 0.5", c)
+	}
+	if d := l.CDF(-1) + l.CDF(1); math.Abs(d-1) > 1e-12 {
+		t.Errorf("CDF symmetry broken: %v", d)
+	}
+	// CDF consistent with density by finite differences
+	for _, y := range []float64{-5, -1, 0.5, 4} {
+		const h = 1e-6
+		grad := (l.CDF(y+h) - l.CDF(y-h)) / (2 * h)
+		if math.Abs(grad-l.Density(y)) > 1e-6 {
+			t.Errorf("CDF' (%v) = %v != density %v", y, grad, l.Density(y))
+		}
+	}
+}
+
+func TestLaplaceSampleMoments(t *testing.T) {
+	l, _ := NewLaplace(4)
+	r := prng.New(7)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := l.Sample(r)
+		sum += v
+		sumsq += v * v
+	}
+	if mean := sum / n; math.Abs(mean) > 0.05 {
+		t.Errorf("laplace mean = %v, want ~0", mean)
+	}
+	// Var = 2b² = 32
+	if v := sumsq / n; math.Abs(v-32)/32 > 0.03 {
+		t.Errorf("laplace variance = %v, want ~32", v)
+	}
+}
+
+func TestLaplaceConfidenceWidth(t *testing.T) {
+	l, _ := NewLaplace(1)
+	// P(|Y| <= t) = 0.95 -> t = -ln(0.05) ≈ 2.9957; width ≈ 5.9915
+	if w := l.ConfidenceWidth(0.95); math.Abs(w-5.9915) > 1e-3 {
+		t.Errorf("ConfidenceWidth(0.95) = %v, want ~5.99", w)
+	}
+	// empirical check
+	r := prng.New(8)
+	const n = 100000
+	half := l.ConfidenceWidth(0.9) / 2
+	in := 0
+	for i := 0; i < n; i++ {
+		if math.Abs(l.Sample(r)) <= half {
+			in++
+		}
+	}
+	if got := float64(in) / n; math.Abs(got-0.9) > 0.01 {
+		t.Errorf("empirical confidence %v, want 0.9", got)
+	}
+}
+
+func TestLaplaceForPrivacyRoundTrip(t *testing.T) {
+	l, err := LaplaceForPrivacy(1.0, 100, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl := PrivacyLevel(l, 100, 0.95); math.Abs(lvl-1.0) > 1e-9 {
+		t.Errorf("privacy round trip = %v, want 1", lvl)
+	}
+	if _, err := LaplaceForPrivacy(0, 100, 0.95); err == nil {
+		t.Error("level 0 accepted")
+	}
+}
+
+func TestLaplaceEpsilonCalibration(t *testing.T) {
+	l, err := LaplaceForEpsilon(2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.B != 50 {
+		t.Errorf("b = %v, want 50", l.B)
+	}
+	if eps := l.Epsilon(100); math.Abs(eps-2) > 1e-12 {
+		t.Errorf("Epsilon = %v, want 2", eps)
+	}
+	for _, bad := range []struct{ eps, w float64 }{{0, 1}, {-1, 1}, {1, 0}, {math.NaN(), 1}, {1, math.Inf(1)}} {
+		if _, err := LaplaceForEpsilon(bad.eps, bad.w); err == nil {
+			t.Errorf("LaplaceForEpsilon(%v,%v) accepted", bad.eps, bad.w)
+		}
+	}
+}
+
+func TestForPrivacyLaplaceFamily(t *testing.T) {
+	m, err := ForPrivacy("laplace", 0.5, 100, 0.95)
+	if err != nil || m.Name() != "laplace" {
+		t.Fatalf("ForPrivacy(laplace) = %v, %v", m, err)
+	}
+}
+
+// The DP guarantee in miniature: for neighbouring values x, x' the density
+// ratio of observing any output w is bounded by exp(ε·|x−x'|/W).
+func TestLaplaceDPRatioBound(t *testing.T) {
+	const width = 100.0
+	const eps = 1.0
+	l, _ := LaplaceForEpsilon(eps, width)
+	for _, w := range []float64{-50, 0, 30, 120} {
+		for _, x1 := range []float64{0, 40, 100} {
+			for _, x2 := range []float64{0, 55, 100} {
+				ratio := l.Density(w-x1) / l.Density(w-x2)
+				bound := math.Exp(eps * math.Abs(x1-x2) / width)
+				if ratio > bound*(1+1e-9) {
+					t.Fatalf("density ratio %v exceeds DP bound %v (w=%v x1=%v x2=%v)", ratio, bound, w, x1, x2)
+				}
+			}
+		}
+	}
+}

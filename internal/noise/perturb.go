@@ -1,0 +1,101 @@
+package noise
+
+import (
+	"fmt"
+
+	"ppdm/internal/dataset"
+	"ppdm/internal/prng"
+)
+
+// PerturbTable returns a deep copy of t in which each attribute listed in
+// models has independent noise added to every record (the paper's data
+// collection step: each provider randomizes its own record). Class labels
+// are never perturbed. Perturbation is deterministic in seed.
+func PerturbTable(t *dataset.Table, models map[int]Model, seed uint64) (*dataset.Table, error) {
+	for j, m := range models {
+		if j < 0 || j >= t.Schema().NumAttrs() {
+			return nil, fmt.Errorf("noise: model for attribute %d, table has %d attributes", j, t.Schema().NumAttrs())
+		}
+		if m == nil {
+			return nil, fmt.Errorf("noise: nil model for attribute %d", j)
+		}
+	}
+	out := t.Clone()
+	r := prng.New(seed)
+	for i := 0; i < out.N(); i++ {
+		for j := 0; j < out.Schema().NumAttrs(); j++ {
+			m, ok := models[j]
+			if !ok {
+				continue
+			}
+			out.SetValue(i, j, out.Row(i)[j]+m.Sample(r))
+		}
+	}
+	return out, nil
+}
+
+// ModelsForAllAttrs builds the per-attribute model map used throughout the
+// paper's experiments: every attribute receives noise of the same family at
+// the same privacy level, scaled to that attribute's own domain width.
+func ModelsForAllAttrs(s *dataset.Schema, family string, level, conf float64) (map[int]Model, error) {
+	models := make(map[int]Model, s.NumAttrs())
+	for j, a := range s.Attrs {
+		m, err := ForPrivacy(family, level, a.Width(), conf)
+		if err != nil {
+			return nil, fmt.Errorf("noise: attribute %q: %w", a.Name, err)
+		}
+		models[j] = m
+	}
+	return models, nil
+}
+
+// ModelsForAttrs is ModelsForAllAttrs restricted to the given attribute
+// indices.
+func ModelsForAttrs(s *dataset.Schema, attrs []int, family string, level, conf float64) (map[int]Model, error) {
+	all, err := ModelsForAllAttrs(s, family, level, conf)
+	if err != nil {
+		return nil, err
+	}
+	models := make(map[int]Model, len(attrs))
+	for _, j := range attrs {
+		if j < 0 || j >= s.NumAttrs() {
+			return nil, fmt.Errorf("noise: attribute index %d out of range", j)
+		}
+		models[j] = all[j]
+	}
+	return models, nil
+}
+
+// DiscretizeTable applies the paper's value-class-membership operator: each
+// listed attribute's value is replaced by the midpoint of its interval when
+// the attribute's domain is split into k equal-width intervals. Values
+// outside the domain are clamped to the first or last interval. The result
+// is a deep copy.
+func DiscretizeTable(t *dataset.Table, attrs []int, k int) (*dataset.Table, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("noise: discretization needs k > 0 intervals, got %d", k)
+	}
+	s := t.Schema()
+	for _, j := range attrs {
+		if j < 0 || j >= s.NumAttrs() {
+			return nil, fmt.Errorf("noise: attribute index %d out of range", j)
+		}
+	}
+	out := t.Clone()
+	for _, j := range attrs {
+		a := s.Attrs[j]
+		width := a.Width() / float64(k)
+		for i := 0; i < out.N(); i++ {
+			v := out.Row(i)[j]
+			bin := int((v - a.Lo) / width)
+			if bin < 0 {
+				bin = 0
+			}
+			if bin >= k {
+				bin = k - 1
+			}
+			out.SetValue(i, j, a.Lo+(float64(bin)+0.5)*width)
+		}
+	}
+	return out, nil
+}

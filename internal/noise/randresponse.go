@@ -1,0 +1,84 @@
+package noise
+
+import (
+	"fmt"
+
+	"ppdm/internal/prng"
+	"ppdm/internal/stats"
+)
+
+// RandomizedResponse implements Warner-style randomized response for a
+// categorical attribute with Card possible codes: the true code is reported
+// with probability Keep, otherwise a code drawn uniformly from all Card
+// codes is reported. This is the categorical counterpart of the paper's
+// value distortion and is provided as an extension.
+type RandomizedResponse struct {
+	Keep float64 // probability of reporting the true code
+	Card int     // number of category codes
+}
+
+// NewRandomizedResponse validates keep in [0,1] and card >= 2.
+func NewRandomizedResponse(keep float64, card int) (RandomizedResponse, error) {
+	if keep < 0 || keep > 1 {
+		return RandomizedResponse{}, fmt.Errorf("noise: keep probability %v not in [0,1]", keep)
+	}
+	if card < 2 {
+		return RandomizedResponse{}, fmt.Errorf("noise: randomized response needs >= 2 categories, got %d", card)
+	}
+	return RandomizedResponse{Keep: keep, Card: card}, nil
+}
+
+// Apply perturbs one category code. It panics if v is out of range.
+func (rr RandomizedResponse) Apply(v int, r *prng.Source) int {
+	if v < 0 || v >= rr.Card {
+		panic(fmt.Sprintf("noise: randomized response code %d out of [0,%d)", v, rr.Card))
+	}
+	if r.Bernoulli(rr.Keep) {
+		return v
+	}
+	return r.Intn(rr.Card)
+}
+
+// ResponseProb returns P(report = j | true = i).
+func (rr RandomizedResponse) ResponseProb(i, j int) float64 {
+	p := (1 - rr.Keep) / float64(rr.Card)
+	if i == j {
+		p += rr.Keep
+	}
+	return p
+}
+
+// EstimateDistribution inverts the response channel: given observed counts
+// of reported codes, it estimates the distribution of true codes. The
+// channel matrix is p·I + (1−p)/card·J, whose inverse applied to the
+// observed frequencies gives (obs_j − (1−p)/card) / p; estimates are clamped
+// to be non-negative and renormalized. Keep == 0 carries no information and
+// is rejected.
+func (rr RandomizedResponse) EstimateDistribution(observed []int) ([]float64, error) {
+	if len(observed) != rr.Card {
+		return nil, fmt.Errorf("noise: observed counts have %d entries, want %d", len(observed), rr.Card)
+	}
+	if rr.Keep == 0 {
+		return nil, fmt.Errorf("noise: keep probability 0 destroys all information")
+	}
+	n := 0
+	for _, c := range observed {
+		if c < 0 {
+			return nil, fmt.Errorf("noise: negative observed count %d", c)
+		}
+		n += c
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("noise: no observations")
+	}
+	background := (1 - rr.Keep) / float64(rr.Card)
+	est := make([]float64, rr.Card)
+	for j, c := range observed {
+		est[j] = (float64(c)/float64(n) - background) / rr.Keep
+		if est[j] < 0 {
+			est[j] = 0
+		}
+	}
+	stats.Normalize(est)
+	return est, nil
+}

@@ -1,0 +1,132 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"ppdm/internal/prng"
+	"ppdm/internal/stats"
+)
+
+func TestRandomizedResponseValidation(t *testing.T) {
+	if _, err := NewRandomizedResponse(-0.1, 3); err == nil {
+		t.Error("keep < 0 accepted")
+	}
+	if _, err := NewRandomizedResponse(1.1, 3); err == nil {
+		t.Error("keep > 1 accepted")
+	}
+	if _, err := NewRandomizedResponse(0.5, 1); err == nil {
+		t.Error("card < 2 accepted")
+	}
+}
+
+func TestRandomizedResponseApplyRange(t *testing.T) {
+	rr, _ := NewRandomizedResponse(0.7, 4)
+	r := prng.New(1)
+	for i := 0; i < 10000; i++ {
+		v := rr.Apply(i%4, r)
+		if v < 0 || v >= 4 {
+			t.Fatalf("response %d out of range", v)
+		}
+	}
+}
+
+func TestRandomizedResponseApplyPanics(t *testing.T) {
+	rr, _ := NewRandomizedResponse(0.7, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range code did not panic")
+		}
+	}()
+	rr.Apply(4, prng.New(1))
+}
+
+func TestResponseProbRowsSumToOne(t *testing.T) {
+	rr, _ := NewRandomizedResponse(0.6, 5)
+	for i := 0; i < 5; i++ {
+		var sum float64
+		for j := 0; j < 5; j++ {
+			sum += rr.ResponseProb(i, j)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestResponseChannelEmpirical(t *testing.T) {
+	rr, _ := NewRandomizedResponse(0.8, 3)
+	r := prng.New(4)
+	const n = 100000
+	counts := make([]int, 3)
+	for i := 0; i < n; i++ {
+		counts[rr.Apply(0, r)]++
+	}
+	for j := 0; j < 3; j++ {
+		got := float64(counts[j]) / n
+		want := rr.ResponseProb(0, j)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("P(resp=%d|true=0) = %v, want %v", j, got, want)
+		}
+	}
+}
+
+func TestEstimateDistributionRecovers(t *testing.T) {
+	// True distribution is skewed; estimation must recover it from the
+	// randomized responses far better than the raw response frequencies do.
+	rr, _ := NewRandomizedResponse(0.4, 4)
+	r := prng.New(5)
+	truth := []float64{0.6, 0.25, 0.1, 0.05}
+	const n = 200000
+	observed := make([]int, 4)
+	sample := func() int {
+		u := r.Float64()
+		acc := 0.0
+		for i, p := range truth {
+			acc += p
+			if u < acc {
+				return i
+			}
+		}
+		return len(truth) - 1
+	}
+	for i := 0; i < n; i++ {
+		observed[rr.Apply(sample(), r)]++
+	}
+	est, err := rr.EstimateDistribution(observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.IsDistribution(est, 1e-9) {
+		t.Fatalf("estimate is not a distribution: %v", est)
+	}
+	raw := make([]float64, 4)
+	for j, c := range observed {
+		raw[j] = float64(c) / n
+	}
+	dEst, _ := stats.L1(truth, est)
+	dRaw, _ := stats.L1(truth, raw)
+	if dEst > 0.03 {
+		t.Errorf("estimated distribution L1 error %v too large (est %v)", dEst, est)
+	}
+	if dEst >= dRaw {
+		t.Errorf("estimation (%v) no better than raw responses (%v)", dEst, dRaw)
+	}
+}
+
+func TestEstimateDistributionErrors(t *testing.T) {
+	rr, _ := NewRandomizedResponse(0.5, 3)
+	if _, err := rr.EstimateDistribution([]int{1, 2}); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if _, err := rr.EstimateDistribution([]int{1, -2, 3}); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := rr.EstimateDistribution([]int{0, 0, 0}); err == nil {
+		t.Error("empty observations accepted")
+	}
+	zero := RandomizedResponse{Keep: 0, Card: 3}
+	if _, err := zero.EstimateDistribution([]int{1, 1, 1}); err == nil {
+		t.Error("keep=0 accepted")
+	}
+}

@@ -1,0 +1,234 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"ppdm/internal/noise"
+	"ppdm/internal/prng"
+	"ppdm/internal/reconstruct"
+)
+
+func TestIntervalPrivacy(t *testing.T) {
+	u, _ := noise.UniformForPrivacy(0.5, 100, 0.95)
+	lvl, err := IntervalPrivacy(u, 100, 0.95)
+	if err != nil || math.Abs(lvl-0.5) > 1e-9 {
+		t.Fatalf("IntervalPrivacy = %v, %v; want 0.5", lvl, err)
+	}
+	if _, err := IntervalPrivacy(nil, 100, 0.95); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := IntervalPrivacy(u, 0, 0.95); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := IntervalPrivacy(u, 100, 1); err == nil {
+		t.Error("conf=1 accepted")
+	}
+}
+
+func TestEntropyPrivacyValidation(t *testing.T) {
+	if _, err := EntropyPrivacy(nil, 1); err == nil {
+		t.Error("empty distribution accepted")
+	}
+	if _, err := EntropyPrivacy([]float64{0.5, 0.5}, 0); err == nil {
+		t.Error("zero bin width accepted")
+	}
+	if _, err := EntropyPrivacy([]float64{0.9, 0.9}, 1); err == nil {
+		t.Error("non-distribution accepted")
+	}
+	v, err := EntropyPrivacy([]float64{0.25, 0.25, 0.25, 0.25}, 2.5)
+	if err != nil || math.Abs(v-10) > 1e-9 {
+		t.Errorf("uniform-over-10 entropy privacy = %v, want 10", v)
+	}
+}
+
+func TestModelEntropyPrivacyKnownValues(t *testing.T) {
+	// Uniform[-α, α]: Π = 2α.
+	u := noise.Uniform{Alpha: 7}
+	got, err := ModelEntropyPrivacy(u, 7, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-14)/14 > 0.01 {
+		t.Errorf("uniform Π = %v, want ~14", got)
+	}
+	// Gaussian σ: Π = σ·sqrt(2πe) ≈ 4.1327σ.
+	g := noise.Gaussian{Sigma: 3}
+	got, err = ModelEntropyPrivacy(g, 30, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * math.Sqrt(2*math.Pi*math.E)
+	if math.Abs(got-want)/want > 0.01 {
+		t.Errorf("gaussian Π = %v, want ~%v", got, want)
+	}
+	if _, err := ModelEntropyPrivacy(nil, 1, 10); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := ModelEntropyPrivacy(u, -1, 10); err == nil {
+		t.Error("negative span accepted")
+	}
+}
+
+// The PODS'01 observation: the interval metric cannot order noise families
+// consistently. At 95%-matched interval privacy, uniform and gaussian carry
+// nearly identical entropy privacy; at 50%-matched, gaussian carries ~1.5x
+// more.
+func TestIntervalMetricInconsistency(t *testing.T) {
+	u95, _ := noise.UniformForPrivacy(1, 100, 0.95)
+	g95, _ := noise.GaussianForPrivacy(1, 100, 0.95)
+	pu95, err := ModelEntropyPrivacy(u95, 800, 16000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg95, err := ModelEntropyPrivacy(g95, 800, 16000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(pg95-pu95) / pu95; rel > 0.02 {
+		t.Errorf("95%%-matched: gaussian Π=%v vs uniform Π=%v differ by %v, want near-equal", pg95, pu95, rel)
+	}
+	u50, _ := noise.UniformForPrivacy(1, 100, 0.5)
+	g50, _ := noise.GaussianForPrivacy(1, 100, 0.5)
+	pu50, _ := ModelEntropyPrivacy(u50, 800, 16000)
+	pg50, _ := ModelEntropyPrivacy(g50, 800, 16000)
+	if pg50 < 1.3*pu50 {
+		t.Errorf("50%%-matched: gaussian Π=%v should be ≥1.3x uniform Π=%v", pg50, pu50)
+	}
+}
+
+func uniformPrior(k int) []float64 {
+	p := make([]float64, k)
+	for i := range p {
+		p[i] = 1 / float64(k)
+	}
+	return p
+}
+
+func TestConditionalFromPriorBasics(t *testing.T) {
+	part, _ := reconstruct.NewPartition(0, 100, 50)
+	m := noise.Uniform{Alpha: 10}
+	r := prng.New(1)
+	perturbed := make([]float64, 3000)
+	for i := range perturbed {
+		perturbed[i] = r.Uniform(0, 100) + m.Sample(r)
+	}
+	res, err := ConditionalFromPrior(perturbed, uniformPrior(50), part, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prior Π of uniform over width 100 is 100.
+	if math.Abs(res.Prior-100) > 1 {
+		t.Errorf("prior Π = %v, want ~100", res.Prior)
+	}
+	// Posterior uncertainty is bounded by the noise window (2α = 20) and
+	// must be far below the prior.
+	if res.Posterior > 22 || res.Posterior < 5 {
+		t.Errorf("posterior Π = %v, want ~<= 20", res.Posterior)
+	}
+	if res.Loss < 0.7 || res.Loss > 1 {
+		t.Errorf("privacy loss = %v, want ~0.8", res.Loss)
+	}
+}
+
+func TestConditionalValidation(t *testing.T) {
+	part, _ := reconstruct.NewPartition(0, 10, 5)
+	m := noise.Uniform{Alpha: 1}
+	if _, err := ConditionalFromPrior(nil, uniformPrior(5), part, m); err == nil {
+		t.Error("no observations accepted")
+	}
+	if _, err := ConditionalFromPrior([]float64{1}, uniformPrior(4), part, m); err == nil {
+		t.Error("wrong prior length accepted")
+	}
+	if _, err := ConditionalFromPrior([]float64{1}, []float64{2, 2, 2, 2, 2}, part, m); err == nil {
+		t.Error("non-distribution prior accepted")
+	}
+	if _, err := ConditionalFromPrior([]float64{math.NaN()}, uniformPrior(5), part, m); err == nil {
+		t.Error("NaN observation accepted")
+	}
+	if _, err := Conditional([]float64{1, 2}, part, nil); err == nil {
+		t.Error("nil model accepted")
+	}
+}
+
+func TestConditionalEndToEnd(t *testing.T) {
+	// Reconstruction-based prior: loss should match the known-prior result
+	// closely on uniform data.
+	part, _ := reconstruct.NewPartition(0, 100, 25)
+	m := noise.Gaussian{Sigma: 8}
+	r := prng.New(2)
+	perturbed := make([]float64, 5000)
+	for i := range perturbed {
+		perturbed[i] = r.Uniform(0, 100) + m.Sample(r)
+	}
+	res, err := Conditional(perturbed, part, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loss <= 0 || res.Loss > 1 {
+		t.Errorf("loss = %v out of (0,1]", res.Loss)
+	}
+	if res.Posterior >= res.Prior {
+		t.Errorf("posterior Π %v should be below prior Π %v", res.Posterior, res.Prior)
+	}
+}
+
+func TestMorePrivacyLessLoss(t *testing.T) {
+	// Increasing noise must decrease privacy loss.
+	part, _ := reconstruct.NewPartition(0, 100, 25)
+	r := prng.New(3)
+	original := make([]float64, 4000)
+	for i := range original {
+		original[i] = r.Uniform(0, 100)
+	}
+	var prevLoss = 2.0
+	for _, sigma := range []float64{5, 15, 40} {
+		m := noise.Gaussian{Sigma: sigma}
+		rr := prng.New(4)
+		perturbed := make([]float64, len(original))
+		for i, v := range original {
+			perturbed[i] = v + m.Sample(rr)
+		}
+		res, err := ConditionalFromPrior(perturbed, uniformPrior(25), part, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Loss >= prevLoss {
+			t.Errorf("sigma=%v: loss %v did not decrease (prev %v)", sigma, res.Loss, prevLoss)
+		}
+		prevLoss = res.Loss
+	}
+}
+
+func TestWorstCaseInterval(t *testing.T) {
+	part, _ := reconstruct.NewPartition(0, 100, 50)
+	m := noise.Uniform{Alpha: 10}
+	prior := uniformPrior(50)
+	// Mid-domain observation: the posterior support is ~[obs-10, obs+10],
+	// so the 95% interval must be close to 19 and far below 100.
+	width, err := WorstCaseInterval(50, prior, part, m, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if width > 24 || width < 14 {
+		t.Errorf("worst-case interval = %v, want ~20", width)
+	}
+	// Near-edge observation: the domain clips the noise window, shrinking
+	// the interval — the classic worst-case privacy breach.
+	edge, err := WorstCaseInterval(-8, prior, part, m, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edge >= width {
+		t.Errorf("edge observation interval %v should be tighter than mid-domain %v", edge, width)
+	}
+	if _, err := WorstCaseInterval(50, prior[:3], part, m, 0.95); err == nil {
+		t.Error("wrong prior length accepted")
+	}
+	if _, err := WorstCaseInterval(50, prior, part, m, 0); err == nil {
+		t.Error("conf=0 accepted")
+	}
+	if _, err := WorstCaseInterval(50, prior, part, nil, 0.5); err == nil {
+		t.Error("nil model accepted")
+	}
+}

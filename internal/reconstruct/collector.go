@@ -1,0 +1,87 @@
+package reconstruct
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Collector accumulates perturbed observations incrementally, as a data
+// warehouse server would during an online survey: only O(intervals)
+// aggregated counts are retained — the raw perturbed values are never
+// stored — and the distribution can be reconstructed at any point during
+// collection.
+//
+// A Collector is not safe for concurrent use.
+type Collector struct {
+	part Partition
+
+	// counts maps grid index (relative to the partition grid, may be
+	// negative) to observation count. Kept sparse because gaussian noise
+	// has unbounded support.
+	counts map[int]int
+	n      int
+	minIdx int
+	maxIdx int
+}
+
+// NewCollector returns an empty collector over the given domain partition.
+func NewCollector(part Partition) (*Collector, error) {
+	if _, err := NewPartition(part.Lo, part.Hi, part.K); err != nil {
+		return nil, err
+	}
+	return &Collector{part: part, counts: make(map[int]int)}, nil
+}
+
+// Partition returns the collector's domain partition.
+func (c *Collector) Partition() Partition { return c.part }
+
+// N returns the number of observations collected so far.
+func (c *Collector) N() int { return c.n }
+
+// Add records one perturbed observation.
+func (c *Collector) Add(w float64) error {
+	if math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("reconstruct: non-finite observation %v", w)
+	}
+	idx := int(math.Floor((w - c.part.Lo) / c.part.Width()))
+	if c.n == 0 || idx < c.minIdx {
+		c.minIdx = idx
+	}
+	if c.n == 0 || idx > c.maxIdx {
+		c.maxIdx = idx
+	}
+	c.counts[idx]++
+	c.n++
+	return nil
+}
+
+// AddAll records a batch of observations, stopping at the first bad value.
+func (c *Collector) AddAll(ws []float64) error {
+	for _, w := range ws {
+		if err := c.Add(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reconstruct estimates the original distribution from the aggregated
+// counts. It can be called repeatedly as data keeps arriving; the paper's
+// reconstruction needs only the interval counts, so the result is identical
+// to running Reconstruct on the full list of observations.
+func (c *Collector) Reconstruct(cfg Config) (Result, error) {
+	if c.n == 0 {
+		return Result{}, errors.New("reconstruct: collector has no observations")
+	}
+	cfg.Partition = c.part
+	grid := &observationGrid{
+		lo:     c.part.Lo + float64(c.minIdx)*c.part.Width(),
+		width:  c.part.Width(),
+		counts: make([]int, c.maxIdx-c.minIdx+1),
+	}
+	for idx, cnt := range c.counts {
+		grid.counts[idx-c.minIdx] = cnt
+	}
+	return reconstructGrid(grid, cfg)
+}

@@ -1,0 +1,257 @@
+package reconstruct
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ppdm/internal/noise"
+	"ppdm/internal/stats"
+)
+
+// Algorithm selects the iterative update rule.
+type Algorithm int
+
+const (
+	// Bayes is the paper's update with the midpoint density approximation.
+	Bayes Algorithm = iota
+	// EM is the exact-interval maximum-likelihood update.
+	EM
+)
+
+// String returns the algorithm name.
+func (a Algorithm) String() string {
+	switch a {
+	case Bayes:
+		return "bayes"
+	case EM:
+		return "em"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Defaults for Config fields left zero.
+const (
+	DefaultMaxIters = 500
+	DefaultEpsilon  = 1e-4
+)
+
+// Config parameterizes Reconstruct.
+type Config struct {
+	// Partition of the attribute's original domain.
+	Partition Partition
+	// Noise is the model the values were perturbed with.
+	Noise noise.Model
+	// Algorithm selects Bayes (default) or EM.
+	Algorithm Algorithm
+	// MaxIters bounds the iteration count (default DefaultMaxIters).
+	MaxIters int
+	// Epsilon is the total-variation stopping threshold between successive
+	// estimates (default DefaultEpsilon).
+	Epsilon float64
+	// Prior, if non-nil, is the starting estimate (length Partition.K,
+	// non-negative). Nil starts from the uniform distribution, as in the
+	// paper.
+	Prior []float64
+}
+
+// Result reports the reconstructed distribution and convergence behaviour.
+type Result struct {
+	// P is the estimated probability of each partition interval.
+	P []float64
+	// Iters is the number of update iterations performed.
+	Iters int
+	// Converged reports whether the stopping threshold was reached within
+	// MaxIters.
+	Converged bool
+	// Delta is the total-variation change of the final iteration.
+	Delta float64
+}
+
+// Reconstruct estimates the distribution of the original values from their
+// perturbed versions. It never sees the originals: only the perturbed
+// values, the noise model, and the domain partition.
+func Reconstruct(perturbed []float64, cfg Config) (Result, error) {
+	if len(perturbed) == 0 {
+		return Result{}, errors.New("reconstruct: no perturbed values")
+	}
+	for _, w := range perturbed {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return Result{}, fmt.Errorf("reconstruct: non-finite perturbed value %v", w)
+		}
+	}
+	if _, err := NewPartition(cfg.Partition.Lo, cfg.Partition.Hi, cfg.Partition.K); err != nil {
+		return Result{}, err
+	}
+	// Aggregate the perturbed observations into intervals on the partition's
+	// grid, extended to cover the observed range (perturbed values escape
+	// the original domain by up to the noise spread).
+	return reconstructGrid(newObservationGrid(perturbed, cfg.Partition), cfg)
+}
+
+// reconstructGrid runs the iterative estimate on pre-aggregated observation
+// counts; both Reconstruct and Collector.Reconstruct funnel here.
+func reconstructGrid(obs *observationGrid, cfg Config) (Result, error) {
+	if cfg.Noise == nil {
+		return Result{}, errors.New("reconstruct: nil noise model")
+	}
+	if cfg.Algorithm != Bayes && cfg.Algorithm != EM {
+		return Result{}, fmt.Errorf("reconstruct: unknown algorithm %d", int(cfg.Algorithm))
+	}
+	maxIters := cfg.MaxIters
+	if maxIters == 0 {
+		maxIters = DefaultMaxIters
+	}
+	if maxIters < 0 {
+		return Result{}, fmt.Errorf("reconstruct: MaxIters %d must be positive", maxIters)
+	}
+	eps := cfg.Epsilon
+	if eps == 0 {
+		eps = DefaultEpsilon
+	}
+	if eps < 0 || math.IsNaN(eps) {
+		return Result{}, fmt.Errorf("reconstruct: Epsilon %v must be positive", eps)
+	}
+
+	part := cfg.Partition
+	k := part.K
+
+	// Precompute the interaction weights A[s][t] between observation
+	// interval s and domain interval t.
+	weights := make([][]float64, len(obs.counts))
+	for s := range weights {
+		row := make([]float64, k)
+		for t := 0; t < k; t++ {
+			switch cfg.Algorithm {
+			case Bayes:
+				row[t] = cfg.Noise.Density(obs.midpoint(s) - part.Midpoint(t))
+			case EM:
+				row[t] = cfg.Noise.CDF(obs.hiEdge(s)-part.Midpoint(t)) -
+					cfg.Noise.CDF(obs.loEdge(s)-part.Midpoint(t))
+			}
+		}
+		weights[s] = row
+	}
+
+	// Initialize the estimate.
+	p := make([]float64, k)
+	if cfg.Prior != nil {
+		if len(cfg.Prior) != k {
+			return Result{}, fmt.Errorf("reconstruct: prior has %d entries, partition has %d", len(cfg.Prior), k)
+		}
+		copy(p, cfg.Prior)
+		for _, v := range p {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return Result{}, fmt.Errorf("reconstruct: invalid prior entry %v", v)
+			}
+		}
+		stats.Normalize(p)
+	} else {
+		for t := range p {
+			p[t] = 1 / float64(k)
+		}
+	}
+
+	total := 0
+	for _, c := range obs.counts {
+		total += c
+	}
+	if total == 0 {
+		return Result{}, errors.New("reconstruct: no observations")
+	}
+	n := float64(total)
+	next := make([]float64, k)
+	res := Result{}
+	for iter := 1; iter <= maxIters; iter++ {
+		for t := range next {
+			next[t] = 0
+		}
+		for s, cnt := range obs.counts {
+			if cnt == 0 {
+				continue
+			}
+			frac := float64(cnt) / n
+			row := weights[s]
+			var denom float64
+			for u := 0; u < k; u++ {
+				denom += row[u] * p[u]
+			}
+			if denom <= 0 {
+				// The current estimate cannot explain this observation
+				// (possible with bounded noise and values far outside the
+				// domain); retain the prior mass for it.
+				for t := 0; t < k; t++ {
+					next[t] += frac * p[t]
+				}
+				continue
+			}
+			inv := frac / denom
+			for t := 0; t < k; t++ {
+				next[t] += inv * row[t] * p[t]
+			}
+		}
+		stats.Normalize(next)
+		delta, err := stats.TotalVariation(p, next)
+		if err != nil {
+			return Result{}, err
+		}
+		copy(p, next)
+		res.Iters = iter
+		res.Delta = delta
+		if delta < eps {
+			res.Converged = true
+			break
+		}
+	}
+	res.P = p
+	return res, nil
+}
+
+// observationGrid buckets perturbed values into intervals of the same width
+// as the domain partition, aligned to its grid but extended on both sides to
+// cover every observation.
+type observationGrid struct {
+	lo     float64 // lower edge of bucket 0
+	width  float64
+	counts []int
+}
+
+func newObservationGrid(values []float64, part Partition) *observationGrid {
+	w := part.Width()
+	minV, maxV := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	// extend the partition grid to cover [minV, maxV]
+	lowIdx := int(math.Floor((minV - part.Lo) / w))
+	highIdx := int(math.Floor((maxV - part.Lo) / w))
+	if highIdx < lowIdx {
+		highIdx = lowIdx
+	}
+	g := &observationGrid{
+		lo:     part.Lo + float64(lowIdx)*w,
+		width:  w,
+		counts: make([]int, highIdx-lowIdx+1),
+	}
+	for _, v := range values {
+		i := int((v - g.lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(g.counts) {
+			i = len(g.counts) - 1
+		}
+		g.counts[i]++
+	}
+	return g
+}
+
+func (g *observationGrid) midpoint(s int) float64 { return g.lo + (float64(s)+0.5)*g.width }
+func (g *observationGrid) loEdge(s int) float64   { return g.lo + float64(s)*g.width }
+func (g *observationGrid) hiEdge(s int) float64   { return g.lo + float64(s+1)*g.width }

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"ppdm/internal/prng"
+)
+
+func TestEntropyKnownValues(t *testing.T) {
+	if h := Entropy([]float64{1, 0, 0}); h != 0 {
+		t.Errorf("Entropy(point mass) = %v, want 0", h)
+	}
+	if h := Entropy([]float64{0.5, 0.5}); math.Abs(h-1) > 1e-12 {
+		t.Errorf("Entropy(fair coin) = %v, want 1 bit", h)
+	}
+	uniform8 := make([]float64, 8)
+	for i := range uniform8 {
+		uniform8[i] = 1.0 / 8
+	}
+	if h := Entropy(uniform8); math.Abs(h-3) > 1e-12 {
+		t.Errorf("Entropy(uniform 8) = %v, want 3 bits", h)
+	}
+}
+
+func TestEntropyMaximizedByUniform(t *testing.T) {
+	r := prng.New(23)
+	k := 16
+	uniform := make([]float64, k)
+	for i := range uniform {
+		uniform[i] = 1 / float64(k)
+	}
+	hu := Entropy(uniform)
+	for trial := 0; trial < 100; trial++ {
+		p := randomDistribution(r, k)
+		if Entropy(p) > hu+1e-9 {
+			t.Fatalf("entropy %v of %v exceeds uniform entropy %v", Entropy(p), p, hu)
+		}
+	}
+}
+
+func TestDifferentialEntropyUniform(t *testing.T) {
+	// A uniform distribution over an interval of width W has differential
+	// entropy log2(W), so EntropyPrivacy must return W itself.
+	k := 32
+	p := make([]float64, k)
+	for i := range p {
+		p[i] = 1 / float64(k)
+	}
+	const width = 100.0
+	binWidth := width / float64(k)
+	if h := DifferentialEntropy(p, binWidth); math.Abs(h-math.Log2(width)) > 1e-9 {
+		t.Errorf("differential entropy = %v, want log2(%v)=%v", h, width, math.Log2(width))
+	}
+	if priv := EntropyPrivacy(p, binWidth); math.Abs(priv-width) > 1e-6 {
+		t.Errorf("EntropyPrivacy = %v, want %v", priv, width)
+	}
+}
+
+func TestJointCountsValidation(t *testing.T) {
+	if _, err := NewJointCounts(0, 5); err == nil {
+		t.Error("NewJointCounts(0,5) succeeded")
+	}
+	j, err := NewJointCounts(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Add(2, 0); err == nil {
+		t.Error("out-of-range Add succeeded")
+	}
+	if err := j.Add(-1, 0); err == nil {
+		t.Error("negative Add succeeded")
+	}
+}
+
+func TestMutualInformationIndependent(t *testing.T) {
+	// Perfectly independent uniform variables: MI ≈ 0.
+	j, _ := NewJointCounts(2, 2)
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			for i := 0; i < 100; i++ {
+				if err := j.Add(r, c); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if mi := j.MutualInformation(); mi > 1e-9 {
+		t.Errorf("MI of independent = %v, want 0", mi)
+	}
+}
+
+func TestMutualInformationPerfectCopy(t *testing.T) {
+	// Y = X with 2 equally likely values: MI = 1 bit.
+	j, _ := NewJointCounts(2, 2)
+	for i := 0; i < 100; i++ {
+		_ = j.Add(0, 0)
+		_ = j.Add(1, 1)
+	}
+	if mi := j.MutualInformation(); math.Abs(mi-1) > 1e-9 {
+		t.Errorf("MI of perfect copy = %v, want 1", mi)
+	}
+}
+
+func TestMutualInformationEmpty(t *testing.T) {
+	j, _ := NewJointCounts(3, 3)
+	if j.MutualInformation() != 0 {
+		t.Error("MI of empty table != 0")
+	}
+	if j.Total() != 0 {
+		t.Error("Total of empty table != 0")
+	}
+}
+
+func TestMutualInformationNonNegativeRandom(t *testing.T) {
+	r := prng.New(77)
+	for trial := 0; trial < 50; trial++ {
+		j, _ := NewJointCounts(4, 6)
+		n := 50 + r.Intn(200)
+		for i := 0; i < n; i++ {
+			_ = j.Add(r.Intn(4), r.Intn(6))
+		}
+		if mi := j.MutualInformation(); mi < 0 {
+			t.Fatalf("negative MI: %v", mi)
+		}
+	}
+}
+
+func TestGiniImpurity(t *testing.T) {
+	cases := []struct {
+		counts []int
+		want   float64
+	}{
+		{[]int{10, 0}, 0},
+		{[]int{0, 0}, 0},
+		{[]int{5, 5}, 0.5},
+		{[]int{1, 1, 1, 1}, 0.75},
+		{[]int{9, 1}, 1 - 0.81 - 0.01},
+	}
+	for _, c := range cases {
+		if got := GiniImpurity(c.counts); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("GiniImpurity(%v) = %v, want %v", c.counts, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package stats
+
+import (
+	"math/rand"
+
+	"ppdm/internal/prng"
+)
+
+// quickRand adapts the repository's deterministic Source to the *rand.Rand
+// that testing/quick expects, keeping property tests reproducible.
+func quickRand(s *prng.Source) *rand.Rand { return rand.New(s) }

@@ -1,0 +1,154 @@
+// Package stats provides the statistical substrate for the reproduction:
+// fixed-width histograms over closed domains, summary statistics,
+// distribution distances (L1, L2, Kolmogorov–Smirnov, chi-square), and
+// information-theoretic quantities (Shannon entropy, differential entropy,
+// mutual information) computed on binned data.
+//
+// Probability vectors in this package are plain []float64 slices indexed by
+// bin; they are expected to be non-negative and to sum to (approximately) 1.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Histogram counts observations in k equal-width bins spanning [Lo, Hi].
+// Values outside the domain are clamped into the first or last bin, which
+// matches how the paper treats perturbed values that escape the attribute's
+// natural range.
+type Histogram struct {
+	Lo, Hi float64
+	counts []int
+	total  int
+}
+
+// NewHistogram returns a histogram with k equal-width bins on [lo, hi].
+func NewHistogram(lo, hi float64, k int) (*Histogram, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs k > 0 bins, got %d", k)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram needs hi > lo, got [%v, %v]", lo, hi)
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+		return nil, errors.New("stats: histogram bounds must be finite")
+	}
+	return &Histogram{Lo: lo, Hi: hi, counts: make([]int, k)}, nil
+}
+
+// MustHistogram is NewHistogram that panics on error; for use with constant
+// arguments.
+func MustHistogram(lo, hi float64, k int) *Histogram {
+	h, err := NewHistogram(lo, hi, k)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// K returns the number of bins.
+func (h *Histogram) K() int { return len(h.counts) }
+
+// Total returns the number of observations added so far.
+func (h *Histogram) Total() int { return h.total }
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 { return (h.Hi - h.Lo) / float64(len(h.counts)) }
+
+// Bin returns the bin index for v, clamping values outside [Lo, Hi].
+func (h *Histogram) Bin(v float64) int {
+	if v <= h.Lo {
+		return 0
+	}
+	if v >= h.Hi {
+		return len(h.counts) - 1
+	}
+	i := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.counts)))
+	if i >= len(h.counts) { // guard against floating-point edge at Hi
+		i = len(h.counts) - 1
+	}
+	return i
+}
+
+// Add records one observation. NaN observations are rejected with an error.
+func (h *Histogram) Add(v float64) error {
+	if math.IsNaN(v) {
+		return errors.New("stats: cannot add NaN to histogram")
+	}
+	h.counts[h.Bin(v)]++
+	h.total++
+	return nil
+}
+
+// AddAll records every value in vs, stopping at the first NaN.
+func (h *Histogram) AddAll(vs []float64) error {
+	for _, v := range vs {
+		if err := h.Add(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Counts returns a copy of the per-bin counts.
+func (h *Histogram) Counts() []int {
+	out := make([]int, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// Count returns the count in bin i.
+func (h *Histogram) Count(i int) int { return h.counts[i] }
+
+// Probabilities returns the normalized bin frequencies. If the histogram is
+// empty it returns the uniform distribution, which is the paper's prior.
+func (h *Histogram) Probabilities() []float64 {
+	p := make([]float64, len(h.counts))
+	if h.total == 0 {
+		u := 1 / float64(len(h.counts))
+		for i := range p {
+			p[i] = u
+		}
+		return p
+	}
+	for i, c := range h.counts {
+		p[i] = float64(c) / float64(h.total)
+	}
+	return p
+}
+
+// Midpoint returns the midpoint of bin i.
+func (h *Histogram) Midpoint(i int) float64 {
+	w := h.BinWidth()
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Midpoints returns the midpoints of all bins.
+func (h *Histogram) Midpoints() []float64 {
+	out := make([]float64, len(h.counts))
+	for i := range out {
+		out[i] = h.Midpoint(i)
+	}
+	return out
+}
+
+// Edges returns the k+1 bin boundaries from Lo to Hi.
+func (h *Histogram) Edges() []float64 {
+	w := h.BinWidth()
+	out := make([]float64, len(h.counts)+1)
+	for i := range out {
+		out[i] = h.Lo + float64(i)*w
+	}
+	out[len(out)-1] = h.Hi
+	return out
+}
+
+// Reset clears all counts.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ppdm/internal/prng"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	cases := []struct {
+		lo, hi float64
+		k      int
+	}{
+		{0, 1, 0},
+		{0, 1, -3},
+		{1, 1, 10},
+		{2, 1, 10},
+		{math.NaN(), 1, 10},
+		{0, math.Inf(1), 10},
+	}
+	for _, c := range cases {
+		if _, err := NewHistogram(c.lo, c.hi, c.k); err == nil {
+			t.Errorf("NewHistogram(%v,%v,%d): want error", c.lo, c.hi, c.k)
+		}
+	}
+	if _, err := NewHistogram(0, 10, 5); err != nil {
+		t.Errorf("valid NewHistogram failed: %v", err)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := MustHistogram(0, 10, 5)
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1.9, 0}, {2, 1}, {5, 2}, {9.99, 4}, {10, 4}, {25, 4},
+	}
+	for _, c := range cases {
+		if got := h.Bin(c.v); got != c.want {
+			t.Errorf("Bin(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistogramCountsAndTotal(t *testing.T) {
+	h := MustHistogram(0, 4, 4)
+	for _, v := range []float64{0.5, 1.5, 1.6, 3.5, 3.9, 100} {
+		if err := h.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []int{1, 2, 0, 3}
+	got := h.Counts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", got, want)
+		}
+	}
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", h.Total())
+	}
+}
+
+func TestHistogramRejectsNaN(t *testing.T) {
+	h := MustHistogram(0, 1, 2)
+	if err := h.Add(math.NaN()); err == nil {
+		t.Fatal("Add(NaN) succeeded")
+	}
+	if err := h.AddAll([]float64{0.1, math.NaN(), 0.2}); err == nil {
+		t.Fatal("AddAll with NaN succeeded")
+	}
+}
+
+func TestHistogramProbabilitiesEmptyIsUniform(t *testing.T) {
+	h := MustHistogram(0, 1, 4)
+	p := h.Probabilities()
+	for _, v := range p {
+		if v != 0.25 {
+			t.Fatalf("empty histogram probabilities = %v, want uniform", p)
+		}
+	}
+}
+
+// Property: probabilities always form a distribution and counts sum to total.
+func TestHistogramInvariantsProperty(t *testing.T) {
+	src := prng.New(100)
+	f := func(seed uint64, kRaw uint8) bool {
+		k := int(kRaw%50) + 1
+		h := MustHistogram(-3, 7, k)
+		r := prng.New(seed)
+		n := 1 + r.Intn(500)
+		for i := 0; i < n; i++ {
+			// include out-of-range values on purpose
+			if err := h.Add(r.Uniform(-10, 15)); err != nil {
+				return false
+			}
+		}
+		sum := 0
+		for _, c := range h.Counts() {
+			sum += c
+		}
+		return sum == h.Total() && IsDistribution(h.Probabilities(), 1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: quickRand(src)}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMidpointsAndEdges(t *testing.T) {
+	h := MustHistogram(0, 10, 5)
+	mids := h.Midpoints()
+	wantMids := []float64{1, 3, 5, 7, 9}
+	for i := range wantMids {
+		if math.Abs(mids[i]-wantMids[i]) > 1e-12 {
+			t.Fatalf("midpoints = %v", mids)
+		}
+	}
+	edges := h.Edges()
+	wantEdges := []float64{0, 2, 4, 6, 8, 10}
+	for i := range wantEdges {
+		if math.Abs(edges[i]-wantEdges[i]) > 1e-12 {
+			t.Fatalf("edges = %v", edges)
+		}
+	}
+	if h.BinWidth() != 2 {
+		t.Fatalf("BinWidth = %v", h.BinWidth())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := MustHistogram(0, 1, 3)
+	_ = h.Add(0.5)
+	h.Reset()
+	if h.Total() != 0 {
+		t.Fatal("Reset did not clear total")
+	}
+	for _, c := range h.Counts() {
+		if c != 0 {
+			t.Fatal("Reset did not clear counts")
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package synth reimplements the synthetic classification benchmark of
+// Agrawal, Imielinski & Swami ("Database Mining: A Performance Perspective",
+// IEEE TKDE 1993) that the SIGMOD 2000 privacy paper uses for its entire
+// evaluation: nine person-record attributes and a family of deterministic
+// classification functions assigning each record to Group A or Group B.
+//
+// Functions F1–F5 are the ones used in the privacy paper's experiments;
+// F6–F10 are the remaining functions from the original generator, provided
+// as extensions.
+//
+// All nine attributes are modeled as numeric (the integer-valued ones —
+// elevel, car, zipcode, hyears — are ordinal), matching the paper's
+// treatment where every attribute is independently perturbed with additive
+// noise.
+package synth
+
+import (
+	"fmt"
+
+	"ppdm/internal/dataset"
+	"ppdm/internal/prng"
+)
+
+// Attribute indices into a generated record, in schema order.
+const (
+	AttrSalary = iota
+	AttrCommission
+	AttrAge
+	AttrElevel
+	AttrCar
+	AttrZipcode
+	AttrHvalue
+	AttrHyears
+	AttrLoan
+	numAttrs
+)
+
+// Class codes. GroupB is 0 so that "B" is the first class name, matching the
+// generator's convention that records not satisfying the predicate fall into
+// Group B.
+const (
+	GroupB = 0
+	GroupA = 1
+)
+
+// Schema returns the benchmark schema: the nine AIS attributes with their
+// published domains, and classes {"B", "A"}.
+func Schema() *dataset.Schema {
+	return dataset.MustSchema(
+		[]dataset.Attribute{
+			dataset.NumericAttr("salary", 20000, 150000),
+			dataset.NumericAttr("commission", 0, 75000),
+			dataset.NumericAttr("age", 20, 80),
+			dataset.IntegerAttr("elevel", 0, 4),
+			dataset.IntegerAttr("car", 1, 20),
+			dataset.IntegerAttr("zipcode", 1, 9),
+			dataset.NumericAttr("hvalue", 50000, 1350000),
+			dataset.IntegerAttr("hyears", 1, 30),
+			dataset.NumericAttr("loan", 0, 500000),
+		},
+		[]string{"B", "A"},
+	)
+}
+
+// AttrDescription documents how one attribute is drawn; used to regenerate
+// the paper's attribute-description table.
+type AttrDescription struct {
+	Name        string
+	Description string
+}
+
+// Descriptions returns the published definition of each attribute.
+func Descriptions() []AttrDescription {
+	return []AttrDescription{
+		{"salary", "uniformly distributed on [20000, 150000]"},
+		{"commission", "0 if salary >= 75000, else uniform on [10000, 75000]"},
+		{"age", "uniformly distributed on [20, 80]"},
+		{"elevel", "education level, uniform integer in {0..4}"},
+		{"car", "make of car, uniform integer in {1..20}"},
+		{"zipcode", "uniform integer in {1..9}"},
+		{"hvalue", "house value, uniform on [0.5*z*100000, 1.5*z*100000] for zipcode z"},
+		{"hyears", "years house owned, uniform integer in {1..30}"},
+		{"loan", "total loan, uniform on [0, 500000]"},
+	}
+}
+
+// Function identifies one of the ten AIS classification functions.
+type Function int
+
+// The ten classification functions. F1–F5 appear in the privacy paper's
+// evaluation (its "classification functions" figure); F6–F10 complete the
+// original generator.
+const (
+	F1 Function = iota + 1
+	F2
+	F3
+	F4
+	F5
+	F6
+	F7
+	F8
+	F9
+	F10
+)
+
+// String returns "F1".."F10".
+func (f Function) String() string { return fmt.Sprintf("F%d", int(f)) }
+
+// ParseFunction parses "F3" or "3" into a Function.
+func ParseFunction(s string) (Function, error) {
+	var n int
+	if _, err := fmt.Sscanf(s, "F%d", &n); err != nil {
+		if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
+			return 0, fmt.Errorf("synth: cannot parse function %q", s)
+		}
+	}
+	f := Function(n)
+	if f < F1 || f > F10 {
+		return 0, fmt.Errorf("synth: function %q out of range F1..F10", s)
+	}
+	return f, nil
+}
+
+// Valid reports whether f is one of F1..F10.
+func (f Function) Valid() bool { return f >= F1 && f <= F10 }
+
+// UsedAttrs returns the indices of the attributes the function's predicate
+// actually reads; useful for focused perturbation experiments.
+func (f Function) UsedAttrs() []int {
+	switch f {
+	case F1:
+		return []int{AttrAge}
+	case F2:
+		return []int{AttrAge, AttrSalary}
+	case F3:
+		return []int{AttrAge, AttrElevel}
+	case F4:
+		return []int{AttrAge, AttrElevel, AttrSalary}
+	case F5:
+		return []int{AttrAge, AttrSalary, AttrLoan}
+	case F6:
+		return []int{AttrAge, AttrSalary, AttrCommission}
+	case F7:
+		return []int{AttrSalary, AttrCommission, AttrLoan}
+	case F8:
+		return []int{AttrSalary, AttrCommission, AttrElevel}
+	case F9:
+		return []int{AttrSalary, AttrCommission, AttrElevel, AttrLoan}
+	case F10:
+		return []int{AttrSalary, AttrCommission, AttrElevel, AttrHvalue, AttrHyears}
+	default:
+		return nil
+	}
+}
+
+// Classify applies the function's published predicate to a full record and
+// returns GroupA or GroupB. The record must have the 9 attributes in schema
+// order.
+func (f Function) Classify(rec []float64) int {
+	salary := rec[AttrSalary]
+	commission := rec[AttrCommission]
+	age := rec[AttrAge]
+	elevel := rec[AttrElevel]
+	hvalue := rec[AttrHvalue]
+	hyears := rec[AttrHyears]
+	loan := rec[AttrLoan]
+
+	between := func(v, lo, hi float64) bool { return lo <= v && v <= hi }
+	groupA := false
+	switch f {
+	case F1:
+		groupA = age < 40 || age >= 60
+	case F2:
+		groupA = (age < 40 && between(salary, 50000, 100000)) ||
+			(age >= 40 && age < 60 && between(salary, 75000, 125000)) ||
+			(age >= 60 && between(salary, 25000, 75000))
+	case F3:
+		groupA = (age < 40 && between(elevel, 0, 1)) ||
+			(age >= 40 && age < 60 && between(elevel, 1, 3)) ||
+			(age >= 60 && between(elevel, 2, 4))
+	case F4:
+		switch {
+		case age < 40:
+			if between(elevel, 0, 1) {
+				groupA = between(salary, 25000, 75000)
+			} else {
+				groupA = between(salary, 50000, 100000)
+			}
+		case age < 60:
+			if between(elevel, 1, 3) {
+				groupA = between(salary, 50000, 100000)
+			} else {
+				groupA = between(salary, 75000, 125000)
+			}
+		default:
+			if between(elevel, 2, 4) {
+				groupA = between(salary, 50000, 100000)
+			} else {
+				groupA = between(salary, 25000, 75000)
+			}
+		}
+	case F5:
+		groupA = (age < 40 && between(salary, 50000, 100000) && between(loan, 100000, 300000)) ||
+			(age >= 40 && age < 60 && between(salary, 75000, 125000) && between(loan, 200000, 400000)) ||
+			(age >= 60 && between(salary, 25000, 75000) && between(loan, 300000, 500000))
+	case F6:
+		total := salary + commission
+		groupA = (age < 40 && between(total, 50000, 100000)) ||
+			(age >= 40 && age < 60 && between(total, 75000, 125000)) ||
+			(age >= 60 && between(total, 25000, 75000))
+	case F7:
+		groupA = 0.67*(salary+commission)-0.2*loan-20000 > 0
+	case F8:
+		// Constant term adapted from the original 20000 so that the class
+		// split is non-degenerate under the published attribute
+		// distributions (without a loan term the published constant labels
+		// ~98% of records Group A).
+		groupA = 0.67*(salary+commission)-5000*elevel-60000 > 0
+	case F9:
+		groupA = 0.67*(salary+commission)-5000*elevel-0.2*loan-10000 > 0
+	case F10:
+		equity := 0.0
+		if hyears >= 20 {
+			equity = 0.1 * hvalue * (hyears - 20)
+		}
+		// Constant term adapted (10000 → 60000) for a non-degenerate split,
+		// as for F8.
+		groupA = 0.67*(salary+commission)-5000*elevel+0.2*equity-60000 > 0
+	default:
+		panic(fmt.Sprintf("synth: Classify on invalid function %d", int(f)))
+	}
+	if groupA {
+		return GroupA
+	}
+	return GroupB
+}
+
+// Config parameterizes Generate.
+type Config struct {
+	Function Function
+	N        int
+	Seed     uint64
+
+	// LabelNoise flips each record's class with this probability,
+	// approximating the AIS generator's "perturbation factor". 0 disables.
+	LabelNoise float64
+}
+
+// Generate draws N records from the attribute distributions, labels each
+// with cfg.Function, and returns the table. Generation is deterministic in
+// cfg.Seed.
+func Generate(cfg Config) (*dataset.Table, error) {
+	if !cfg.Function.Valid() {
+		return nil, fmt.Errorf("synth: invalid function %d", int(cfg.Function))
+	}
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("synth: N must be positive, got %d", cfg.N)
+	}
+	if cfg.LabelNoise < 0 || cfg.LabelNoise > 1 {
+		return nil, fmt.Errorf("synth: label noise %v not in [0,1]", cfg.LabelNoise)
+	}
+	r := prng.New(cfg.Seed)
+	// Label noise draws from an independent stream so the attribute values
+	// are identical for the same seed whether or not noise is enabled.
+	noiseRNG := prng.New(cfg.Seed ^ 0xA15A15A15A15A15A)
+	table := dataset.NewTable(Schema())
+	rec := make([]float64, numAttrs)
+	for i := 0; i < cfg.N; i++ {
+		sampleRecord(r, rec)
+		label := cfg.Function.Classify(rec)
+		if cfg.LabelNoise > 0 && noiseRNG.Bernoulli(cfg.LabelNoise) {
+			label = 1 - label
+		}
+		if err := table.Append(rec, label); err != nil {
+			return nil, err
+		}
+	}
+	return table, nil
+}
+
+// sampleRecord fills rec with one draw from the published attribute
+// distributions.
+func sampleRecord(r *prng.Source, rec []float64) {
+	salary := r.Uniform(20000, 150000)
+	rec[AttrSalary] = salary
+	if salary >= 75000 {
+		rec[AttrCommission] = 0
+	} else {
+		rec[AttrCommission] = r.Uniform(10000, 75000)
+	}
+	rec[AttrAge] = r.Uniform(20, 80)
+	rec[AttrElevel] = float64(r.Intn(5))
+	rec[AttrCar] = float64(1 + r.Intn(20))
+	zip := 1 + r.Intn(9)
+	rec[AttrZipcode] = float64(zip)
+	base := float64(zip) * 100000
+	rec[AttrHvalue] = r.Uniform(0.5*base, 1.5*base)
+	rec[AttrHyears] = float64(1 + r.Intn(30))
+	rec[AttrLoan] = r.Uniform(0, 500000)
+}

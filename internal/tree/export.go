@@ -1,0 +1,41 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the tree as indented ASCII with generic attribute names.
+func (t *Tree) String() string {
+	names := make([]string, t.NumAttrs)
+	for i := range names {
+		names[i] = fmt.Sprintf("attr%d", i)
+	}
+	classes := make([]string, t.NumClasses)
+	for i := range classes {
+		classes[i] = fmt.Sprintf("class%d", i)
+	}
+	return t.Render(names, classes)
+}
+
+// Render renders the tree as indented ASCII using the given attribute and
+// class names. Mismatched name counts fall back to generic names.
+func (t *Tree) Render(attrNames, classNames []string) string {
+	if len(attrNames) != t.NumAttrs || len(classNames) != t.NumClasses {
+		return t.String()
+	}
+	var b strings.Builder
+	renderNode(&b, t.Root, attrNames, classNames, 0)
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *Node, attrs, classes []string, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if n.IsLeaf() {
+		fmt.Fprintf(b, "%sleaf -> %s %v\n", indent, classes[n.Class], n.Counts)
+		return
+	}
+	fmt.Fprintf(b, "%s%s <= bin %d?\n", indent, attrs[n.Attr], n.Cut)
+	renderNode(b, n.Left, attrs, classes, depth+1)
+	renderNode(b, n.Right, attrs, classes, depth+1)
+}

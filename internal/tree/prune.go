@@ -1,0 +1,54 @@
+package tree
+
+import "math"
+
+// pruneZ is the standard normal quantile for C4.5's default confidence
+// factor CF = 25%: pessimistic error rates are the 75%-upper-confidence
+// bound of the observed training error rate.
+const pruneZ = 0.6744897501960817
+
+// prune applies bottom-up error-based pruning in the style of C4.5: a
+// subtree is collapsed into a leaf when the node-as-leaf pessimistic error
+// estimate does not exceed the sum of its leaves' estimates. This
+// substitutes for the MDL pruning of the paper's SPRINT-lineage learner;
+// both exist to stop noise in reconstructed data from growing spurious
+// branches.
+func prune(n *Node) float64 {
+	if n == nil {
+		return 0
+	}
+	asLeaf := pessimisticErrors(n)
+	if n.IsLeaf() {
+		return asLeaf
+	}
+	subtree := prune(n.Left) + prune(n.Right)
+	if asLeaf <= subtree {
+		n.Left, n.Right = nil, nil
+		return asLeaf
+	}
+	return subtree
+}
+
+// pessimisticErrors estimates the true number of errors the node would make
+// as a leaf: n times the upper confidence bound of the observed error rate
+// (normal approximation with continuity correction).
+func pessimisticErrors(n *Node) float64 {
+	total := 0
+	for _, c := range n.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	e := total - n.Counts[n.Class]
+	nf := float64(total)
+	p := (float64(e) + 0.5) / nf
+	if p > 1 {
+		p = 1
+	}
+	u := p + pruneZ*math.Sqrt(p*(1-p)/nf)
+	if u > 1 {
+		u = 1
+	}
+	return nf * u
+}

@@ -1,0 +1,148 @@
+// Package tree implements the decision-tree substrate of the reproduction: a
+// gini-index classifier over interval-valued (discretized) attributes, with
+// binary splits on interval boundaries, depth/size stopping rules, and
+// optional pessimistic pruning.
+//
+// Training data is accessed through the Source interface rather than a
+// concrete matrix. This is what lets the paper's three training modes share
+// one learner: Global/ByClass (and the Original/Randomized baselines)
+// provide a static matrix of interval indices, while Local re-derives the
+// interval assignment of every record at every node via distribution
+// reconstruction, exactly as §4 of the paper prescribes.
+package tree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Span is an inclusive range of interval indices. During growth the tree
+// tracks, for every attribute, the span of intervals still feasible on the
+// current path (ancestor splits shrink it); sources that recompute
+// assignments per node must honour it, otherwise a node's fresh assignment
+// can contradict the very split that created the node.
+type Span struct{ Lo, Hi int }
+
+// Contains reports whether bin b lies in the span.
+func (s Span) Contains(b int) bool { return b >= s.Lo && b <= s.Hi }
+
+// Count returns the number of intervals in the span.
+func (s Span) Count() int { return s.Hi - s.Lo + 1 }
+
+// Source supplies training data to Grow. Attribute values are interval
+// indices in [0, Bins(attr)).
+type Source interface {
+	// Len returns the number of records.
+	Len() int
+	// NumAttrs returns the number of attributes.
+	NumAttrs() int
+	// Bins returns the number of intervals of the given attribute.
+	Bins(attr int) int
+	// NumClasses returns the number of class labels.
+	NumClasses() int
+	// Label returns the class of record row.
+	Label(row int) int
+	// Values returns the interval index of attribute attr for each listed
+	// record, in order; every index must lie within span. Implementations
+	// may recompute assignments per call (the paper's Local mode does);
+	// callers must not retain the slice across calls.
+	Values(attr int, rows []int, span Span) []int
+}
+
+// DistribSource is an optional refinement of Source. When implemented, the
+// split search asks it for per-class interval distributions of the node's
+// records, replacing the histogram of Values in the gini evaluation. This is
+// how the paper's Local mode plugs in: the distribution at each node is
+// freshly reconstructed from the node's perturbed values, while record
+// routing still uses the stable Values assignment.
+type DistribSource interface {
+	Source
+	// NodeDistributions returns expected per-class counts over the
+	// intervals of attr for the given rows: dist[class][bin]. Bins outside
+	// span must carry zero mass. ok = false falls back to counting Values.
+	// Callers must not retain the returned slices across calls.
+	NodeDistributions(attr int, rows []int, span Span) (dist [][]float64, ok bool)
+}
+
+// StaticSource is a Source backed by a precomputed matrix of interval
+// indices, stored column-major.
+type StaticSource struct {
+	cols   [][]int // cols[attr][row]
+	bins   []int
+	labels []int
+	k      int // number of classes
+
+	buf []int // reused by Values
+}
+
+// NewStaticSource validates and wraps precomputed interval assignments.
+// cols[attr][row] must be in [0, bins[attr]); labels[row] in [0, numClasses).
+func NewStaticSource(cols [][]int, bins []int, labels []int, numClasses int) (*StaticSource, error) {
+	if len(cols) == 0 {
+		return nil, errors.New("tree: source needs at least one attribute")
+	}
+	if len(cols) != len(bins) {
+		return nil, fmt.Errorf("tree: %d columns but %d bin counts", len(cols), len(bins))
+	}
+	if numClasses < 2 {
+		return nil, fmt.Errorf("tree: need >= 2 classes, got %d", numClasses)
+	}
+	n := len(labels)
+	for a, col := range cols {
+		if len(col) != n {
+			return nil, fmt.Errorf("tree: column %d has %d rows, labels have %d", a, len(col), n)
+		}
+		if bins[a] < 1 {
+			return nil, fmt.Errorf("tree: attribute %d has %d bins", a, bins[a])
+		}
+		for i, v := range col {
+			if v < 0 || v >= bins[a] {
+				return nil, fmt.Errorf("tree: value %d of attribute %d row %d outside [0,%d)", v, a, i, bins[a])
+			}
+		}
+	}
+	for i, l := range labels {
+		if l < 0 || l >= numClasses {
+			return nil, fmt.Errorf("tree: label %d of row %d outside [0,%d)", l, i, numClasses)
+		}
+	}
+	return &StaticSource{cols: cols, bins: bins, labels: labels, k: numClasses}, nil
+}
+
+// Len implements Source.
+func (s *StaticSource) Len() int { return len(s.labels) }
+
+// NumAttrs implements Source.
+func (s *StaticSource) NumAttrs() int { return len(s.cols) }
+
+// Bins implements Source.
+func (s *StaticSource) Bins(attr int) int { return s.bins[attr] }
+
+// NumClasses implements Source.
+func (s *StaticSource) NumClasses() int { return s.k }
+
+// Label implements Source.
+func (s *StaticSource) Label(row int) int { return s.labels[row] }
+
+// Values implements Source. Static assignments already satisfy every span a
+// correct grower can pass (rows were routed by these very values), so the
+// span is only used to clamp defensively. The returned slice is reused
+// across calls.
+func (s *StaticSource) Values(attr int, rows []int, span Span) []int {
+	if cap(s.buf) < len(rows) {
+		s.buf = make([]int, len(rows))
+	}
+	out := s.buf[:len(rows)]
+	col := s.cols[attr]
+	for i, r := range rows {
+		v := col[r]
+		if v < span.Lo {
+			v = span.Lo
+		}
+		if v > span.Hi {
+			v = span.Hi
+		}
+		out[i] = v
+	}
+	return out
+}

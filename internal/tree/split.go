@@ -1,0 +1,114 @@
+package tree
+
+// split describes a candidate binary split: attribute attr, records with
+// interval index <= cut go left.
+type split struct {
+	attr, cut int
+	gain      float64
+}
+
+// findBestSplit evaluates every (attribute, boundary) candidate with the
+// gini index and returns the best; attr is -1 if no candidate satisfies the
+// MinLeaf constraint. Only boundaries inside the attribute's feasible span
+// are considered.
+//
+// Per-interval class masses are fractional: they come either from counting
+// Values (one pass over the rows) or, when the source implements
+// DistribSource, from the source's own per-node distribution estimate (the
+// paper's Local mode). The best boundary is then found by a prefix scan, so
+// the cost per attribute is O(rows + bins·classes).
+func findBestSplit(src Source, rows []int, spans []Span, parentCounts []int, minLeaf int) split {
+	best := split{attr: -1}
+	k := src.NumClasses()
+	n := len(rows)
+	parent := make([]float64, k)
+	for c, v := range parentCounts {
+		parent[c] = float64(v)
+	}
+	parentGini := giniOf(parent, float64(n))
+	ds, hasDistrib := src.(DistribSource)
+
+	for attr := 0; attr < src.NumAttrs(); attr++ {
+		span := spans[attr]
+		if span.Count() < 2 {
+			continue
+		}
+		bins := src.Bins(attr)
+		// counts[b*k+c] = mass of class c in interval b
+		counts := make([]float64, bins*k)
+		filled := false
+		if hasDistrib {
+			if dist, ok := ds.NodeDistributions(attr, rows, span); ok {
+				for c := range dist {
+					for b, v := range dist[c] {
+						counts[b*k+c] = v
+					}
+				}
+				filled = true
+			}
+		}
+		if !filled {
+			vals := src.Values(attr, rows, span)
+			for i, r := range rows {
+				counts[vals[i]*k+src.Label(r)]++
+			}
+		}
+		// total mass and per-class totals of this attribute's estimate (may
+		// differ slightly from the record counts when fractional)
+		attrTotals := make([]float64, k)
+		var attrN float64
+		for b := 0; b < bins; b++ {
+			for c := 0; c < k; c++ {
+				attrTotals[c] += counts[b*k+c]
+				attrN += counts[b*k+c]
+			}
+		}
+		// prefix scan over boundaries: left = intervals span.Lo..cut
+		left := make([]float64, k)
+		var nLeft float64
+		for cut := span.Lo; cut < span.Hi; cut++ {
+			for c := 0; c < k; c++ {
+				left[c] += counts[cut*k+c]
+				nLeft += counts[cut*k+c]
+			}
+			nRight := attrN - nLeft
+			if nLeft < float64(minLeaf) || nRight < float64(minLeaf) {
+				continue
+			}
+			gl := giniOf(left, nLeft)
+			gr := giniOfRight(attrTotals, left, nRight)
+			weighted := (nLeft*gl + nRight*gr) / attrN
+			gain := parentGini - weighted
+			if gain > best.gain || (gain == best.gain && best.attr == -1) {
+				best = split{attr: attr, cut: cut, gain: gain}
+			}
+		}
+	}
+	return best
+}
+
+func giniOf(counts []float64, n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := c / n
+		g -= p * p
+	}
+	return g
+}
+
+// giniOfRight computes gini of (totals − left) without materializing the
+// slice.
+func giniOfRight(totals, left []float64, n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	g := 1.0
+	for c := range totals {
+		p := (totals[c] - left[c]) / n
+		g -= p * p
+	}
+	return g
+}

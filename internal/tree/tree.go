@@ -1,0 +1,253 @@
+package tree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Default growth limits used when the corresponding Config field is zero.
+const (
+	DefaultMaxDepth = 30
+	DefaultMinLeaf  = 5
+	DefaultMinGain  = 1e-9
+)
+
+// Config controls tree growth. The zero value gives sensible defaults with
+// pessimistic pruning enabled.
+type Config struct {
+	// MaxDepth limits tree depth (root has depth 0). 0 means DefaultMaxDepth.
+	MaxDepth int
+	// MinLeaf is the minimum number of records in each child of a split.
+	// 0 means DefaultMinLeaf.
+	MinLeaf int
+	// MinGain is the minimum gini improvement required to split. 0 means
+	// DefaultMinGain.
+	MinGain float64
+	// DisablePruning turns off the post-growth pessimistic pruning pass.
+	DisablePruning bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxDepth == 0 {
+		c.MaxDepth = DefaultMaxDepth
+	}
+	if c.MinLeaf == 0 {
+		c.MinLeaf = DefaultMinLeaf
+	}
+	if c.MinGain == 0 {
+		c.MinGain = DefaultMinGain
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.MaxDepth < 0 {
+		return fmt.Errorf("tree: MaxDepth %d must be non-negative", c.MaxDepth)
+	}
+	if c.MinLeaf < 0 {
+		return fmt.Errorf("tree: MinLeaf %d must be non-negative", c.MinLeaf)
+	}
+	if c.MinGain < 0 {
+		return fmt.Errorf("tree: MinGain %v must be non-negative", c.MinGain)
+	}
+	return nil
+}
+
+// Node is one decision-tree node. Leaves have Left == Right == nil.
+type Node struct {
+	// Attr and Cut define the split of an internal node: records with
+	// interval index <= Cut on attribute Attr go left, the rest go right.
+	Attr int
+	Cut  int
+
+	Left, Right *Node
+
+	// Class is the majority class at this node (used when the node is a
+	// leaf, and as a fallback during pruning).
+	Class int
+	// Counts holds the per-class record counts seen at this node during
+	// training.
+	Counts []int
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// Tree is a trained decision tree.
+type Tree struct {
+	Root       *Node
+	NumAttrs   int
+	NumClasses int
+
+	// Importance[attr] accumulates the record-weighted gini gain of every
+	// split on attr; a crude but useful attribute-relevance signal.
+	Importance []float64
+}
+
+// Grow builds a tree from the source. Growth is deterministic: ties between
+// equally good splits are broken toward the lower attribute index and lower
+// cut.
+func Grow(src Source, cfg Config) (*Tree, error) {
+	if src == nil {
+		return nil, errors.New("tree: nil source")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if src.Len() == 0 {
+		return nil, errors.New("tree: empty training set")
+	}
+	if src.NumAttrs() == 0 {
+		return nil, errors.New("tree: source has no attributes")
+	}
+	t := &Tree{
+		NumAttrs:   src.NumAttrs(),
+		NumClasses: src.NumClasses(),
+		Importance: make([]float64, src.NumAttrs()),
+	}
+	rows := make([]int, src.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	g := &grower{src: src, cfg: cfg, tree: t, total: len(rows)}
+	spans := make([]Span, src.NumAttrs())
+	for a := range spans {
+		spans[a] = Span{Lo: 0, Hi: src.Bins(a) - 1}
+	}
+	t.Root = g.grow(rows, spans, 0)
+	if !cfg.DisablePruning {
+		prune(t.Root)
+	}
+	return t, nil
+}
+
+type grower struct {
+	src   Source
+	cfg   Config
+	tree  *Tree
+	total int
+}
+
+func (g *grower) grow(rows []int, spans []Span, depth int) *Node {
+	node := &Node{Counts: classCounts(g.src, rows)}
+	node.Class = argmax(node.Counts)
+
+	if depth >= g.cfg.MaxDepth || len(rows) < 2*g.cfg.MinLeaf || isPure(node.Counts) {
+		return node
+	}
+	best := findBestSplit(g.src, rows, spans, node.Counts, g.cfg.MinLeaf)
+	if best.attr < 0 || best.gain < g.cfg.MinGain {
+		return node
+	}
+	// Partition rows by re-fetching the winning attribute's assignments.
+	// With a static source this returns the same values evaluated during
+	// the search; with a Local source it recomputes the same deterministic
+	// reconstruction.
+	vals := g.src.Values(best.attr, rows, spans[best.attr])
+	var left, right []int
+	for i, r := range rows {
+		if vals[i] <= best.cut {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	if len(left) < g.cfg.MinLeaf || len(right) < g.cfg.MinLeaf {
+		return node
+	}
+	node.Attr = best.attr
+	node.Cut = best.cut
+	g.tree.Importance[best.attr] += best.gain * float64(len(rows)) / float64(g.total)
+
+	// Children inherit the path constraints, narrowed by this split.
+	leftSpans := append([]Span(nil), spans...)
+	rightSpans := append([]Span(nil), spans...)
+	leftSpans[best.attr].Hi = best.cut
+	rightSpans[best.attr].Lo = best.cut + 1
+	node.Left = g.grow(left, leftSpans, depth+1)
+	node.Right = g.grow(right, rightSpans, depth+1)
+	return node
+}
+
+func classCounts(src Source, rows []int) []int {
+	counts := make([]int, src.NumClasses())
+	for _, r := range rows {
+		counts[src.Label(r)]++
+	}
+	return counts
+}
+
+func isPure(counts []int) bool {
+	nonzero := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	return nonzero <= 1
+}
+
+func argmax(counts []int) int {
+	best, bestC := 0, -1
+	for i, c := range counts {
+		if c > bestC {
+			best, bestC = i, c
+		}
+	}
+	return best
+}
+
+// Predict classifies a record given its interval indices (one per
+// attribute).
+func (t *Tree) Predict(x []int) (int, error) {
+	if len(x) != t.NumAttrs {
+		return 0, fmt.Errorf("tree: record has %d attributes, tree expects %d", len(x), t.NumAttrs)
+	}
+	n := t.Root
+	for !n.IsLeaf() {
+		if x[n.Attr] <= n.Cut {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Class, nil
+}
+
+// NodeCount returns the total number of nodes.
+func (t *Tree) NodeCount() int { return countNodes(t.Root) }
+
+// LeafCount returns the number of leaves.
+func (t *Tree) LeafCount() int { return countLeaves(t.Root) }
+
+// Depth returns the depth of the deepest leaf (root = 0).
+func (t *Tree) Depth() int { return depthOf(t.Root) }
+
+func countNodes(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + countNodes(n.Left) + countNodes(n.Right)
+}
+
+func countLeaves(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	if n.IsLeaf() {
+		return 1
+	}
+	return countLeaves(n.Left) + countLeaves(n.Right)
+}
+
+func depthOf(n *Node) int {
+	if n == nil || n.IsLeaf() {
+		return 0
+	}
+	l, r := depthOf(n.Left), depthOf(n.Right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

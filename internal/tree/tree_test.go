@@ -1,0 +1,350 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ppdm/internal/prng"
+)
+
+// makeSource builds a StaticSource with the given columns; all attributes
+// share the same bin count.
+func makeSource(t *testing.T, cols [][]int, bins int, labels []int, classes int) *StaticSource {
+	t.Helper()
+	b := make([]int, len(cols))
+	for i := range b {
+		b[i] = bins
+	}
+	src, err := NewStaticSource(cols, b, labels, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func TestNewStaticSourceValidation(t *testing.T) {
+	good := [][]int{{0, 1, 2}}
+	labels := []int{0, 1, 0}
+	cases := []struct {
+		name    string
+		cols    [][]int
+		bins    []int
+		labels  []int
+		classes int
+	}{
+		{"no cols", nil, nil, labels, 2},
+		{"bins mismatch", good, []int{3, 3}, labels, 2},
+		{"one class", good, []int{3}, labels, 1},
+		{"row mismatch", [][]int{{0, 1}}, []int{3}, labels, 2},
+		{"zero bins", good, []int{0}, labels, 2},
+		{"value out of range", [][]int{{0, 5, 1}}, []int{3}, labels, 2},
+		{"negative value", [][]int{{0, -1, 1}}, []int{3}, labels, 2},
+		{"bad label", good, []int{3}, []int{0, 2, 0}, 2},
+	}
+	for _, c := range cases {
+		if _, err := NewStaticSource(c.cols, c.bins, c.labels, c.classes); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := NewStaticSource(good, []int{3}, labels, 2); err != nil {
+		t.Errorf("valid source rejected: %v", err)
+	}
+}
+
+func TestGrowValidation(t *testing.T) {
+	if _, err := Grow(nil, Config{}); err == nil {
+		t.Error("nil source accepted")
+	}
+	src := makeSource(t, [][]int{{0, 1}}, 2, []int{0, 1}, 2)
+	if _, err := Grow(src, Config{MaxDepth: -1}); err == nil {
+		t.Error("negative MaxDepth accepted")
+	}
+	if _, err := Grow(src, Config{MinLeaf: -1}); err == nil {
+		t.Error("negative MinLeaf accepted")
+	}
+	if _, err := Grow(src, Config{MinGain: -1}); err == nil {
+		t.Error("negative MinGain accepted")
+	}
+	empty := makeSource(t, [][]int{{}}, 2, []int{}, 2)
+	if _, err := Grow(empty, Config{}); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func TestPureDataYieldsLeaf(t *testing.T) {
+	src := makeSource(t, [][]int{{0, 1, 2, 3}}, 4, []int{1, 1, 1, 1}, 2)
+	tr, err := Grow(src, Config{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root.IsLeaf() || tr.Root.Class != 1 {
+		t.Fatalf("pure data should give a single leaf of class 1, got %+v", tr.Root)
+	}
+}
+
+func TestPerfectlySeparableSplit(t *testing.T) {
+	// class = bin <= 4 ? 0 : 1 on attribute 0; attribute 1 is constant.
+	var col0, col1, labels []int
+	for i := 0; i < 200; i++ {
+		b := i % 10
+		col0 = append(col0, b)
+		col1 = append(col1, 0)
+		if b <= 4 {
+			labels = append(labels, 0)
+		} else {
+			labels = append(labels, 1)
+		}
+	}
+	src := makeSource(t, [][]int{col0, col1}, 10, labels, 2)
+	tr, err := Grow(src, Config{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root.IsLeaf() {
+		t.Fatal("separable data yielded a leaf")
+	}
+	if tr.Root.Attr != 0 || tr.Root.Cut != 4 {
+		t.Fatalf("root split = attr%d cut %d, want attr0 cut 4", tr.Root.Attr, tr.Root.Cut)
+	}
+	for b := 0; b < 10; b++ {
+		want := 0
+		if b > 4 {
+			want = 1
+		}
+		got, err := tr.Predict([]int{b, 0})
+		if err != nil || got != want {
+			t.Fatalf("Predict(bin %d) = %d, %v; want %d", b, got, err, want)
+		}
+	}
+	// importance concentrated on attribute 0
+	if tr.Importance[0] <= 0 || tr.Importance[1] != 0 {
+		t.Errorf("importance = %v", tr.Importance)
+	}
+}
+
+func TestNestedConditionNeedsDepthTwo(t *testing.T) {
+	// class = (a0 >= 1) AND (a1 >= 1) over bins {0,1}: the root split has
+	// positive gain and the second level finishes the job.
+	var col0, col1, labels []int
+	for i := 0; i < 400; i++ {
+		a, b := (i/2)%2, i%2
+		col0 = append(col0, a)
+		col1 = append(col1, b)
+		labels = append(labels, a&b)
+	}
+	src := makeSource(t, [][]int{col0, col1}, 2, labels, 2)
+	tr, err := Grow(src, Config{MinLeaf: 1, MinGain: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			got, _ := tr.Predict([]int{a, b})
+			if got != a&b {
+				t.Fatalf("Predict(%d,%d) = %d, want %d\n%s", a, b, got, a&b, tr)
+			}
+		}
+	}
+	if tr.Depth() < 2 {
+		t.Errorf("AND tree depth = %d, want >= 2", tr.Depth())
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	r := prng.New(1)
+	var col, labels []int
+	for i := 0; i < 1000; i++ {
+		col = append(col, r.Intn(32))
+		labels = append(labels, r.Intn(2))
+	}
+	src := makeSource(t, [][]int{col}, 32, labels, 2)
+	tr, err := Grow(src, Config{MaxDepth: 3, MinLeaf: 1, DisablePruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() > 3 {
+		t.Errorf("depth %d exceeds MaxDepth 3", tr.Depth())
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	r := prng.New(2)
+	var col, labels []int
+	for i := 0; i < 500; i++ {
+		b := r.Intn(16)
+		col = append(col, b)
+		l := 0
+		if b >= 8 {
+			l = 1
+		}
+		if r.Bernoulli(0.2) {
+			l = 1 - l
+		}
+		labels = append(labels, l)
+	}
+	src := makeSource(t, [][]int{col}, 16, labels, 2)
+	const minLeaf = 40
+	tr, err := Grow(src, Config{MinLeaf: minLeaf, DisablePruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var check func(n *Node)
+	check = func(n *Node) {
+		total := 0
+		for _, c := range n.Counts {
+			total += c
+		}
+		if n.IsLeaf() {
+			if total < minLeaf {
+				t.Fatalf("leaf with %d records < MinLeaf %d", total, minLeaf)
+			}
+			return
+		}
+		check(n.Left)
+		check(n.Right)
+	}
+	check(tr.Root)
+}
+
+func TestPruningCollapsesNoise(t *testing.T) {
+	// Labels are pure coin flips; an unpruned tree overfits, the pruned
+	// tree should be (nearly) a single leaf.
+	r := prng.New(3)
+	var col, labels []int
+	for i := 0; i < 2000; i++ {
+		col = append(col, r.Intn(20))
+		labels = append(labels, r.Intn(2))
+	}
+	src := makeSource(t, [][]int{col}, 20, labels, 2)
+	unpruned, err := Grow(src, Config{MinLeaf: 1, DisablePruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := Grow(src, Config{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.NodeCount() >= unpruned.NodeCount() {
+		t.Errorf("pruning did not shrink the tree: %d vs %d nodes", pruned.NodeCount(), unpruned.NodeCount())
+	}
+	if pruned.NodeCount() > 5 {
+		t.Errorf("noise tree still has %d nodes after pruning", pruned.NodeCount())
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	src := makeSource(t, [][]int{{0, 1}}, 2, []int{0, 1}, 2)
+	tr, err := Grow(src, Config{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Predict([]int{0, 1}); err == nil {
+		t.Error("wrong-length record accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	r := prng.New(4)
+	var col0, col1, labels []int
+	for i := 0; i < 500; i++ {
+		col0 = append(col0, r.Intn(8))
+		col1 = append(col1, r.Intn(8))
+		labels = append(labels, r.Intn(2))
+	}
+	src := makeSource(t, [][]int{col0, col1}, 8, labels, 2)
+	a, _ := Grow(src, Config{})
+	b, _ := Grow(src, Config{})
+	if a.String() != b.String() {
+		t.Fatal("identical input produced different trees")
+	}
+}
+
+func TestCountsAndRender(t *testing.T) {
+	var col, labels []int
+	for i := 0; i < 100; i++ {
+		col = append(col, i%4)
+		labels = append(labels, map[bool]int{true: 0, false: 1}[i%4 <= 1])
+	}
+	src := makeSource(t, [][]int{col}, 4, labels, 2)
+	tr, err := Grow(src, Config{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NodeCount() != tr.LeafCount()*2-1 {
+		t.Errorf("binary tree invariant violated: %d nodes, %d leaves", tr.NodeCount(), tr.LeafCount())
+	}
+	out := tr.Render([]string{"age"}, []string{"B", "A"})
+	if !strings.Contains(out, "age <= bin") || !strings.Contains(out, "leaf ->") {
+		t.Errorf("Render output unexpected:\n%s", out)
+	}
+	// mismatched names fall back to generic rendering
+	fallback := tr.Render([]string{"x", "y"}, []string{"B", "A"})
+	if !strings.Contains(fallback, "attr0") {
+		t.Errorf("fallback render unexpected:\n%s", fallback)
+	}
+}
+
+// Property: on arbitrary data the tree trains and predicts a valid class for
+// every record, and training accuracy of an unpruned deep tree is >= the
+// majority-class rate.
+func TestGrowPredictProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, binsRaw, attrsRaw uint8) bool {
+		r := prng.New(seed)
+		n := int(nRaw%300) + 20
+		bins := int(binsRaw%10) + 2
+		attrs := int(attrsRaw%4) + 1
+		cols := make([][]int, attrs)
+		for a := range cols {
+			col := make([]int, n)
+			for i := range col {
+				col[i] = r.Intn(bins)
+			}
+			cols[a] = col
+		}
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = r.Intn(3)
+		}
+		binsV := make([]int, attrs)
+		for i := range binsV {
+			binsV[i] = bins
+		}
+		src, err := NewStaticSource(cols, binsV, labels, 3)
+		if err != nil {
+			return false
+		}
+		tr, err := Grow(src, Config{MinLeaf: 1, DisablePruning: true})
+		if err != nil {
+			return false
+		}
+		correct := 0
+		rec := make([]int, attrs)
+		for i := 0; i < n; i++ {
+			for a := range rec {
+				rec[a] = cols[a][i]
+			}
+			got, err := tr.Predict(rec)
+			if err != nil || got < 0 || got >= 3 {
+				return false
+			}
+			if got == labels[i] {
+				correct++
+			}
+		}
+		maj := 0
+		counts := make([]int, 3)
+		for _, l := range labels {
+			counts[l]++
+		}
+		for _, c := range counts {
+			if c > maj {
+				maj = c
+			}
+		}
+		return correct >= maj
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,55 @@
+package tree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate checks the structural invariants of a tree, returning the first
+// violation found. It is used when deserializing models from untrusted
+// input: every internal node must have two children, split on a valid
+// attribute at a cut that leaves both sides non-empty, and every node's
+// class must be a valid label.
+func (t *Tree) Validate() error {
+	if t == nil || t.Root == nil {
+		return errors.New("tree: nil tree or root")
+	}
+	if t.NumAttrs < 1 {
+		return fmt.Errorf("tree: invalid attribute count %d", t.NumAttrs)
+	}
+	if t.NumClasses < 2 {
+		return fmt.Errorf("tree: invalid class count %d", t.NumClasses)
+	}
+	if t.Importance != nil && len(t.Importance) != t.NumAttrs {
+		return fmt.Errorf("tree: importance has %d entries, want %d", len(t.Importance), t.NumAttrs)
+	}
+	return t.validateNode(t.Root)
+}
+
+func (t *Tree) validateNode(n *Node) error {
+	if n == nil {
+		return errors.New("tree: nil node")
+	}
+	if n.Class < 0 || n.Class >= t.NumClasses {
+		return fmt.Errorf("tree: node class %d outside [0,%d)", n.Class, t.NumClasses)
+	}
+	if n.Counts != nil && len(n.Counts) != t.NumClasses {
+		return fmt.Errorf("tree: node counts have %d entries, want %d", len(n.Counts), t.NumClasses)
+	}
+	if (n.Left == nil) != (n.Right == nil) {
+		return errors.New("tree: node with exactly one child")
+	}
+	if n.IsLeaf() {
+		return nil
+	}
+	if n.Attr < 0 || n.Attr >= t.NumAttrs {
+		return fmt.Errorf("tree: split attribute %d outside [0,%d)", n.Attr, t.NumAttrs)
+	}
+	if n.Cut < 0 {
+		return fmt.Errorf("tree: negative cut %d", n.Cut)
+	}
+	if err := t.validateNode(n.Left); err != nil {
+		return err
+	}
+	return t.validateNode(n.Right)
+}

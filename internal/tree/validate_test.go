@@ -1,0 +1,58 @@
+package tree
+
+import "testing"
+
+func TestValidateTrainedTree(t *testing.T) {
+	var col, labels []int
+	for i := 0; i < 200; i++ {
+		col = append(col, i%8)
+		l := 0
+		if i%8 >= 4 {
+			l = 1
+		}
+		labels = append(labels, l)
+	}
+	src := makeSource(t, [][]int{col}, 8, labels, 2)
+	tr, err := Grow(src, Config{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("trained tree invalid: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	leaf := func(class int) *Node { return &Node{Class: class, Counts: []int{1, 1}} }
+	cases := []struct {
+		name string
+		tr   *Tree
+	}{
+		{"nil tree", nil},
+		{"nil root", &Tree{NumAttrs: 1, NumClasses: 2}},
+		{"bad attrs", &Tree{Root: leaf(0), NumAttrs: 0, NumClasses: 2}},
+		{"bad classes", &Tree{Root: leaf(0), NumAttrs: 1, NumClasses: 1}},
+		{"bad importance", &Tree{Root: leaf(0), NumAttrs: 2, NumClasses: 2, Importance: []float64{1}}},
+		{"class out of range", &Tree{Root: leaf(5), NumAttrs: 1, NumClasses: 2}},
+		{"counts mismatch", &Tree{Root: &Node{Class: 0, Counts: []int{1}}, NumAttrs: 1, NumClasses: 2}},
+		{"one child", &Tree{Root: &Node{Class: 0, Counts: []int{1, 1}, Left: leaf(0)}, NumAttrs: 1, NumClasses: 2}},
+		{"split attr out of range", &Tree{
+			Root:     &Node{Class: 0, Counts: []int{1, 1}, Attr: 3, Left: leaf(0), Right: leaf(1)},
+			NumAttrs: 1, NumClasses: 2,
+		}},
+		{"negative cut", &Tree{
+			Root:     &Node{Class: 0, Counts: []int{1, 1}, Attr: 0, Cut: -1, Left: leaf(0), Right: leaf(1)},
+			NumAttrs: 1, NumClasses: 2,
+		}},
+		{"bad grandchild", &Tree{
+			Root: &Node{Class: 0, Counts: []int{1, 1}, Attr: 0, Cut: 1,
+				Left: leaf(0), Right: &Node{Class: 9, Counts: []int{1, 1}}},
+			NumAttrs: 1, NumClasses: 2,
+		}},
+	}
+	for _, c := range cases {
+		if err := c.tr.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted", c.name)
+		}
+	}
+}

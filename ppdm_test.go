@@ -1,0 +1,164 @@
+package ppdm_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ppdm"
+)
+
+// TestPublicPipeline exercises the whole library through the public facade
+// only: generate → perturb → reconstruct → train → evaluate.
+func TestPublicPipeline(t *testing.T) {
+	train, err := ppdm.Generate(ppdm.GenConfig{Function: ppdm.F2, N: 8000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := ppdm.Generate(ppdm.GenConfig{Function: ppdm.F2, N: 1500, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := ppdm.ModelsForAllAttrs(train.Schema(), "gaussian", 0.5, ppdm.DefaultConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed, err := ppdm.PerturbTable(train, models, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// reconstruction of one attribute's distribution
+	ageIdx, ok := train.Schema().AttrIndex("age")
+	if !ok {
+		t.Fatal("no age attribute")
+	}
+	part, err := ppdm.NewPartition(20, 80, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ppdm.Reconstruct(perturbed.Column(ageIdx), ppdm.ReconstructConfig{
+		Partition: part, Noise: models[ageIdx],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range res.P {
+		if p < 0 {
+			t.Fatal("negative reconstructed probability")
+		}
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("reconstruction sums to %v", sum)
+	}
+
+	clf, err := ppdm.Train(perturbed, ppdm.TrainConfig{Mode: ppdm.ByClass, Noise: models})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := clf.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Accuracy < 0.8 {
+		t.Errorf("public-API ByClass accuracy = %v, want > 0.8 at 50%% privacy", ev.Accuracy)
+	}
+}
+
+func TestPublicPrivacyMetrics(t *testing.T) {
+	g, err := ppdm.GaussianForPrivacy(1.0, 100, ppdm.DefaultConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl, err := ppdm.IntervalPrivacy(g, 100, ppdm.DefaultConfidence)
+	if err != nil || lvl < 0.999 || lvl > 1.001 {
+		t.Fatalf("IntervalPrivacy = %v, %v", lvl, err)
+	}
+	ep, err := ppdm.EntropyPrivacy([]float64{0.25, 0.25, 0.25, 0.25}, 25)
+	if err != nil || ep < 99 || ep > 101 {
+		t.Fatalf("EntropyPrivacy = %v, %v", ep, err)
+	}
+}
+
+func TestPublicCSVRoundTrip(t *testing.T) {
+	tb, err := ppdm.Generate(ppdm.GenConfig{Function: ppdm.F1, N: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ppdm.ReadCSV(&buf, ppdm.BenchmarkSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 20 {
+		t.Fatalf("round trip N = %d", back.N())
+	}
+}
+
+func TestPublicExperiments(t *testing.T) {
+	exps := ppdm.Experiments()
+	if len(exps) != 13 {
+		t.Fatalf("Experiments() returned %d, want 13", len(exps))
+	}
+	res, err := ppdm.RunExperiment("E4", ppdm.ExperimentConfig{Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "F1") {
+		t.Error("E4 render missing F1 row")
+	}
+}
+
+func TestPublicCustomSchema(t *testing.T) {
+	schema, err := ppdm.NewSchema(
+		[]ppdm.Attribute{
+			ppdm.NumericAttr("income", 0, 200000),
+			ppdm.IntegerAttr("visits", 0, 50),
+		},
+		[]string{"low", "high"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ppdm.NewTable(schema)
+	r := ppdm.NewRand(7)
+	for i := 0; i < 3000; i++ {
+		income := r.Uniform(0, 200000)
+		visits := float64(r.Intn(51))
+		label := 0
+		if income > 100000 {
+			label = 1
+		}
+		if err := tb.Append([]float64{income, visits}, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	models, err := ppdm.ModelsForAllAttrs(schema, "uniform", 0.5, ppdm.DefaultConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed, err := ppdm.PerturbTable(tb, models, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := ppdm.Train(perturbed, ppdm.TrainConfig{Mode: ppdm.ByClass, Noise: models})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := clf.Evaluate(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Accuracy < 0.85 {
+		t.Errorf("custom-schema accuracy = %v, want > 0.85", ev.Accuracy)
+	}
+}
