@@ -133,3 +133,84 @@ func BenchmarkPredict(b *testing.B) {
 }
 
 func BenchmarkE13DPBridge(b *testing.B) { benchExperiment(b, "E13") }
+
+// --- serial vs parallel pairs for the worker-pool engine ---
+//
+// Each pair runs the identical workload at Workers: 1 and Workers: 0 (all
+// cores); by the determinism contract the outputs are byte-identical, so the
+// pairs measure pure scheduling benefit. On a multi-core runner the parallel
+// variants should be ≥ 2× faster at 4+ cores; on a single-core machine they
+// degenerate to the serial cost plus negligible chunking overhead.
+
+func benchPerturbWorkers(b *testing.B, workers int) {
+	b.Helper()
+	tb := benchData(b, 50000)
+	models, err := ppdm.ModelsForAllAttrs(tb.Schema(), "gaussian", 1.0, ppdm.DefaultConfidence)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ppdm.PerturbTableWorkers(tb, models, uint64(i), workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPerturbTableSerial(b *testing.B)   { benchPerturbWorkers(b, 1) }
+func BenchmarkPerturbTableParallel(b *testing.B) { benchPerturbWorkers(b, 0) }
+
+func benchGenerateWorkers(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := ppdm.Generate(ppdm.GenConfig{Function: ppdm.F2, N: 50000, Seed: uint64(i), Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateSerial(b *testing.B)   { benchGenerateWorkers(b, 1) }
+func BenchmarkGenerateParallel(b *testing.B) { benchGenerateWorkers(b, 0) }
+
+func benchReconstructWorkers(b *testing.B, workers int) {
+	b.Helper()
+	tb := benchData(b, 50000)
+	models, _ := ppdm.ModelsForAllAttrs(tb.Schema(), "gaussian", 1.0, ppdm.DefaultConfidence)
+	perturbed, _ := ppdm.PerturbTable(tb, models, 2)
+	ageIdx, _ := tb.Schema().AttrIndex("age")
+	col := perturbed.Column(ageIdx)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh partition geometry per iteration defeats the transition
+		// cache, so the bench measures the full precompute + EM loop.
+		part, err := ppdm.NewPartition(20-float64(i+1)*1e-7, 80, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ppdm.Reconstruct(col, ppdm.ReconstructConfig{
+			Partition: part, Noise: models[ageIdx], Epsilon: 1e-3, Workers: workers,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstructSerial(b *testing.B)   { benchReconstructWorkers(b, 1) }
+func BenchmarkReconstructParallel(b *testing.B) { benchReconstructWorkers(b, 0) }
+
+func benchTrainByClassWorkers(b *testing.B, workers int) {
+	b.Helper()
+	tb := benchData(b, 50000)
+	models, _ := ppdm.ModelsForAllAttrs(tb.Schema(), "gaussian", 1.0, ppdm.DefaultConfidence)
+	perturbed, _ := ppdm.PerturbTable(tb, models, 2)
+	cfg := ppdm.TrainConfig{Mode: ppdm.ByClass, Noise: models, Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ppdm.Train(perturbed, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainByClassSerial(b *testing.B)   { benchTrainByClassWorkers(b, 1) }
+func BenchmarkTrainByClassParallel(b *testing.B) { benchTrainByClassWorkers(b, 0) }

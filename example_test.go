@@ -36,7 +36,7 @@ func Example() {
 	}
 	fmt.Printf("accuracy at 100%% privacy: %.1f%%\n", 100*ev.Accuracy)
 	// Output:
-	// accuracy at 100% privacy: 97.3%
+	// accuracy at 100% privacy: 97.4%
 }
 
 // Calibrating noise to the paper's privacy metric: at 95% confidence, a

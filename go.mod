@@ -1,0 +1,3 @@
+module ppdm
+
+go 1.24

@@ -11,13 +11,15 @@ import (
 
 // Bench runs the paper-reproduction experiment harness.
 //
-// Usage: ppdm-bench [-run E1,E5|all] [-scale 1.0] [-seed 42] [-list]
+// Usage: ppdm-bench [-run E1,E5|all] [-scale 1.0] [-seed 42] [-workers 0]
+// [-list]
 func Bench(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ppdm-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	run := fs.String("run", "all", "comma-separated experiment IDs (e.g. E1,E5) or \"all\"")
 	scale := fs.Float64("scale", 1.0, "workload scale; 1.0 = the paper's full size")
 	seed := fs.Uint64("seed", 42, "seed for data generation and perturbation")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores); results are identical for any value")
 	list := fs.Bool("list", false, "list available experiments and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -39,7 +41,7 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers}
 	for _, id := range ids {
 		res, err := experiments.RunByID(id, cfg)
 		if err != nil {

@@ -13,7 +13,7 @@ import (
 //
 // Usage: ppdm-gen [-fn F2] [-n 100000] [-seed 1] [-label-noise 0]
 // [-perturb uniform|gaussian] [-privacy 1.0] [-conf 0.95] [-noise-seed 2]
-// [-o file.csv]
+// [-workers 0] [-o file.csv]
 func Gen(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ppdm-gen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -25,6 +25,7 @@ func Gen(args []string, stdout, stderr io.Writer) int {
 	level := fs.Float64("privacy", 1.0, "privacy level as a fraction of each attribute's domain width")
 	conf := fs.Float64("conf", noise.DefaultConfidence, "confidence level of the privacy guarantee")
 	noiseSeed := fs.Uint64("noise-seed", 2, "perturbation seed")
+	workers := fs.Int("workers", 0, "worker goroutines for generation and perturbation (0 = all cores); output is identical for any value")
 	out := fs.String("o", "-", "output file (\"-\" = stdout)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -34,7 +35,7 @@ func Gen(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(stderr, err)
 	}
-	table, err := synth.Generate(synth.Config{Function: fn, N: *n, Seed: *seed, LabelNoise: *labelNoise})
+	table, err := synth.Generate(synth.Config{Function: fn, N: *n, Seed: *seed, LabelNoise: *labelNoise, Workers: *workers})
 	if err != nil {
 		return fail(stderr, err)
 	}
@@ -43,7 +44,7 @@ func Gen(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(stderr, err)
 		}
-		table, err = noise.PerturbTable(table, models, *noiseSeed)
+		table, err = noise.PerturbTableWorkers(table, models, *noiseSeed, *workers)
 		if err != nil {
 			return fail(stderr, err)
 		}

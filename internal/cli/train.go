@@ -21,7 +21,7 @@ import (
 //
 // Usage: ppdm-train -train train.csv -test test.csv [-mode byclass]
 // [-family gaussian] [-privacy 1.0] [-conf 0.95] [-intervals 50]
-// [-algorithm bayes|em] [-print-tree]
+// [-algorithm bayes|em] [-workers 0] [-print-tree]
 func Train(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ppdm-train", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -34,6 +34,7 @@ func Train(args []string, stdout, stderr io.Writer) int {
 	intervals := fs.Int("intervals", 0, "intervals per attribute (0 = default)")
 	algorithm := fs.String("algorithm", "bayes", "reconstruction algorithm: bayes|em")
 	learner := fs.String("learner", "tree", "learner: tree|nb (naive Bayes supports original/randomized/byclass)")
+	workers := fs.Int("workers", 0, "worker goroutines for training (0 = all cores); the trained model is identical for any value")
 	printTree := fs.Bool("print-tree", false, "print the trained decision tree")
 	savePath := fs.String("save", "", "write the trained tree model as JSON to this file")
 	if err := fs.Parse(args); err != nil {
@@ -77,7 +78,7 @@ func Train(args []string, stdout, stderr io.Writer) int {
 	var treeClf *core.Classifier
 	switch *learner {
 	case "tree":
-		cfg := core.Config{Mode: mode, Intervals: *intervals, ReconAlgorithm: alg, Noise: models}
+		cfg := core.Config{Mode: mode, Intervals: *intervals, ReconAlgorithm: alg, Noise: models, Workers: *workers}
 		treeClf, err = core.Train(trainTable, cfg)
 		if err != nil {
 			return fail(stderr, err)

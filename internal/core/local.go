@@ -23,6 +23,10 @@ import (
 // Reconstruction at a node is restricted to the attribute's feasible
 // sub-domain (the span the grower passes down) and is skipped for nodes or
 // classes with too few records to support a meaningful deconvolution.
+// The source holds no scratch state of its own: the parallel split search
+// invokes Values and NodeDistributions concurrently for different
+// attributes, so callers supply any reusable buffers (Values' dst) and
+// NodeDistributions allocates fresh result slices per call.
 type localSource struct {
 	table    *dataset.Table
 	labels   []int
@@ -30,9 +34,6 @@ type localSource struct {
 	cfg      Config
 	fallback [][]int // root ByClass assignment, cols[attr][row]
 	classes  int
-
-	buf  []int
-	dist [][]float64
 }
 
 // Len implements tree.Source.
@@ -52,11 +53,11 @@ func (s *localSource) Label(row int) int { return s.labels[row] }
 
 // Values implements tree.Source: the root ByClass assignment clamped into
 // the feasible span.
-func (s *localSource) Values(attr int, rows []int, span tree.Span) []int {
-	if cap(s.buf) < len(rows) {
-		s.buf = make([]int, len(rows))
+func (s *localSource) Values(attr int, rows []int, span tree.Span, dst []int) []int {
+	if cap(dst) < len(rows) {
+		dst = make([]int, len(rows))
 	}
-	out := s.buf[:len(rows)]
+	out := dst[:len(rows)]
 	fb := s.fallback[attr]
 	for i, r := range rows {
 		v := fb[r]
@@ -97,28 +98,24 @@ func (s *localSource) NodeDistributions(attr int, rows []int, span tree.Span) ([
 		return nil, false
 	}
 
-	if s.dist == nil {
-		s.dist = make([][]float64, s.classes)
-	}
+	dist := make([][]float64, s.classes)
 	for c := 0; c < s.classes; c++ {
-		if cap(s.dist[c]) < part.K {
-			s.dist[c] = make([]float64, part.K)
-		}
-		s.dist[c] = s.dist[c][:part.K]
-		for b := range s.dist[c] {
-			s.dist[c][b] = 0
-		}
+		dist[c] = make([]float64, part.K)
 		vals := byClassVals[c]
 		if len(vals) == 0 {
 			continue
 		}
-		res, err := reconstruct.Reconstruct(vals, reconCfg(s.cfg, sub, m))
+		// Node sub-partitions are one-off geometries: caching their weight
+		// matrices would only evict the recurring root-partition entries.
+		rcfg := reconCfg(s.cfg, sub, m)
+		rcfg.DisableWeightCache = true
+		res, err := reconstruct.Reconstruct(vals, rcfg)
 		if err != nil {
 			return nil, false
 		}
 		for b, p := range res.P {
-			s.dist[c][span.Lo+b] = p * float64(len(vals))
+			dist[c][span.Lo+b] = p * float64(len(vals))
 		}
 	}
-	return s.dist, true
+	return dist, true
 }

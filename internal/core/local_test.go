@@ -62,7 +62,7 @@ func TestLocalValuesRespectSpan(t *testing.T) {
 		rows[i] = i
 	}
 	span := tree.Span{Lo: 3, Hi: 17}
-	vals := src.Values(synth.AttrAge, rows, span)
+	vals := src.Values(synth.AttrAge, rows, span, nil)
 	for i, v := range vals {
 		if v < span.Lo || v > span.Hi {
 			t.Fatalf("row %d assigned bin %d outside span [%d,%d]", i, v, span.Lo, span.Hi)
@@ -133,8 +133,8 @@ func TestLocalDeterministicValues(t *testing.T) {
 		rows[i] = i
 	}
 	span := tree.Span{Lo: 0, Hi: src.Bins(synth.AttrAge) - 1}
-	a := append([]int(nil), src.Values(synth.AttrAge, rows, span)...)
-	b := src.Values(synth.AttrAge, rows, span)
+	a := append([]int(nil), src.Values(synth.AttrAge, rows, span, nil)...)
+	b := src.Values(synth.AttrAge, rows, span, nil)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatal("local Values not deterministic")

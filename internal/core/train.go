@@ -6,6 +6,7 @@ import (
 
 	"ppdm/internal/dataset"
 	"ppdm/internal/noise"
+	"ppdm/internal/parallel"
 	"ppdm/internal/reconstruct"
 	"ppdm/internal/tree"
 )
@@ -51,6 +52,15 @@ type Config struct {
 	// LocalMinRecords is Local mode's re-reconstruction threshold (default
 	// DefaultLocalMinRecords).
 	LocalMinRecords int
+	// Workers bounds the training parallelism (per-attribute and per-class
+	// reconstruction, split search); 0 means all cores. The trained model is
+	// bit-identical for every worker count.
+	Workers int
+	// DisableWeightCache bypasses the process-global transition-matrix cache
+	// during reconstruction. Set it when measuring training cost, so a run
+	// is not timed warm against matrices another run left behind; the
+	// trained model is identical either way.
+	DisableWeightCache bool
 }
 
 // Classifier is a trained privacy-preserving decision-tree model: the tree
@@ -95,6 +105,9 @@ func Train(train *dataset.Table, cfg Config) (*Classifier, error) {
 		// minimum keeps all modes comparable at every scale.
 		cfg.Tree.MinLeaf = adaptiveMinLeaf(train.N())
 	}
+	if cfg.Tree.Workers == 0 {
+		cfg.Tree.Workers = cfg.Workers
+	}
 
 	s := train.Schema()
 	parts := make([]reconstruct.Partition, s.NumAttrs())
@@ -114,7 +127,7 @@ func Train(train *dataset.Table, cfg Config) (*Classifier, error) {
 	var src tree.Source
 	switch cfg.Mode {
 	case Original, Randomized:
-		cols, err := directColumns(train, parts)
+		cols, err := directColumns(train, parts, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -191,35 +204,38 @@ func staticSource(cols [][]int, parts []reconstruct.Partition, labels []int, cla
 }
 
 // directColumns bins every value into its own interval: the
-// Original/Randomized path.
-func directColumns(t *dataset.Table, parts []reconstruct.Partition) ([][]int, error) {
-	cols := make([][]int, len(parts))
-	for j := range parts {
+// Original/Randomized path. Attributes are binned in parallel.
+func directColumns(t *dataset.Table, parts []reconstruct.Partition, cfg Config) ([][]int, error) {
+	return parallel.Map(len(parts), cfg.Workers, func(j int) ([]int, error) {
 		col := make([]int, t.N())
 		for i := 0; i < t.N(); i++ {
 			col[i] = parts[j].Bin(t.Row(i)[j])
 		}
-		cols[j] = col
-	}
-	return cols, nil
+		return col, nil
+	})
 }
 
-// reconCfg assembles the reconstruction configuration for one attribute.
+// reconCfg assembles the reconstruction configuration for one attribute. The
+// inner weight precompute stays serial: the per-attribute (and per-class)
+// callers below already run in parallel, and the matrices are cached anyway.
 func reconCfg(cfg Config, part reconstruct.Partition, m noise.Model) reconstruct.Config {
 	return reconstruct.Config{
-		Partition: part,
-		Noise:     m,
-		Algorithm: cfg.ReconAlgorithm,
-		MaxIters:  cfg.ReconMaxIters,
-		Epsilon:   cfg.ReconEpsilon,
+		Partition:          part,
+		Noise:              m,
+		Algorithm:          cfg.ReconAlgorithm,
+		MaxIters:           cfg.ReconMaxIters,
+		Epsilon:            cfg.ReconEpsilon,
+		Workers:            1,
+		DisableWeightCache: cfg.DisableWeightCache,
 	}
 }
 
 // globalColumns implements the Global mode: one reconstruction per attribute
-// over all records, then ordered re-assignment.
+// over all records, then ordered re-assignment. Attributes reconstruct in
+// parallel; each column depends only on its own values, so the result is
+// worker-count independent.
 func globalColumns(t *dataset.Table, parts []reconstruct.Partition, cfg Config) ([][]int, error) {
-	cols := make([][]int, len(parts))
-	for j := range parts {
+	return parallel.Map(len(parts), cfg.Workers, func(j int) ([]int, error) {
 		values := t.Column(j)
 		m, perturbed := cfg.Noise[j]
 		if !perturbed {
@@ -227,55 +243,59 @@ func globalColumns(t *dataset.Table, parts []reconstruct.Partition, cfg Config) 
 			for i, v := range values {
 				col[i] = parts[j].Bin(v)
 			}
-			cols[j] = col
-			continue
+			return col, nil
 		}
 		res, err := reconstruct.Reconstruct(values, reconCfg(cfg, parts[j], m))
 		if err != nil {
 			return nil, fmt.Errorf("core: reconstructing attribute %d: %w", j, err)
 		}
-		col, err := orderedAssign(values, res.P)
-		if err != nil {
-			return nil, err
-		}
-		cols[j] = col
-	}
-	return cols, nil
+		return orderedAssign(values, res.P)
+	})
 }
 
 // byClassColumns implements the ByClass mode: per attribute, reconstruct and
-// re-assign each class's records independently.
+// re-assign each class's records independently. The attribute × class tasks
+// are flattened into one parallel work list; each task writes a disjoint set
+// of rows of its own column.
 func byClassColumns(t *dataset.Table, parts []reconstruct.Partition, cfg Config) ([][]int, error) {
 	s := t.Schema()
+	classes := s.NumClasses()
 	cols := make([][]int, len(parts))
-	for j := range parts {
-		col := make([]int, t.N())
+	for j := range cols {
+		cols[j] = make([]int, t.N())
+	}
+	err := parallel.ForEach(len(parts)*classes, cfg.Workers, func(task int) error {
+		j, c := task/classes, task%classes
+		col := cols[j]
 		m, perturbed := cfg.Noise[j]
 		if !perturbed {
+			if c != 0 {
+				return nil // unperturbed attributes are binned once, by task c=0
+			}
 			for i := 0; i < t.N(); i++ {
 				col[i] = parts[j].Bin(t.Row(i)[j])
 			}
-			cols[j] = col
-			continue
+			return nil
 		}
-		for c := 0; c < s.NumClasses(); c++ {
-			values, rowIdx := t.ColumnForClass(j, c)
-			if len(values) == 0 {
-				continue
-			}
-			res, err := reconstruct.Reconstruct(values, reconCfg(cfg, parts[j], m))
-			if err != nil {
-				return nil, fmt.Errorf("core: reconstructing attribute %d class %d: %w", j, c, err)
-			}
-			bins, err := orderedAssign(values, res.P)
-			if err != nil {
-				return nil, err
-			}
-			for i, row := range rowIdx {
-				col[row] = bins[i]
-			}
+		values, rowIdx := t.ColumnForClass(j, c)
+		if len(values) == 0 {
+			return nil
 		}
-		cols[j] = col
+		res, err := reconstruct.Reconstruct(values, reconCfg(cfg, parts[j], m))
+		if err != nil {
+			return fmt.Errorf("core: reconstructing attribute %d class %d: %w", j, c, err)
+		}
+		bins, err := orderedAssign(values, res.P)
+		if err != nil {
+			return err
+		}
+		for i, row := range rowIdx {
+			col[row] = bins[i]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return cols, nil
 }

@@ -304,3 +304,30 @@ func TestReadCSVErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestNewTableFromDense(t *testing.T) {
+	s := MustSchema([]Attribute{NumericAttr("x", 0, 10), NumericAttr("y", 0, 10)}, []string{"a", "b"})
+	tb, err := NewTableFromDense(s, []float64{1, 2, 3, 4, 5, 6}, []int{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.N() != 3 || tb.Row(1)[0] != 3 || tb.Row(2)[1] != 6 || tb.Label(1) != 1 {
+		t.Fatalf("dense table misassembled: %v", tb)
+	}
+	// appending afterwards must not clobber neighbouring rows
+	if err := tb.Append([]float64{7, 8}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Row(2)[0] != 5 || tb.Row(3)[0] != 7 {
+		t.Fatal("append after dense construction corrupted rows")
+	}
+	if _, err := NewTableFromDense(s, []float64{1, 2, 3}, []int{0, 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewTableFromDense(s, []float64{1, math.NaN()}, []int{0}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := NewTableFromDense(s, []float64{1, 2}, []int{5}); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}

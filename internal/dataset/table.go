@@ -50,6 +50,38 @@ func (t *Table) Append(values []float64, label int) error {
 	return nil
 }
 
+// NewTableFromDense builds a table over s from a dense row-major values
+// slice (length n·NumAttrs) and n labels, applying the same validation as
+// Append. The rows alias values' storage — ownership transfers to the table
+// and the caller must not reuse the slice. This is the bulk-ingest path for
+// generators that fill a flat buffer in parallel; it performs no per-record
+// allocation or copying.
+func NewTableFromDense(s *Schema, values []float64, labels []int) (*Table, error) {
+	t := NewTable(s)
+	nAttrs := s.NumAttrs()
+	if len(values) != len(labels)*nAttrs {
+		return nil, fmt.Errorf("dataset: %d values for %d records of %d attributes", len(values), len(labels), nAttrs)
+	}
+	for j, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("dataset: record %d attribute %q has non-finite value %v", j/nAttrs, s.Attrs[j%nAttrs].Name, v)
+		}
+	}
+	for i, l := range labels {
+		if l < 0 || l >= s.NumClasses() {
+			return nil, fmt.Errorf("dataset: record %d label %d out of range [0,%d)", i, l, s.NumClasses())
+		}
+	}
+	t.rows = make([][]float64, len(labels))
+	for i := range t.rows {
+		// Full slice expressions cap each row so a later append cannot
+		// clobber its neighbour.
+		t.rows[i] = values[i*nAttrs : (i+1)*nAttrs : (i+1)*nAttrs]
+	}
+	t.labels = append([]int(nil), labels...)
+	return t, nil
+}
+
 // Row returns record i's values. The returned slice aliases the table's
 // storage; callers must not modify it (use RowCopy to mutate).
 func (t *Table) Row(i int) []float64 { return t.rows[i] }

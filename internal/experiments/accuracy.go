@@ -6,6 +6,7 @@ import (
 	"ppdm/internal/core"
 	"ppdm/internal/dataset"
 	"ppdm/internal/noise"
+	"ppdm/internal/parallel"
 	"ppdm/internal/synth"
 )
 
@@ -25,8 +26,8 @@ func init() {
 }
 
 // trainEval trains one mode and returns test accuracy.
-func trainEval(mode core.Mode, clean, perturbed, test *dataset.Table, models map[int]noise.Model) (float64, error) {
-	cfg := core.Config{Mode: mode}
+func trainEval(mode core.Mode, clean, perturbed, test *dataset.Table, models map[int]noise.Model, workers int) (float64, error) {
+	cfg := core.Config{Mode: mode, Workers: workers}
 	if mode.NeedsNoise() {
 		cfg.Noise = models
 	}
@@ -54,12 +55,16 @@ func runE5(cfg Config) (*Result, error) {
 		Title:   "test accuracy per function and training algorithm",
 		Columns: []string{"function", "original", "randomized", "global", "byclass", "local"},
 	}
-	for f := synth.F1; f <= synth.F5; f++ {
-		clean, err := synth.Generate(synth.Config{Function: f, N: nTrain, Seed: cfg.Seed + uint64(f)})
+	// One series point per classification function, computed in parallel;
+	// each point derives all of its seeds from (cfg.Seed, f) alone, so the
+	// table is identical for every worker count.
+	rows, err := parallel.Map(5, cfg.Workers, func(i int) ([]string, error) {
+		f := synth.F1 + synth.Function(i)
+		clean, err := synth.Generate(synth.Config{Function: f, N: nTrain, Seed: cfg.Seed + uint64(f), Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
-		test, err := synth.Generate(synth.Config{Function: f, N: nTest, Seed: cfg.Seed + 100 + uint64(f)})
+		test, err := synth.Generate(synth.Config{Function: f, N: nTest, Seed: cfg.Seed + 100 + uint64(f), Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -67,20 +72,24 @@ func runE5(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		perturbed, err := noise.PerturbTable(clean, models, cfg.Seed+200+uint64(f))
+		perturbed, err := noise.PerturbTableWorkers(clean, models, cfg.Seed+200+uint64(f), cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
 		row := []string{f.String()}
 		for _, mode := range core.Modes() {
-			acc, err := trainEval(mode, clean, perturbed, test, models)
+			acc, err := trainEval(mode, clean, perturbed, test, models, cfg.Workers)
 			if err != nil {
 				return nil, err
 			}
 			row = append(row, pct(acc))
 		}
-		tb.Rows = append(tb.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	tb.Rows = rows
 	return &Result{
 		ID:       "E5",
 		Title:    "Classification accuracy by training algorithm (100% privacy, gaussian)",
@@ -106,18 +115,21 @@ func runE6(cfg Config) (*Result, error) {
 			fmt.Sprintf("train n = %d (perturbed), test n = %d (clean); privacy at 95%% confidence", nTrain, nTest),
 		},
 	}
-	for f := synth.F1; f <= synth.F5; f++ {
-		clean, err := synth.Generate(synth.Config{Function: f, N: nTrain, Seed: cfg.Seed + uint64(f)})
+	// One table per function; the (function × privacy level) grid flattens
+	// into independent parallel points that only share read-only tables.
+	tables, err := parallel.Map(5, cfg.Workers, func(i int) (Table, error) {
+		f := synth.F1 + synth.Function(i)
+		clean, err := synth.Generate(synth.Config{Function: f, N: nTrain, Seed: cfg.Seed + uint64(f), Workers: cfg.Workers})
 		if err != nil {
-			return nil, err
+			return Table{}, err
 		}
-		test, err := synth.Generate(synth.Config{Function: f, N: nTest, Seed: cfg.Seed + 100 + uint64(f)})
+		test, err := synth.Generate(synth.Config{Function: f, N: nTest, Seed: cfg.Seed + 100 + uint64(f), Workers: cfg.Workers})
 		if err != nil {
-			return nil, err
+			return Table{}, err
 		}
-		origAcc, err := trainEval(core.Original, clean, clean, test, nil)
+		origAcc, err := trainEval(core.Original, clean, clean, test, nil, cfg.Workers)
 		if err != nil {
-			return nil, err
+			return Table{}, err
 		}
 		tb := Table{
 			Title: fmt.Sprintf("%s: accuracy vs privacy (original = %s)", f, pct(origAcc)),
@@ -125,29 +137,38 @@ func runE6(cfg Config) (*Result, error) {
 				"privacy", "byclass(gauss)", "byclass(unif)", "randomized(gauss)", "randomized(unif)",
 			},
 		}
-		for _, level := range levels {
+		rows, err := parallel.Map(len(levels), cfg.Workers, func(li int) ([]string, error) {
+			level := levels[li]
 			var byClass, randomized [2]float64 // indexed gaussian=0, uniform=1
 			for fi, family := range []string{"gaussian", "uniform"} {
 				models, err := noise.ModelsForAllAttrs(clean.Schema(), family, level, noise.DefaultConfidence)
 				if err != nil {
 					return nil, err
 				}
-				perturbed, err := noise.PerturbTable(clean, models, cfg.Seed+300+uint64(f))
+				perturbed, err := noise.PerturbTableWorkers(clean, models, cfg.Seed+300+uint64(f), cfg.Workers)
 				if err != nil {
 					return nil, err
 				}
-				if byClass[fi], err = trainEval(core.ByClass, clean, perturbed, test, models); err != nil {
+				if byClass[fi], err = trainEval(core.ByClass, clean, perturbed, test, models, cfg.Workers); err != nil {
 					return nil, err
 				}
-				if randomized[fi], err = trainEval(core.Randomized, clean, perturbed, test, models); err != nil {
+				if randomized[fi], err = trainEval(core.Randomized, clean, perturbed, test, models, cfg.Workers); err != nil {
 					return nil, err
 				}
 			}
-			tb.Rows = append(tb.Rows, []string{
+			return []string{
 				pct(level), pct(byClass[0]), pct(byClass[1]), pct(randomized[0]), pct(randomized[1]),
-			})
+			}, nil
+		})
+		if err != nil {
+			return Table{}, err
 		}
-		res.Tables = append(res.Tables, tb)
+		tb.Rows = rows
+		return tb, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Tables = tables
 	return res, nil
 }

@@ -25,7 +25,7 @@ func runE10(cfg Config) (*Result, error) {
 	}
 	for _, base := range []int{5000, 20000, 100000} {
 		n := cfg.scaled(base, 2000)
-		clean, err := synth.Generate(synth.Config{Function: synth.F2, N: n, Seed: cfg.Seed + 31})
+		clean, err := synth.Generate(synth.Config{Function: synth.F2, N: n, Seed: cfg.Seed + 31, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -33,13 +33,18 @@ func runE10(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		perturbed, err := noise.PerturbTable(clean, models, cfg.Seed+32)
+		perturbed, err := noise.PerturbTableWorkers(clean, models, cfg.Seed+32, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
+		// The scale points run serially on purpose: E10 reports wall-clock
+		// training time, so each Train call gets the machine to itself (with
+		// cfg.Workers cores available to the engine underneath). The weight
+		// cache is bypassed so no mode is timed warm against matrices an
+		// earlier mode left behind.
 		row := []string{fmt.Sprint(n)}
 		for _, mode := range core.Modes() {
-			tcfg := core.Config{Mode: mode}
+			tcfg := core.Config{Mode: mode, Workers: cfg.Workers, DisableWeightCache: true}
 			if mode.NeedsNoise() {
 				tcfg.Noise = models
 			}

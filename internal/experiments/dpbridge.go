@@ -5,6 +5,7 @@ import (
 
 	"ppdm/internal/core"
 	"ppdm/internal/noise"
+	"ppdm/internal/parallel"
 	"ppdm/internal/synth"
 )
 
@@ -25,15 +26,15 @@ func runE13(cfg Config) (*Result, error) {
 	nTrain := cfg.scaled(100000, 4000)
 	nTest := cfg.scaled(5000, 1000)
 
-	clean, err := synth.Generate(synth.Config{Function: synth.F2, N: nTrain, Seed: cfg.Seed + 61})
+	clean, err := synth.Generate(synth.Config{Function: synth.F2, N: nTrain, Seed: cfg.Seed + 61, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
-	test, err := synth.Generate(synth.Config{Function: synth.F2, N: nTest, Seed: cfg.Seed + 62})
+	test, err := synth.Generate(synth.Config{Function: synth.F2, N: nTest, Seed: cfg.Seed + 62, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
-	origAcc, err := trainEval(core.Original, clean, clean, test, nil)
+	origAcc, err := trainEval(core.Original, clean, clean, test, nil, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -44,7 +45,9 @@ func runE13(cfg Config) (*Result, error) {
 			"epsilon", "interval privacy @95%", "byclass", "randomized",
 		},
 	}
-	for _, eps := range []float64{8, 4, 2, 1, 0.5} {
+	epsilons := []float64{8, 4, 2, 1, 0.5}
+	rows, err := parallel.Map(len(epsilons), cfg.Workers, func(i int) ([]string, error) {
+		eps := epsilons[i]
 		models := make(map[int]noise.Model, clean.Schema().NumAttrs())
 		var level float64
 		for j, a := range clean.Schema().Attrs {
@@ -55,22 +58,24 @@ func runE13(cfg Config) (*Result, error) {
 			models[j] = l
 			level = noise.PrivacyLevel(l, a.Width(), noise.DefaultConfidence)
 		}
-		perturbed, err := noise.PerturbTable(clean, models, cfg.Seed+63)
+		perturbed, err := noise.PerturbTableWorkers(clean, models, cfg.Seed+63, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
-		bc, err := trainEval(core.ByClass, clean, perturbed, test, models)
+		bc, err := trainEval(core.ByClass, clean, perturbed, test, models, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
-		rd, err := trainEval(core.Randomized, clean, perturbed, test, models)
+		rd, err := trainEval(core.Randomized, clean, perturbed, test, models, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
-		tb.Rows = append(tb.Rows, []string{
-			f2(eps), pct(level), pct(bc), pct(rd),
-		})
+		return []string{f2(eps), pct(level), pct(bc), pct(rd)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	tb.Rows = rows
 	return &Result{
 		ID:       "E13",
 		Title:    "Differential-privacy bridge: ε-calibrated Laplace noise through the paper's pipeline",

@@ -24,6 +24,16 @@ type Config struct {
 	Scale float64
 	// Seed drives all data generation and perturbation.
 	Seed uint64
+	// Workers bounds each parallel stage of the run — the series-point
+	// fan-out within an experiment, and independently the pipeline stages
+	// beneath each point — not their product: nested stages each spawn up
+	// to Workers goroutines, and concurrent points hold their tables in
+	// memory simultaneously, so peak goroutines and RSS grow with the
+	// outer fan-out (~5× the serial footprint for the accuracy
+	// experiments). 0 means all cores. Every experiment's numeric output
+	// is bit-identical for every worker count; only wall-clock
+	// measurements (E10) vary.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {

@@ -7,6 +7,7 @@ import (
 	"ppdm/internal/bayes"
 	"ppdm/internal/core"
 	"ppdm/internal/noise"
+	"ppdm/internal/parallel"
 	"ppdm/internal/synth"
 )
 
@@ -39,12 +40,13 @@ func runE11(cfg Config) (*Result, error) {
 			"nb original", "nb randomized", "nb byclass",
 		},
 	}
-	for f := synth.F1; f <= synth.F5; f++ {
-		clean, err := synth.Generate(synth.Config{Function: f, N: nTrain, Seed: cfg.Seed + uint64(f)})
+	rows, err := parallel.Map(5, cfg.Workers, func(i int) ([]string, error) {
+		f := synth.F1 + synth.Function(i)
+		clean, err := synth.Generate(synth.Config{Function: f, N: nTrain, Seed: cfg.Seed + uint64(f), Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
-		test, err := synth.Generate(synth.Config{Function: f, N: nTest, Seed: cfg.Seed + 100 + uint64(f)})
+		test, err := synth.Generate(synth.Config{Function: f, N: nTest, Seed: cfg.Seed + 100 + uint64(f), Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -52,14 +54,14 @@ func runE11(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		perturbed, err := noise.PerturbTable(clean, models, cfg.Seed+200+uint64(f))
+		perturbed, err := noise.PerturbTableWorkers(clean, models, cfg.Seed+200+uint64(f), cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
 
 		row := []string{f.String()}
 		for _, mode := range []core.Mode{core.Original, core.Randomized, core.ByClass} {
-			acc, err := trainEval(mode, clean, perturbed, test, models)
+			acc, err := trainEval(mode, clean, perturbed, test, models, cfg.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -84,8 +86,12 @@ func runE11(cfg Config) (*Result, error) {
 			}
 			row = append(row, pct(ev.Accuracy))
 		}
-		tb.Rows = append(tb.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	tb.Rows = rows
 	return &Result{
 		ID:       "E11",
 		Title:    "Classifier transparency: decision tree vs naive Bayes",

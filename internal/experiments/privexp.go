@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ppdm/internal/noise"
+	"ppdm/internal/parallel"
 	"ppdm/internal/privacy"
 	"ppdm/internal/prng"
 	"ppdm/internal/reconstruct"
@@ -40,51 +41,58 @@ func runE9(cfg Config) (*Result, error) {
 	// Matching at 95% confidence makes uniform and gaussian nearly
 	// indistinguishable under the entropy measure (Π ≈ 1.053·level·width
 	// for both); matching at 50% exposes the gap the PODS'01 paper pointed
-	// out (gaussian Π ≈ 1.5× uniform Π).
-	for _, conf := range []float64{noise.DefaultConfidence, 0.5} {
-		for _, family := range []string{"uniform", "gaussian"} {
-			for _, level := range []float64{0.5, 1.0, 2.0} {
-				m, err := noise.ForPrivacy(family, level, width, conf)
-				if err != nil {
-					return nil, err
-				}
-				r := prng.New(cfg.Seed + 21)
-				perturbed := make([]float64, n)
-				for i := range perturbed {
-					perturbed[i] = r.Uniform(0, width) + m.Sample(r)
-				}
-				iv, err := privacy.IntervalPrivacy(m, width, conf)
-				if err != nil {
-					return nil, err
-				}
-				ep, err := privacy.ModelEntropyPrivacy(m, 8*width, 16000)
-				if err != nil {
-					return nil, err
-				}
-				cond, err := privacy.ConditionalFromPrior(perturbed, prior, part, m)
-				if err != nil {
-					return nil, err
-				}
-				// Worst case over a deterministic grid of observations,
-				// including near-edge values where the domain clips the
-				// noise.
-				worst := width
-				for _, obs := range []float64{-level * width / 2, 0, 25, 50, 75, 100, 100 + level*width/2} {
-					wc, err := privacy.WorstCaseInterval(obs, prior, part, m, conf)
-					if err != nil {
-						return nil, err
-					}
-					if wc < worst {
-						worst = wc
-					}
-				}
-				tb.Rows = append(tb.Rows, []string{
-					fmt.Sprintf("%s %.0f%%", family, level*100),
-					pct(conf), pct(iv), f2(ep), f2(cond.Posterior), pct(cond.Loss), f2(worst),
-				})
+	// out (gaussian Π ≈ 1.5× uniform Π). The confidence × family × level
+	// grid flattens into independent parallel points.
+	confs := []float64{noise.DefaultConfidence, 0.5}
+	families := []string{"uniform", "gaussian"}
+	levels := []float64{0.5, 1.0, 2.0}
+	rows, err := parallel.Map(len(confs)*len(families)*len(levels), cfg.Workers, func(i int) ([]string, error) {
+		conf := confs[i/(len(families)*len(levels))]
+		family := families[i/len(levels)%len(families)]
+		level := levels[i%len(levels)]
+		m, err := noise.ForPrivacy(family, level, width, conf)
+		if err != nil {
+			return nil, err
+		}
+		r := prng.New(cfg.Seed + 21)
+		perturbed := make([]float64, n)
+		for i := range perturbed {
+			perturbed[i] = r.Uniform(0, width) + m.Sample(r)
+		}
+		iv, err := privacy.IntervalPrivacy(m, width, conf)
+		if err != nil {
+			return nil, err
+		}
+		ep, err := privacy.ModelEntropyPrivacy(m, 8*width, 16000)
+		if err != nil {
+			return nil, err
+		}
+		cond, err := privacy.ConditionalFromPrior(perturbed, prior, part, m)
+		if err != nil {
+			return nil, err
+		}
+		// Worst case over a deterministic grid of observations,
+		// including near-edge values where the domain clips the
+		// noise.
+		worst := width
+		for _, obs := range []float64{-level * width / 2, 0, 25, 50, 75, 100, 100 + level*width/2} {
+			wc, err := privacy.WorstCaseInterval(obs, prior, part, m, conf)
+			if err != nil {
+				return nil, err
+			}
+			if wc < worst {
+				worst = wc
 			}
 		}
+		return []string{
+			fmt.Sprintf("%s %.0f%%", family, level*100),
+			pct(conf), pct(iv), f2(ep), f2(cond.Posterior), pct(cond.Loss), f2(worst),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	tb.Rows = rows
 	return &Result{
 		ID:       "E9",
 		Title:    "Privacy metrics: interval vs entropy vs conditional",

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ppdm/internal/noise"
+	"ppdm/internal/parallel"
 	"ppdm/internal/prng"
 	"ppdm/internal/reconstruct"
 	"ppdm/internal/stats"
@@ -78,25 +79,31 @@ func reconSeries(title string, samples func(int, *prng.Source) []float64, family
 	}
 	truth := part.Histogram(original)
 
-	tables := make([]Table, 0, len(levels)+1)
 	notes := []string{fmt.Sprintf("n = %d samples, %d intervals on [0,100]", n, k)}
 	summary := Table{
 		Title:   "reconstruction quality (L1 distance to original distribution)",
 		Columns: []string{"privacy", "L1(randomized)", "L1(reconstructed)", "iterations"},
 	}
-	for _, level := range levels {
+	// One series point per privacy level; points share only the read-only
+	// original sample and each re-seeds its own perturbation stream.
+	type point struct {
+		tb     Table
+		sumRow []string
+	}
+	points, err := parallel.Map(len(levels), cfg.Workers, func(li int) (point, error) {
+		level := levels[li]
 		m, err := noise.ForPrivacy(family, level, 100, noise.DefaultConfidence)
 		if err != nil {
-			return nil, nil, err
+			return point{}, err
 		}
 		nr := prng.New(cfg.Seed + 2)
 		perturbed := make([]float64, n)
 		for i, v := range original {
 			perturbed[i] = v + m.Sample(nr)
 		}
-		res, err := reconstruct.Reconstruct(perturbed, reconstruct.Config{Partition: part, Noise: m, Epsilon: 1e-3})
+		res, err := reconstruct.Reconstruct(perturbed, reconstruct.Config{Partition: part, Noise: m, Epsilon: 1e-3, Workers: cfg.Workers})
 		if err != nil {
-			return nil, nil, err
+			return point{}, err
 		}
 		raw := part.Histogram(perturbed)
 		tb := Table{
@@ -108,12 +115,19 @@ func reconSeries(title string, samples func(int, *prng.Source) []float64, family
 				f2(part.Midpoint(b)), f4(truth[b]), f4(raw[b]), f4(res.P[b]),
 			})
 		}
-		tables = append(tables, tb)
 		l1raw, _ := stats.L1(truth, raw)
 		l1rec, _ := stats.L1(truth, res.P)
-		summary.Rows = append(summary.Rows, []string{
+		return point{tb: tb, sumRow: []string{
 			pct(level), f4(l1raw), f4(l1rec), fmt.Sprint(res.Iters),
-		})
+		}}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	tables := make([]Table, 0, len(levels)+1)
+	for _, p := range points {
+		tables = append(tables, p.tb)
+		summary.Rows = append(summary.Rows, p.sumRow)
 	}
 	tables = append(tables, summary)
 	return tables, notes, nil
@@ -164,26 +178,32 @@ func runE7(cfg Config) (*Result, error) {
 		Title:   "reconstruction L1 error vs interval count (gaussian noise, 100% privacy)",
 		Columns: []string{"intervals", "L1(randomized)", "L1(bayes)", "L1(em)"},
 	}
-	for _, k := range []int{5, 10, 20, 50, 100, 200} {
+	ks := []int{5, 10, 20, 50, 100, 200}
+	rows, err := parallel.Map(len(ks), cfg.Workers, func(i int) ([]string, error) {
+		k := ks[i]
 		part, err := reconstruct.NewPartition(0, 100, k)
 		if err != nil {
 			return nil, err
 		}
 		truth := part.Histogram(original)
 		raw := part.Histogram(perturbed)
-		resB, err := reconstruct.Reconstruct(perturbed, reconstruct.Config{Partition: part, Noise: m, Epsilon: 1e-3})
+		resB, err := reconstruct.Reconstruct(perturbed, reconstruct.Config{Partition: part, Noise: m, Epsilon: 1e-3, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
-		resE, err := reconstruct.Reconstruct(perturbed, reconstruct.Config{Partition: part, Noise: m, Algorithm: reconstruct.EM, Epsilon: 1e-3})
+		resE, err := reconstruct.Reconstruct(perturbed, reconstruct.Config{Partition: part, Noise: m, Algorithm: reconstruct.EM, Epsilon: 1e-3, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
 		l1raw, _ := stats.L1(truth, raw)
 		l1b, _ := stats.L1(truth, resB.P)
 		l1e, _ := stats.L1(truth, resE.P)
-		tb.Rows = append(tb.Rows, []string{fmt.Sprint(k), f4(l1raw), f4(l1b), f4(l1e)})
+		return []string{fmt.Sprint(k), f4(l1raw), f4(l1b), f4(l1e)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	tb.Rows = rows
 	return &Result{
 		ID:       "E7",
 		Title:    "Reconstruction error vs interval count (ablation)",
@@ -206,8 +226,9 @@ func runE8(cfg Config) (*Result, error) {
 		Title:   "reconstruction L1 error vs sample size (gaussian noise, 100% privacy, 20 intervals)",
 		Columns: []string{"n", "L1(randomized)", "L1(bayes)", "L1(em)", "iters(bayes)", "iters(em)"},
 	}
-	for _, base := range []int{500, 2000, 10000, 50000, 100000} {
-		n := cfg.scaled(base, 200)
+	bases := []int{500, 2000, 10000, 50000, 100000}
+	rows, err := parallel.Map(len(bases), cfg.Workers, func(i int) ([]string, error) {
+		n := cfg.scaled(bases[i], 200)
 		r := prng.New(cfg.Seed + 11)
 		original := triangleSamples(n, r)
 		nr := prng.New(cfg.Seed + 12)
@@ -217,22 +238,26 @@ func runE8(cfg Config) (*Result, error) {
 		}
 		truth := part.Histogram(original)
 		raw := part.Histogram(perturbed)
-		resB, err := reconstruct.Reconstruct(perturbed, reconstruct.Config{Partition: part, Noise: m, Epsilon: 1e-3})
+		resB, err := reconstruct.Reconstruct(perturbed, reconstruct.Config{Partition: part, Noise: m, Epsilon: 1e-3, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
-		resE, err := reconstruct.Reconstruct(perturbed, reconstruct.Config{Partition: part, Noise: m, Algorithm: reconstruct.EM, Epsilon: 1e-3})
+		resE, err := reconstruct.Reconstruct(perturbed, reconstruct.Config{Partition: part, Noise: m, Algorithm: reconstruct.EM, Epsilon: 1e-3, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
 		l1raw, _ := stats.L1(truth, raw)
 		l1b, _ := stats.L1(truth, resB.P)
 		l1e, _ := stats.L1(truth, resE.P)
-		tb.Rows = append(tb.Rows, []string{
+		return []string{
 			fmt.Sprint(n), f4(l1raw), f4(l1b), f4(l1e),
 			fmt.Sprint(resB.Iters), fmt.Sprint(resE.Iters),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	tb.Rows = rows
 	return &Result{
 		ID:       "E8",
 		Title:    "Bayes (midpoint) vs EM (exact-interval) reconstruction",

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"ppdm/internal/parallel"
 	"ppdm/internal/stats"
 	"ppdm/internal/synth"
 )
@@ -24,7 +25,7 @@ func init() {
 
 func runE3(cfg Config) (*Result, error) {
 	n := cfg.scaled(100000, 5000)
-	tb, err := synth.Generate(synth.Config{Function: synth.F1, N: n, Seed: cfg.Seed + 3})
+	tb, err := synth.Generate(synth.Config{Function: synth.F1, N: n, Seed: cfg.Seed + 3, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -56,8 +57,9 @@ func runE4(cfg Config) (*Result, error) {
 		Title:   "fraction of records in Group A per classification function",
 		Columns: []string{"function", "P(Group A)", "attributes used"},
 	}
-	for f := synth.F1; f <= synth.F10; f++ {
-		tb, err := synth.Generate(synth.Config{Function: f, N: n, Seed: cfg.Seed + 4})
+	rows, err := parallel.Map(10, cfg.Workers, func(i int) ([]string, error) {
+		f := synth.F1 + synth.Function(i)
+		tb, err := synth.Generate(synth.Config{Function: f, N: n, Seed: cfg.Seed + 4, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -69,12 +71,16 @@ func runE4(cfg Config) (*Result, error) {
 			}
 			used += tb.Schema().Attrs[a].Name
 		}
-		out.Rows = append(out.Rows, []string{
+		return []string{
 			f.String(),
 			f3(float64(counts[synth.GroupA]) / float64(n)),
 			used,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Rows = rows
 	return &Result{
 		ID:       "E4",
 		Title:    "Classification function class balance",

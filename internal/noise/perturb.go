@@ -4,33 +4,54 @@ import (
 	"fmt"
 
 	"ppdm/internal/dataset"
+	"ppdm/internal/parallel"
 	"ppdm/internal/prng"
 )
+
+// PerturbChunk is the fixed record-chunk length of the parallel perturbation.
+// Each chunk draws its noise from an independent PRNG substream derived from
+// the seed and the chunk index, so the chunk grid — and therefore the output
+// — depends only on the table size and the seed, never on the worker count.
+const PerturbChunk = 2048
 
 // PerturbTable returns a deep copy of t in which each attribute listed in
 // models has independent noise added to every record (the paper's data
 // collection step: each provider randomizes its own record). Class labels
-// are never perturbed. Perturbation is deterministic in seed.
+// are never perturbed. Perturbation is deterministic in seed and runs on all
+// available cores; use PerturbTableWorkers to bound the parallelism.
 func PerturbTable(t *dataset.Table, models map[int]Model, seed uint64) (*dataset.Table, error) {
+	return PerturbTableWorkers(t, models, seed, 0)
+}
+
+// PerturbTableWorkers is PerturbTable with an explicit worker count
+// (0 = all cores). The output is bit-identical for every worker count: noise
+// for records [c·PerturbChunk, (c+1)·PerturbChunk) always comes from the c-th
+// substream of the seed, regardless of which worker processes the chunk.
+func PerturbTableWorkers(t *dataset.Table, models map[int]Model, seed uint64, workers int) (*dataset.Table, error) {
+	nAttrs := t.Schema().NumAttrs()
 	for j, m := range models {
-		if j < 0 || j >= t.Schema().NumAttrs() {
-			return nil, fmt.Errorf("noise: model for attribute %d, table has %d attributes", j, t.Schema().NumAttrs())
+		if j < 0 || j >= nAttrs {
+			return nil, fmt.Errorf("noise: model for attribute %d, table has %d attributes", j, nAttrs)
 		}
 		if m == nil {
 			return nil, fmt.Errorf("noise: nil model for attribute %d", j)
 		}
 	}
 	out := t.Clone()
-	r := prng.New(seed)
-	for i := 0; i < out.N(); i++ {
-		for j := 0; j < out.Schema().NumAttrs(); j++ {
-			m, ok := models[j]
-			if !ok {
-				continue
+	srcs := prng.SplitN(seed, parallel.NumChunks(out.N(), PerturbChunk))
+	parallel.ForEachChunk(out.N(), PerturbChunk, workers, func(c, lo, hi int) {
+		r := srcs[c]
+		for i := lo; i < hi; i++ {
+			row := out.Row(i)
+			for j := 0; j < nAttrs; j++ {
+				m, ok := models[j]
+				if !ok {
+					continue
+				}
+				out.SetValue(i, j, row[j]+m.Sample(r))
 			}
-			out.SetValue(i, j, out.Row(i)[j]+m.Sample(r))
 		}
-	}
+	})
 	return out, nil
 }
 

@@ -70,6 +70,20 @@ func (s *Source) Split() *Source {
 	return New(z ^ (z >> 31))
 }
 
+// SplitN derives n independent Sources from one seed: the c-th returned
+// Source is the c-th Split child of a fresh parent seeded with seed. This is
+// the substream constructor behind the library's chunked parallelism — the
+// stream of chunk c depends only on (seed, c), never on which worker
+// processes the chunk.
+func SplitN(seed uint64, n int) []*Source {
+	parent := New(seed)
+	out := make([]*Source, n)
+	for c := range out {
+		out[c] = parent.Split()
+	}
+	return out
+}
+
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

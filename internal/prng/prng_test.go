@@ -300,3 +300,30 @@ func BenchmarkNormFloat64(b *testing.B) {
 		_ = s.NormFloat64()
 	}
 }
+
+func TestSplitN(t *testing.T) {
+	srcs := SplitN(9, 8)
+	if len(srcs) != 8 {
+		t.Fatalf("SplitN returned %d sources", len(srcs))
+	}
+	// Each substream must match the corresponding sequential Split child...
+	parent := New(9)
+	for c, s := range srcs {
+		want := parent.Split().Uint64()
+		if got := s.Uint64(); got != want {
+			t.Fatalf("substream %d diverges from Split child", c)
+		}
+	}
+	// ...and distinct substreams must not collide on their first outputs.
+	seen := map[uint64]bool{}
+	for c, s := range SplitN(9, 8) {
+		v := s.Uint64()
+		if seen[v] {
+			t.Fatalf("substream %d repeats another substream's first output", c)
+		}
+		seen[v] = true
+	}
+	if out := SplitN(9, 0); len(out) != 0 {
+		t.Fatalf("SplitN(9, 0) returned %d sources", len(out))
+	}
+}

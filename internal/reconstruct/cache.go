@@ -1,0 +1,97 @@
+package reconstruct
+
+import (
+	"sync"
+
+	"ppdm/internal/noise"
+	"ppdm/internal/parallel"
+)
+
+// weightKey identifies one transition-weight matrix. The matrix entries are
+// A[s][t] = f(noise, algorithm, grid geometry), and the grid geometry of an
+// observationGrid aligned to a partition is fully captured by the partition
+// itself plus the grid's offset and length — so two reconstructions with the
+// same key compute bitwise-identical matrices.
+type weightKey struct {
+	model  noise.Model
+	alg    Algorithm
+	part   Partition
+	lowIdx int
+	nObs   int
+}
+
+// weightCache shares transition matrices across reconstructions. Training in
+// Global or ByClass mode reconstructs every attribute (× every class) with
+// the same noise model and partition family, and experiment harness runs
+// repeat those trainings across modes and series points; without the cache
+// each of them recomputes an identical m×k grid of density/CDF evaluations.
+//
+// The cache is bounded: when it exceeds weightCacheLimit entries it is
+// cleared wholesale (the matrices are cheap to rebuild and the working set of
+// any one pipeline run is far below the limit).
+var weightCache = struct {
+	sync.Mutex
+	m map[weightKey][][]float64
+}{m: make(map[weightKey][][]float64)}
+
+const weightCacheLimit = 64
+
+// cacheableModel reports whether the model may participate in the cache.
+// Only the library's own immutable value-struct models qualify: they compare
+// by value, so equal keys really mean equal matrices. User-supplied models
+// are never cached — a pointer-typed model would be keyed by pointer
+// identity (stale matrices after mutation), and exotic dynamic types can
+// panic as map keys.
+func cacheableModel(m noise.Model) bool {
+	switch m.(type) {
+	case noise.Uniform, noise.Gaussian, noise.Laplace:
+		return true
+	default:
+		return false
+	}
+}
+
+// transitionWeights returns the interaction-weight matrix A[s][t] between
+// observation interval s and domain interval t, computing it (in parallel,
+// bounded by cfg.Workers) on a cache miss. The returned matrix is shared and
+// must be treated as read-only.
+func transitionWeights(cfg Config, obs *observationGrid) [][]float64 {
+	cacheable := !cfg.DisableWeightCache && cacheableModel(cfg.Noise)
+	key := weightKey{alg: cfg.Algorithm, part: cfg.Partition, lowIdx: obs.lowIdx, nObs: len(obs.counts)}
+	if cacheable {
+		key.model = cfg.Noise
+		weightCache.Lock()
+		w, ok := weightCache.m[key]
+		weightCache.Unlock()
+		if ok {
+			return w
+		}
+	}
+
+	part := cfg.Partition
+	weights := make([][]float64, len(obs.counts))
+	parallel.ForEach(len(obs.counts), cfg.Workers, func(s int) error {
+		row := make([]float64, part.K)
+		for t := 0; t < part.K; t++ {
+			switch cfg.Algorithm {
+			case Bayes:
+				row[t] = cfg.Noise.Density(obs.midpoint(s) - part.Midpoint(t))
+			case EM:
+				row[t] = cfg.Noise.CDF(obs.hiEdge(s)-part.Midpoint(t)) -
+					cfg.Noise.CDF(obs.loEdge(s)-part.Midpoint(t))
+			}
+		}
+		weights[s] = row
+		return nil
+	})
+
+	if cacheable {
+		weightCache.Lock()
+		if len(weightCache.m) >= weightCacheLimit {
+			weightCache.m = make(map[weightKey][][]float64)
+		}
+		weightCache.m[key] = weights
+		weightCache.Unlock()
+	}
+	return weights
+}

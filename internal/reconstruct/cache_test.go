@@ -1,0 +1,141 @@
+package reconstruct
+
+import (
+	"fmt"
+	"testing"
+
+	"ppdm/internal/noise"
+	"ppdm/internal/prng"
+)
+
+func resetWeightCache() {
+	weightCache.Lock()
+	weightCache.m = make(map[weightKey][][]float64)
+	weightCache.Unlock()
+}
+
+func cachePerturbed(t *testing.T, n int) ([]float64, noise.Model, Partition) {
+	t.Helper()
+	m, err := noise.GaussianForPrivacy(1.0, 100, noise.DefaultConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := NewPartition(0, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prng.New(77)
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.Uniform(0, 100) + m.Sample(r)
+	}
+	return vals, m, part
+}
+
+// TestWeightWorkerDeterminism verifies the parallel weight precompute itself:
+// the cache is cleared between runs so the Workers=8 pass cannot shortcut
+// through the matrix computed by the Workers=1 pass.
+func TestWeightWorkerDeterminism(t *testing.T) {
+	vals, m, part := cachePerturbed(t, 20000)
+	for _, alg := range []Algorithm{Bayes, EM} {
+		var ps [2][]float64
+		for i, workers := range []int{1, 8} {
+			resetWeightCache()
+			res, err := Reconstruct(vals, Config{Partition: part, Noise: m, Algorithm: alg, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps[i] = res.P
+		}
+		for b := range ps[0] {
+			if ps[0][b] != ps[1][b] {
+				t.Fatalf("%v: bin %d differs between Workers=1 (fresh cache) and Workers=8 (fresh cache)", alg, b)
+			}
+		}
+	}
+}
+
+// TestWeightCacheHitAndBypass checks that identical geometries share one
+// matrix and that DisableWeightCache really bypasses the cache.
+func TestWeightCacheHitAndBypass(t *testing.T) {
+	vals, m, part := cachePerturbed(t, 5000)
+	resetWeightCache()
+	cfg := Config{Partition: part, Noise: m}
+	obs := newObservationGrid(vals, part)
+	w1 := transitionWeights(cfg, obs)
+	w2 := transitionWeights(cfg, obs)
+	if &w1[0][0] != &w2[0][0] {
+		t.Error("second identical reconstruction did not hit the cache")
+	}
+	cfg.DisableWeightCache = true
+	w3 := transitionWeights(cfg, obs)
+	if &w3[0][0] == &w1[0][0] {
+		t.Error("DisableWeightCache still returned the cached matrix")
+	}
+	for s := range w1 {
+		for k := range w1[s] {
+			if w1[s][k] != w3[s][k] {
+				t.Fatal("bypassed matrix differs from cached matrix")
+			}
+		}
+	}
+}
+
+// TestWeightCacheBounded floods the cache with distinct geometries and
+// checks the wholesale-clear bound holds.
+func TestWeightCacheBounded(t *testing.T) {
+	vals, m, _ := cachePerturbed(t, 200)
+	resetWeightCache()
+	for i := 0; i < 3*weightCacheLimit; i++ {
+		part, err := NewPartition(0, 100+float64(i), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Reconstruct(vals, Config{Partition: part, Noise: m, MaxIters: 1}); err != nil {
+			t.Fatalf("partition %d: %v", i, err)
+		}
+	}
+	weightCache.Lock()
+	size := len(weightCache.m)
+	weightCache.Unlock()
+	if size > weightCacheLimit {
+		t.Errorf("cache holds %d entries, limit is %d", size, weightCacheLimit)
+	}
+}
+
+// TestUncacheableModel ensures models with non-comparable dynamic types skip
+// the cache instead of panicking on map insertion.
+func TestUncacheableModel(t *testing.T) {
+	vals, _, part := cachePerturbed(t, 1000)
+	resetWeightCache()
+	m := funcModel{base: noise.Gaussian{Sigma: 10}}
+	res, err := Reconstruct(vals, Config{Partition: part, Noise: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range res.P {
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("reconstruction with uncacheable model sums to %v", sum)
+	}
+	weightCache.Lock()
+	size := len(weightCache.m)
+	weightCache.Unlock()
+	if size != 0 {
+		t.Errorf("uncacheable model was cached (%d entries)", size)
+	}
+}
+
+// funcModel carries a func field, making its dynamic type non-comparable.
+type funcModel struct {
+	base noise.Gaussian
+	f    func()
+}
+
+func (m funcModel) Name() string                         { return fmt.Sprintf("func-%v", m.f == nil) }
+func (m funcModel) Sample(r *prng.Source) float64        { return m.base.Sample(r) }
+func (m funcModel) Density(y float64) float64            { return m.base.Density(y) }
+func (m funcModel) CDF(y float64) float64                { return m.base.CDF(y) }
+func (m funcModel) ConfidenceWidth(conf float64) float64 { return m.base.ConfidenceWidth(conf) }

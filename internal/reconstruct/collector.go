@@ -79,6 +79,7 @@ func (c *Collector) Reconstruct(cfg Config) (Result, error) {
 		lo:     c.part.Lo + float64(c.minIdx)*c.part.Width(),
 		width:  c.part.Width(),
 		counts: make([]int, c.maxIdx-c.minIdx+1),
+		lowIdx: c.minIdx,
 	}
 	for idx, cnt := range c.counts {
 		grid.counts[idx-c.minIdx] = cnt

@@ -54,6 +54,15 @@ type Config struct {
 	// non-negative). Nil starts from the uniform distribution, as in the
 	// paper.
 	Prior []float64
+	// Workers bounds the parallelism of the transition-weight precompute;
+	// 0 means all cores. The result is bit-identical for every worker count.
+	Workers int
+	// DisableWeightCache bypasses the shared transition-matrix cache. Set it
+	// for one-off geometries (e.g. per-node sub-partitions in Local-mode
+	// training) whose matrices would never be re-hit and would only evict
+	// the recurring entries. Cached or not, the computed matrix is bitwise
+	// identical.
+	DisableWeightCache bool
 }
 
 // Result reports the reconstructed distribution and convergence behaviour.
@@ -117,22 +126,11 @@ func reconstructGrid(obs *observationGrid, cfg Config) (Result, error) {
 	part := cfg.Partition
 	k := part.K
 
-	// Precompute the interaction weights A[s][t] between observation
-	// interval s and domain interval t.
-	weights := make([][]float64, len(obs.counts))
-	for s := range weights {
-		row := make([]float64, k)
-		for t := 0; t < k; t++ {
-			switch cfg.Algorithm {
-			case Bayes:
-				row[t] = cfg.Noise.Density(obs.midpoint(s) - part.Midpoint(t))
-			case EM:
-				row[t] = cfg.Noise.CDF(obs.hiEdge(s)-part.Midpoint(t)) -
-					cfg.Noise.CDF(obs.loEdge(s)-part.Midpoint(t))
-			}
-		}
-		weights[s] = row
-	}
+	// Interaction weights A[s][t] between observation interval s and domain
+	// interval t, from the shared cache when an identical grid was already
+	// computed (Global/ByClass training recompute the same matrices many
+	// times over).
+	weights := transitionWeights(cfg, obs)
 
 	// Initialize the estimate.
 	p := make([]float64, k)
@@ -215,6 +213,11 @@ type observationGrid struct {
 	lo     float64 // lower edge of bucket 0
 	width  float64
 	counts []int
+	// lowIdx is the offset of bucket 0 on the partition grid (may be
+	// negative): lo == Partition.Lo + lowIdx·width. Together with the
+	// partition, noise model, algorithm, and bucket count it fully determines
+	// the transition-weight matrix, which is what makes the matrix cacheable.
+	lowIdx int
 }
 
 func newObservationGrid(values []float64, part Partition) *observationGrid {
@@ -238,6 +241,7 @@ func newObservationGrid(values []float64, part Partition) *observationGrid {
 		lo:     part.Lo + float64(lowIdx)*w,
 		width:  w,
 		counts: make([]int, highIdx-lowIdx+1),
+		lowIdx: lowIdx,
 	}
 	for _, v := range values {
 		i := int((v - g.lo) / w)

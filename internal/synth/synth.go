@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"ppdm/internal/dataset"
+	"ppdm/internal/parallel"
 	"ppdm/internal/prng"
 )
 
@@ -244,11 +245,20 @@ type Config struct {
 	// LabelNoise flips each record's class with this probability,
 	// approximating the AIS generator's "perturbation factor". 0 disables.
 	LabelNoise float64
+
+	// Workers bounds the generation parallelism; 0 means all cores. The
+	// generated table is bit-identical for every worker count.
+	Workers int
 }
+
+// GenChunk is the fixed record-chunk length of parallel generation. Chunk c
+// always draws from the c-th attribute and label-noise substreams of the
+// seed, so the output depends only on (Function, N, Seed, LabelNoise).
+const GenChunk = 4096
 
 // Generate draws N records from the attribute distributions, labels each
 // with cfg.Function, and returns the table. Generation is deterministic in
-// cfg.Seed.
+// cfg.Seed and independent of cfg.Workers.
 func Generate(cfg Config) (*dataset.Table, error) {
 	if !cfg.Function.Valid() {
 		return nil, fmt.Errorf("synth: invalid function %d", int(cfg.Function))
@@ -259,23 +269,28 @@ func Generate(cfg Config) (*dataset.Table, error) {
 	if cfg.LabelNoise < 0 || cfg.LabelNoise > 1 {
 		return nil, fmt.Errorf("synth: label noise %v not in [0,1]", cfg.LabelNoise)
 	}
-	r := prng.New(cfg.Seed)
-	// Label noise draws from an independent stream so the attribute values
+	chunks := parallel.NumChunks(cfg.N, GenChunk)
+	srcs := prng.SplitN(cfg.Seed, chunks)
+	// Label noise draws from independent substreams so the attribute values
 	// are identical for the same seed whether or not noise is enabled.
-	noiseRNG := prng.New(cfg.Seed ^ 0xA15A15A15A15A15A)
-	table := dataset.NewTable(Schema())
-	rec := make([]float64, numAttrs)
-	for i := 0; i < cfg.N; i++ {
-		sampleRecord(r, rec)
-		label := cfg.Function.Classify(rec)
-		if cfg.LabelNoise > 0 && noiseRNG.Bernoulli(cfg.LabelNoise) {
-			label = 1 - label
+	noiseSrcs := prng.SplitN(cfg.Seed^0xA15A15A15A15A15A, chunks)
+	// One flat backing array for all records: chunks write disjoint slices
+	// of it, and the table adopts it wholesale — no per-record copying.
+	buf := make([]float64, cfg.N*numAttrs)
+	labels := make([]int, cfg.N)
+	parallel.ForEachChunk(cfg.N, GenChunk, cfg.Workers, func(c, lo, hi int) {
+		r, noiseRNG := srcs[c], noiseSrcs[c]
+		for i := lo; i < hi; i++ {
+			rec := buf[i*numAttrs : (i+1)*numAttrs]
+			sampleRecord(r, rec)
+			label := cfg.Function.Classify(rec)
+			if cfg.LabelNoise > 0 && noiseRNG.Bernoulli(cfg.LabelNoise) {
+				label = 1 - label
+			}
+			labels[i] = label
 		}
-		if err := table.Append(rec, label); err != nil {
-			return nil, err
-		}
-	}
-	return table, nil
+	})
+	return dataset.NewTableFromDense(Schema(), buf, labels)
 }
 
 // sampleRecord fills rec with one draw from the published attribute

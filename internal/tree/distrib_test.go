@@ -42,7 +42,7 @@ func TestDistribSourceDrivesSplitSelection(t *testing.T) {
 	}
 	spans := []Span{{Lo: 0, Hi: 3}}
 	counts := classCounts(fake, rowsUpTo(n))
-	best := findBestSplit(fake, rowsUpTo(n), spans, counts, 1)
+	best := findBestSplit(fake, rowsUpTo(n), spans, counts, 1, 1, make([][]int, 1))
 	if fake.calls == 0 {
 		t.Fatal("DistribSource was never consulted")
 	}
@@ -70,7 +70,7 @@ func TestDistribSourceDeclineFallsBackToValues(t *testing.T) {
 	fake := &fakeDistribSource{StaticSource: static, dist: nil}
 	spans := []Span{{Lo: 0, Hi: 3}}
 	counts := classCounts(fake, rowsUpTo(n))
-	best := findBestSplit(fake, rowsUpTo(n), spans, counts, 1)
+	best := findBestSplit(fake, rowsUpTo(n), spans, counts, 1, 1, make([][]int, 1))
 	if fake.calls == 0 {
 		t.Fatal("DistribSource was never consulted")
 	}
@@ -129,7 +129,7 @@ func TestSpanHelpers(t *testing.T) {
 
 func TestStaticSourceValuesClampToSpan(t *testing.T) {
 	src := makeSource(t, [][]int{{0, 3, 7}}, 8, []int{0, 1, 0}, 2)
-	vals := src.Values(0, []int{0, 1, 2}, Span{Lo: 2, Hi: 5})
+	vals := src.Values(0, []int{0, 1, 2}, Span{Lo: 2, Hi: 5}, nil)
 	want := []int{2, 3, 5}
 	for i := range want {
 		if vals[i] != want[i] {

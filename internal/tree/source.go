@@ -31,6 +31,11 @@ func (s Span) Count() int { return s.Hi - s.Lo + 1 }
 
 // Source supplies training data to Grow. Attribute values are interval
 // indices in [0, Bins(attr)).
+//
+// The parallel split search calls Values (and NodeDistributions) for
+// different attributes concurrently, so implementations must be safe for
+// concurrent calls with distinct attr arguments — in practice: no shared
+// scratch buffers.
 type Source interface {
 	// Len returns the number of records.
 	Len() int
@@ -44,9 +49,12 @@ type Source interface {
 	Label(row int) int
 	// Values returns the interval index of attribute attr for each listed
 	// record, in order; every index must lie within span. Implementations
-	// may recompute assignments per call (the paper's Local mode does);
-	// callers must not retain the slice across calls.
-	Values(attr int, rows []int, span Span) []int
+	// may recompute assignments per call (the paper's Local mode does).
+	// dst, when its capacity suffices, is used as the result's backing
+	// storage so hot callers can amortize allocation; pass nil to let the
+	// implementation allocate. Callers must not retain the returned slice
+	// across calls with the same dst.
+	Values(attr int, rows []int, span Span, dst []int) []int
 }
 
 // DistribSource is an optional refinement of Source. When implemented, the
@@ -71,8 +79,6 @@ type StaticSource struct {
 	bins   []int
 	labels []int
 	k      int // number of classes
-
-	buf []int // reused by Values
 }
 
 // NewStaticSource validates and wraps precomputed interval assignments.
@@ -126,13 +132,14 @@ func (s *StaticSource) Label(row int) int { return s.labels[row] }
 
 // Values implements Source. Static assignments already satisfy every span a
 // correct grower can pass (rows were routed by these very values), so the
-// span is only used to clamp defensively. The returned slice is reused
-// across calls.
-func (s *StaticSource) Values(attr int, rows []int, span Span) []int {
-	if cap(s.buf) < len(rows) {
-		s.buf = make([]int, len(rows))
+// span is only used to clamp defensively. The source holds no scratch state
+// of its own (concurrent per-attribute searches pass their own dst), reusing
+// dst when it is big enough.
+func (s *StaticSource) Values(attr int, rows []int, span Span, dst []int) []int {
+	if cap(dst) < len(rows) {
+		dst = make([]int, len(rows))
 	}
-	out := s.buf[:len(rows)]
+	out := dst[:len(rows)]
 	col := s.cols[attr]
 	for i, r := range rows {
 		v := col[r]

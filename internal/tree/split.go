@@ -1,5 +1,7 @@
 package tree
 
+import "ppdm/internal/parallel"
+
 // split describes a candidate binary split: attribute attr, records with
 // interval index <= cut go left.
 type split struct {
@@ -12,13 +14,15 @@ type split struct {
 // MinLeaf constraint. Only boundaries inside the attribute's feasible span
 // are considered.
 //
-// Per-interval class masses are fractional: they come either from counting
-// Values (one pass over the rows) or, when the source implements
-// DistribSource, from the source's own per-node distribution estimate (the
-// paper's Local mode). The best boundary is then found by a prefix scan, so
-// the cost per attribute is O(rows + bins·classes).
-func findBestSplit(src Source, rows []int, spans []Span, parentCounts []int, minLeaf int) split {
-	best := split{attr: -1}
+// Attributes are searched in parallel (bounded by workers) and their
+// per-attribute winners reduced in ascending attribute order with a
+// strictly-greater comparison — the same tie-breaking (lowest attribute,
+// then lowest cut) as a serial attr-major/cut-minor scan, so the chosen
+// split is independent of the worker count.
+// slotScratch holds one reusable Values buffer per worker slot (its length
+// must cover parallel.Workers(workers)); the caller owns it across calls so
+// the buffers amortize over the whole tree.
+func findBestSplit(src Source, rows []int, spans []Span, parentCounts []int, minLeaf, workers int, slotScratch [][]int) split {
 	k := src.NumClasses()
 	n := len(rows)
 	parent := make([]float64, k)
@@ -26,62 +30,96 @@ func findBestSplit(src Source, rows []int, spans []Span, parentCounts []int, min
 		parent[c] = float64(v)
 	}
 	parentGini := giniOf(parent, float64(n))
-	ds, hasDistrib := src.(DistribSource)
 
-	for attr := 0; attr < src.NumAttrs(); attr++ {
-		span := spans[attr]
-		if span.Count() < 2 {
+	// Parallelizing tiny nodes costs more in scheduling than it saves —
+	// below the threshold the search runs inline on one goroutine. The
+	// shortcut is skipped for DistribSource: its per-attribute work is a
+	// full per-class reconstruction, expensive at any node size.
+	const parallelMinRows = 2048
+	_, isDistrib := src.(DistribSource)
+	if n < parallelMinRows && !isDistrib {
+		workers = 1
+	}
+	results := make([]split, src.NumAttrs())
+	parallel.ForEachSlot(src.NumAttrs(), workers, func(slot, attr int) error {
+		results[attr] = bestSplitForAttr(src, attr, rows, spans[attr], parentGini, minLeaf, &slotScratch[slot])
+		return nil
+	})
+
+	best := split{attr: -1}
+	for _, s := range results {
+		if s.attr < 0 {
 			continue
 		}
-		bins := src.Bins(attr)
-		// counts[b*k+c] = mass of class c in interval b
-		counts := make([]float64, bins*k)
-		filled := false
-		if hasDistrib {
-			if dist, ok := ds.NodeDistributions(attr, rows, span); ok {
-				for c := range dist {
-					for b, v := range dist[c] {
-						counts[b*k+c] = v
-					}
+		if s.gain > best.gain || (s.gain == best.gain && best.attr == -1) {
+			best = s
+		}
+	}
+	return best
+}
+
+// bestSplitForAttr finds the best boundary of one attribute.
+//
+// Per-interval class masses are fractional: they come either from counting
+// Values (one pass over the rows) or, when the source implements
+// DistribSource, from the source's own per-node distribution estimate (the
+// paper's Local mode). The best boundary is then found by a prefix scan, so
+// the cost per attribute is O(rows + bins·classes).
+func bestSplitForAttr(src Source, attr int, rows []int, span Span, parentGini float64, minLeaf int, valsBuf *[]int) split {
+	best := split{attr: -1}
+	if span.Count() < 2 {
+		return best
+	}
+	k := src.NumClasses()
+	bins := src.Bins(attr)
+	// counts[b*k+c] = mass of class c in interval b
+	counts := make([]float64, bins*k)
+	filled := false
+	if ds, hasDistrib := src.(DistribSource); hasDistrib {
+		if dist, ok := ds.NodeDistributions(attr, rows, span); ok {
+			for c := range dist {
+				for b, v := range dist[c] {
+					counts[b*k+c] = v
 				}
-				filled = true
 			}
+			filled = true
 		}
-		if !filled {
-			vals := src.Values(attr, rows, span)
-			for i, r := range rows {
-				counts[vals[i]*k+src.Label(r)]++
-			}
+	}
+	if !filled {
+		vals := src.Values(attr, rows, span, *valsBuf)
+		*valsBuf = vals
+		for i, r := range rows {
+			counts[vals[i]*k+src.Label(r)]++
 		}
-		// total mass and per-class totals of this attribute's estimate (may
-		// differ slightly from the record counts when fractional)
-		attrTotals := make([]float64, k)
-		var attrN float64
-		for b := 0; b < bins; b++ {
-			for c := 0; c < k; c++ {
-				attrTotals[c] += counts[b*k+c]
-				attrN += counts[b*k+c]
-			}
+	}
+	// total mass and per-class totals of this attribute's estimate (may
+	// differ slightly from the record counts when fractional)
+	attrTotals := make([]float64, k)
+	var attrN float64
+	for b := 0; b < bins; b++ {
+		for c := 0; c < k; c++ {
+			attrTotals[c] += counts[b*k+c]
+			attrN += counts[b*k+c]
 		}
-		// prefix scan over boundaries: left = intervals span.Lo..cut
-		left := make([]float64, k)
-		var nLeft float64
-		for cut := span.Lo; cut < span.Hi; cut++ {
-			for c := 0; c < k; c++ {
-				left[c] += counts[cut*k+c]
-				nLeft += counts[cut*k+c]
-			}
-			nRight := attrN - nLeft
-			if nLeft < float64(minLeaf) || nRight < float64(minLeaf) {
-				continue
-			}
-			gl := giniOf(left, nLeft)
-			gr := giniOfRight(attrTotals, left, nRight)
-			weighted := (nLeft*gl + nRight*gr) / attrN
-			gain := parentGini - weighted
-			if gain > best.gain || (gain == best.gain && best.attr == -1) {
-				best = split{attr: attr, cut: cut, gain: gain}
-			}
+	}
+	// prefix scan over boundaries: left = intervals span.Lo..cut
+	left := make([]float64, k)
+	var nLeft float64
+	for cut := span.Lo; cut < span.Hi; cut++ {
+		for c := 0; c < k; c++ {
+			left[c] += counts[cut*k+c]
+			nLeft += counts[cut*k+c]
+		}
+		nRight := attrN - nLeft
+		if nLeft < float64(minLeaf) || nRight < float64(minLeaf) {
+			continue
+		}
+		gl := giniOf(left, nLeft)
+		gr := giniOfRight(attrTotals, left, nRight)
+		weighted := (nLeft*gl + nRight*gr) / attrN
+		gain := parentGini - weighted
+		if gain > best.gain || (gain == best.gain && best.attr == -1) {
+			best = split{attr: attr, cut: cut, gain: gain}
 		}
 	}
 	return best

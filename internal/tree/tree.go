@@ -3,6 +3,8 @@ package tree
 import (
 	"errors"
 	"fmt"
+
+	"ppdm/internal/parallel"
 )
 
 // Default growth limits used when the corresponding Config field is zero.
@@ -25,6 +27,12 @@ type Config struct {
 	MinGain float64
 	// DisablePruning turns off the post-growth pessimistic pruning pass.
 	DisablePruning bool
+	// Workers bounds the parallelism of the per-node attribute split search;
+	// 0 means all cores. Grown trees are bit-identical for every worker
+	// count: each attribute's best split is found independently and the
+	// winners are compared in ascending attribute order, reproducing the
+	// serial scan's tie-breaking exactly.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -110,7 +118,13 @@ func Grow(src Source, cfg Config) (*Tree, error) {
 	for i := range rows {
 		rows[i] = i
 	}
-	g := &grower{src: src, cfg: cfg, tree: t, total: len(rows)}
+	g := &grower{
+		src:         src,
+		cfg:         cfg,
+		tree:        t,
+		total:       len(rows),
+		slotScratch: make([][]int, parallel.Workers(cfg.Workers)),
+	}
 	spans := make([]Span, src.NumAttrs())
 	for a := range spans {
 		spans[a] = Span{Lo: 0, Hi: src.Bins(a) - 1}
@@ -127,6 +141,12 @@ type grower struct {
 	cfg   Config
 	tree  *Tree
 	total int
+
+	// valsBuf is scratch for the serial partition step and slotScratch the
+	// per-worker-slot Values buffers of the split search; the recursive
+	// grow calls never overlap, so one set serves the whole tree.
+	valsBuf     []int
+	slotScratch [][]int
 }
 
 func (g *grower) grow(rows []int, spans []Span, depth int) *Node {
@@ -136,7 +156,7 @@ func (g *grower) grow(rows []int, spans []Span, depth int) *Node {
 	if depth >= g.cfg.MaxDepth || len(rows) < 2*g.cfg.MinLeaf || isPure(node.Counts) {
 		return node
 	}
-	best := findBestSplit(g.src, rows, spans, node.Counts, g.cfg.MinLeaf)
+	best := findBestSplit(g.src, rows, spans, node.Counts, g.cfg.MinLeaf, g.cfg.Workers, g.slotScratch)
 	if best.attr < 0 || best.gain < g.cfg.MinGain {
 		return node
 	}
@@ -144,7 +164,8 @@ func (g *grower) grow(rows []int, spans []Span, depth int) *Node {
 	// With a static source this returns the same values evaluated during
 	// the search; with a Local source it recomputes the same deterministic
 	// reconstruction.
-	vals := g.src.Values(best.attr, rows, spans[best.attr])
+	vals := g.src.Values(best.attr, rows, spans[best.attr], g.valsBuf)
+	g.valsBuf = vals
 	var left, right []int
 	for i, r := range rows {
 		if vals[i] <= best.cut {

@@ -30,6 +30,30 @@
 // privacy metrics (confidence-interval, differential-entropy, and
 // conditional), and the experiment harness that regenerates every table and
 // figure of the paper (see DESIGN.md and EXPERIMENTS.md).
+//
+// # Concurrency and determinism
+//
+// Every hot stage of the pipeline runs on a shared chunked worker-pool
+// engine (internal/parallel): record perturbation and synthetic generation
+// are processed in fixed-size chunks with per-chunk PRNG substreams,
+// training reconstructs attributes (and classes) in parallel and searches
+// tree splits across attributes in parallel, and the experiment harness
+// computes independent series points concurrently. Parallelism is bounded by
+// the Workers field on GenConfig, TrainConfig, TreeConfig,
+// ReconstructConfig, and ExperimentConfig (and by PerturbTableWorkers); 0
+// means all cores. The bound applies per parallel stage, not globally:
+// nested stages (an experiment point running Train, which itself fans out)
+// each spawn up to Workers goroutines, and concurrent experiment points keep
+// their tables in memory at once — at full paper scale expect a several-fold
+// peak-memory increase over a serial run.
+//
+// All of it obeys one determinism contract: results are a pure function of
+// the seed and the inputs, never of the worker count. Work decomposition
+// (chunk grids, PRNG substream derivation, reduction order) depends only on
+// the problem size, while workers merely race to claim chunks — so Workers:
+// 1 and Workers: 64 produce byte-identical tables, models, and experiment
+// output. Only wall-clock measurements (the E10 cost experiment) vary with
+// the worker count.
 package ppdm
 
 import (
@@ -243,9 +267,17 @@ func ModelsForAllAttrs(s *Schema, family string, level, conf float64) (map[int]N
 }
 
 // PerturbTable adds independent noise to each modeled attribute of every
-// record (deep copy; deterministic in seed).
+// record (deep copy; deterministic in seed). It parallelizes across all
+// cores; the result is identical to PerturbTableWorkers at any worker count.
 func PerturbTable(t *Table, models map[int]NoiseModel, seed uint64) (*Table, error) {
 	return noise.PerturbTable(t, models, seed)
+}
+
+// PerturbTableWorkers is PerturbTable with an explicit bound on the worker
+// goroutines (0 = all cores). The output is bit-identical for every worker
+// count.
+func PerturbTableWorkers(t *Table, models map[int]NoiseModel, seed uint64, workers int) (*Table, error) {
+	return noise.PerturbTableWorkers(t, models, seed, workers)
 }
 
 // DiscretizeTable applies the paper's value-class-membership operator.
