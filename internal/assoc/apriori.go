@@ -24,6 +24,9 @@ type MiningConfig struct {
 	// cost grows as 2^size, and the channel inversion's variance grows with
 	// size too, so randomized mining keeps this small.
 	MaxSize int
+	// Workers bounds the support-counting parallelism (0 = all cores).
+	// Mined itemsets and supports are identical for every worker count.
+	Workers int
 }
 
 // DefaultMaxSize is the default itemset-size bound.
@@ -46,24 +49,27 @@ func (c MiningConfig) withDefaults() (MiningConfig, error) {
 type supportFn func(items []int) (float64, error)
 
 // Frequent mines all frequent itemsets of the clean dataset with exact
-// support counting (classic Apriori). Results are sorted by size, then
-// lexicographically.
+// support counting (classic Apriori), sharded across cfg.Workers. Results
+// are sorted by size, then lexicographically.
 func Frequent(d *Dataset, cfg MiningConfig) ([]Itemset, error) {
 	if d == nil || d.N() == 0 {
 		return nil, fmt.Errorf("assoc: empty dataset")
 	}
-	return apriori(d.NumItems(), cfg, d.Support)
+	return apriori(d.NumItems(), cfg, func(items []int) (float64, error) {
+		return d.SupportWorkers(items, cfg.Workers)
+	})
 }
 
 // FrequentFromRandomized mines frequent itemsets of the *original* data
 // given only the randomized dataset: candidate supports are estimated by
-// inverting the randomization channel.
+// inverting the randomization channel, with pattern counting sharded across
+// cfg.Workers.
 func FrequentFromRandomized(randomized *Dataset, bf BitFlip, cfg MiningConfig) ([]Itemset, error) {
 	if randomized == nil || randomized.N() == 0 {
 		return nil, fmt.Errorf("assoc: empty dataset")
 	}
 	return apriori(randomized.NumItems(), cfg, func(items []int) (float64, error) {
-		return bf.EstimateSupport(randomized, items)
+		return bf.EstimateSupportWorkers(randomized, items, cfg.Workers)
 	})
 }
 

@@ -1,21 +1,19 @@
-// Package assoc implements privacy-preserving association-rule mining over
-// boolean transaction data — the extension the SIGMOD 2000 paper names as
-// future work, realized in the literature by Evfimievski, Srikant, Agrawal
-// & Gehrke (KDD 2002).
-//
-// Each transaction is a set of items. Providers randomize their
-// transactions with independent per-item bit flips before sharing them; the
-// miner estimates the true support of candidate itemsets by inverting the
-// per-item randomization channel, and runs Apriori over the estimated
-// supports. Individual transactions stay plausibly deniable while frequent
-// itemsets are recovered.
 package assoc
 
 import (
 	"errors"
 	"fmt"
 	"math/bits"
+
+	"ppdm/internal/parallel"
 )
+
+// TxChunk is the fixed transaction-chunk length of parallel support
+// counting: the dataset is read as a stream of TxChunk-sized shards, each
+// counted independently on internal/parallel and folded in index order.
+// Counts are exact integers, so the result is identical for every worker
+// count.
+const TxChunk = 4096
 
 // Dataset is a collection of boolean transactions over a fixed item
 // universe, stored as packed bitsets.
@@ -80,8 +78,17 @@ func (d *Dataset) Size(i int) int {
 }
 
 // Support returns the exact fraction of transactions containing every item
-// of the set.
+// of the set, counting on all available cores; use SupportWorkers to bound
+// the parallelism.
 func (d *Dataset) Support(items []int) (float64, error) {
+	return d.SupportWorkers(items, 0)
+}
+
+// SupportWorkers is Support with an explicit worker count (0 = all cores).
+// Transactions are streamed through the TxChunk shard grid; per-shard counts
+// are folded in index order, so the result is identical for every worker
+// count.
+func (d *Dataset) SupportWorkers(items []int, workers int) (float64, error) {
 	if d.n == 0 {
 		return 0, errors.New("assoc: empty dataset")
 	}
@@ -90,11 +97,23 @@ func (d *Dataset) Support(items []int) (float64, error) {
 			return 0, fmt.Errorf("assoc: item %d outside universe [0,%d)", it, d.numItems)
 		}
 	}
-	count := 0
-	for i := 0; i < d.n; i++ {
-		if d.ContainsAll(i, items) {
-			count++
-		}
+	count, err := parallel.MapReduce(parallel.NumChunks(d.n, TxChunk), workers, 0,
+		func(c int) (int, error) {
+			lo, hi := c*TxChunk, (c+1)*TxChunk
+			if hi > d.n {
+				hi = d.n
+			}
+			shard := 0
+			for i := lo; i < hi; i++ {
+				if d.ContainsAll(i, items) {
+					shard++
+				}
+			}
+			return shard, nil
+		},
+		func(acc, v int) int { return acc + v })
+	if err != nil {
+		return 0, err
 	}
 	return float64(count) / float64(d.n), nil
 }
@@ -103,8 +122,17 @@ func (d *Dataset) Support(items []int) (float64, error) {
 // frequency of every presence/absence pattern across all transactions:
 // counts[mask] is the number of transactions t where item items[b] ∈ t
 // exactly for the bits b set in mask. len(items) is limited to 20 to bound
-// the 2^k table.
+// the 2^k table. Counting runs on all available cores; use
+// PatternCountsWorkers to bound the parallelism.
 func (d *Dataset) PatternCounts(items []int) ([]int, error) {
+	return d.PatternCountsWorkers(items, 0)
+}
+
+// PatternCountsWorkers is PatternCounts with an explicit worker count
+// (0 = all cores). Transactions are streamed through the TxChunk shard grid
+// into per-worker-slot tables that are summed at the end; the sums are
+// exact integers, so the result is identical for every worker count.
+func (d *Dataset) PatternCountsWorkers(items []int, workers int) ([]int, error) {
 	k := len(items)
 	if k == 0 || k > 20 {
 		return nil, fmt.Errorf("assoc: pattern counting needs 1..20 items, got %d", k)
@@ -114,16 +142,42 @@ func (d *Dataset) PatternCounts(items []int) ([]int, error) {
 			return nil, fmt.Errorf("assoc: item %d outside universe [0,%d)", it, d.numItems)
 		}
 	}
-	counts := make([]int, 1<<uint(k))
-	for i := 0; i < d.n; i++ {
-		mask := 0
-		base := i * d.words
-		for b, it := range items {
-			if d.rows[base+it/64]&(1<<(uint(it)%64)) != 0 {
-				mask |= 1 << uint(b)
-			}
+	// One accumulator table per worker slot, not per shard: pattern counting
+	// can run over millions of transactions, and materializing a 2^k table
+	// for every TxChunk shard would dwarf the dataset itself. Integer sums
+	// are order-independent, so folding the slot tables afterwards keeps the
+	// result identical for every worker count.
+	w := parallel.Workers(workers)
+	slotCounts := make([][]int, w)
+	for s := range slotCounts {
+		slotCounts[s] = make([]int, 1<<uint(k))
+	}
+	err := parallel.ForEachSlot(parallel.NumChunks(d.n, TxChunk), workers, func(slot, c int) error {
+		shard := slotCounts[slot]
+		lo, hi := c*TxChunk, (c+1)*TxChunk
+		if hi > d.n {
+			hi = d.n
 		}
-		counts[mask]++
+		for i := lo; i < hi; i++ {
+			mask := 0
+			base := i * d.words
+			for b, it := range items {
+				if d.rows[base+it/64]&(1<<(uint(it)%64)) != 0 {
+					mask |= 1 << uint(b)
+				}
+			}
+			shard[mask]++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int, 1<<uint(k))
+	for _, shard := range slotCounts {
+		for m, v := range shard {
+			counts[m] += v
+		}
 	}
 	return counts, nil
 }

@@ -1,0 +1,18 @@
+// Package assoc implements privacy-preserving association-rule mining over
+// boolean transaction data — the extension the SIGMOD 2000 paper names as
+// future work (§7), realized in the literature by Evfimievski, Srikant,
+// Agrawal & Gehrke (KDD 2002) and revisited for randomization channels by
+// Mohaisen & Hong.
+//
+// Each transaction is a set of items. Providers randomize their
+// transactions with independent per-item bit flips before sharing them; the
+// miner estimates the true support of candidate itemsets by inverting the
+// per-item randomization channel, and runs Apriori over the estimated
+// supports. Individual transactions stay plausibly deniable while frequent
+// itemsets are recovered.
+//
+// Support counting — the Apriori hot path — reads the transactions as a
+// stream of TxChunk-sized shards on the internal/parallel worker pool, with
+// per-shard counts folded in index order; MiningConfig.Workers bounds the
+// parallelism and every worker count produces identical results.
+package assoc

@@ -72,7 +72,14 @@ func (bf BitFlip) DeniabilityOdds() float64 {
 // all-present pattern, clamped to [0, 1] (sampling noise can push the raw
 // estimate slightly outside).
 func (bf BitFlip) EstimateSupport(randomized *Dataset, items []int) (float64, error) {
-	counts, err := randomized.PatternCounts(items)
+	return bf.EstimateSupportWorkers(randomized, items, 0)
+}
+
+// EstimateSupportWorkers is EstimateSupport with an explicit bound on the
+// pattern-counting parallelism (0 = all cores); the estimate is identical
+// for every worker count.
+func (bf BitFlip) EstimateSupportWorkers(randomized *Dataset, items []int, workers int) (float64, error) {
+	counts, err := randomized.PatternCountsWorkers(items, workers)
 	if err != nil {
 		return 0, err
 	}

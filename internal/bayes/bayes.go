@@ -1,13 +1,3 @@
-// Package bayes implements a naïve Bayes classifier over interval
-// distributions, demonstrating the paper's claim that its randomization
-// scheme is transparent to the downstream learner: any classifier that
-// consumes class-conditional attribute distributions can train on the
-// reconstructed ones.
-//
-// Naïve Bayes is in fact an even more natural fit than the decision tree:
-// it needs nothing but per-class per-attribute distributions, so the
-// ByClass reconstruction output plugs in directly — no ordered re-assignment
-// of individual records is required at all.
 package bayes
 
 import (
@@ -58,6 +48,48 @@ type Classifier struct {
 	Partitions []reconstruct.Partition
 }
 
+// withDefaults validates the config and fills zero fields; shared by Train
+// and TrainStream.
+func (cfg Config) withDefaults() (Config, error) {
+	switch cfg.Mode {
+	case core.Original, core.Randomized, core.ByClass:
+	default:
+		return cfg, fmt.Errorf("bayes: unsupported mode %v", cfg.Mode)
+	}
+	if cfg.Intervals == 0 {
+		cfg.Intervals = core.DefaultIntervals
+	}
+	if cfg.Intervals < 2 {
+		return cfg, fmt.Errorf("bayes: need >= 2 intervals, got %d", cfg.Intervals)
+	}
+	if cfg.Smoothing == 0 {
+		cfg.Smoothing = DefaultSmoothing
+	}
+	if cfg.Smoothing < 0 {
+		return cfg, fmt.Errorf("bayes: smoothing %v must be non-negative", cfg.Smoothing)
+	}
+	if cfg.ReconEpsilon == 0 {
+		cfg.ReconEpsilon = core.DefaultReconEpsilon
+	}
+	if cfg.Mode == core.ByClass && len(cfg.Noise) == 0 {
+		return cfg, errors.New("bayes: ByClass requires noise models")
+	}
+	return cfg, nil
+}
+
+// partitions builds the per-attribute discretization grids.
+func partitions(s *dataset.Schema, intervals int) ([]reconstruct.Partition, error) {
+	parts := make([]reconstruct.Partition, s.NumAttrs())
+	for j, a := range s.Attrs {
+		p, err := reconstruct.NewPartition(a.Lo, a.Hi, a.Intervals(intervals))
+		if err != nil {
+			return nil, fmt.Errorf("bayes: attribute %q: %w", a.Name, err)
+		}
+		parts[j] = p
+	}
+	return parts, nil
+}
+
 // Train builds a naïve Bayes classifier. For core.Original pass clean data;
 // for core.Randomized pass perturbed data; for core.ByClass pass perturbed
 // data plus the noise models it was perturbed with.
@@ -65,38 +97,15 @@ func Train(train *dataset.Table, cfg Config) (*Classifier, error) {
 	if train == nil || train.N() == 0 {
 		return nil, errors.New("bayes: empty training table")
 	}
-	switch cfg.Mode {
-	case core.Original, core.Randomized, core.ByClass:
-	default:
-		return nil, fmt.Errorf("bayes: unsupported mode %v", cfg.Mode)
-	}
-	if cfg.Intervals == 0 {
-		cfg.Intervals = core.DefaultIntervals
-	}
-	if cfg.Intervals < 2 {
-		return nil, fmt.Errorf("bayes: need >= 2 intervals, got %d", cfg.Intervals)
-	}
-	if cfg.Smoothing == 0 {
-		cfg.Smoothing = DefaultSmoothing
-	}
-	if cfg.Smoothing < 0 {
-		return nil, fmt.Errorf("bayes: smoothing %v must be non-negative", cfg.Smoothing)
-	}
-	if cfg.ReconEpsilon == 0 {
-		cfg.ReconEpsilon = core.DefaultReconEpsilon
-	}
-	if cfg.Mode == core.ByClass && len(cfg.Noise) == 0 {
-		return nil, errors.New("bayes: ByClass requires noise models")
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
 	}
 
 	s := train.Schema()
-	parts := make([]reconstruct.Partition, s.NumAttrs())
-	for j, a := range s.Attrs {
-		p, err := reconstruct.NewPartition(a.Lo, a.Hi, a.Intervals(cfg.Intervals))
-		if err != nil {
-			return nil, fmt.Errorf("bayes: attribute %q: %w", a.Name, err)
-		}
-		parts[j] = p
+	parts, err := partitions(s, cfg.Intervals)
+	if err != nil {
+		return nil, err
 	}
 
 	k := s.NumClasses()
@@ -146,7 +155,13 @@ func countDistribution(values []float64, part reconstruct.Partition, alpha float
 	for _, v := range values {
 		counts[part.Bin(v)]++
 	}
-	total := float64(len(values)) + alpha*float64(part.K)
+	return distFromCounts(counts, float64(len(values)), alpha)
+}
+
+// distFromCounts normalizes pre-binned counts with Laplace smoothing; n is
+// the total observation count. It overwrites and returns counts.
+func distFromCounts(counts []float64, n, alpha float64) []float64 {
+	total := n + alpha*float64(len(counts))
 	for b := range counts {
 		counts[b] = (counts[b] + alpha) / total
 	}

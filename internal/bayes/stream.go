@@ -1,0 +1,180 @@
+package bayes
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"ppdm/internal/core"
+	"ppdm/internal/reconstruct"
+	"ppdm/internal/stream"
+)
+
+// TrainStream builds a naïve Bayes classifier from a record stream in one
+// bounded-memory pass: only per-(class, attribute) interval counts are
+// retained — O(classes × attributes × intervals) memory however many
+// records flow through. The resulting classifier is identical to Train on
+// the materialized table (the learner needs nothing beyond those counts;
+// ByClass reconstruction runs on reconstruct.Collector statistics, which
+// reproduce the batch reconstruction exactly).
+func TrainStream(src stream.Source, cfg Config) (*Classifier, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := src.Schema()
+	parts, err := partitions(s, cfg.Intervals)
+	if err != nil {
+		return nil, err
+	}
+	k := s.NumClasses()
+	nAttrs := s.NumAttrs()
+
+	// ByClass-reconstructed attributes accumulate Collector statistics on
+	// the perturbed-value grid; all other (attribute, class) cells bin
+	// directly on the domain partition, as countDistribution would.
+	useRecon := make([]bool, nAttrs)
+	reconParts := make(map[int]reconstruct.Partition)
+	if cfg.Mode == core.ByClass {
+		for j := range parts {
+			if _, ok := cfg.Noise[j]; ok {
+				useRecon[j] = true
+				reconParts[j] = parts[j]
+			}
+		}
+	}
+	var stats *reconstruct.StreamStats
+	if len(reconParts) > 0 {
+		stats, err = reconstruct.NewStreamStats(s, reconParts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	hist := make([][][]float64, k)
+	for c := 0; c < k; c++ {
+		hist[c] = make([][]float64, nAttrs)
+		for j := 0; j < nAttrs; j++ {
+			if !useRecon[j] {
+				hist[c][j] = make([]float64, parts[j].K)
+			}
+		}
+	}
+	classCounts := make([]int, k)
+	n := 0
+	for {
+		b, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		// AddBatch runs the same validation internally; don't scan twice.
+		if stats != nil {
+			if err := stats.AddBatch(b); err != nil {
+				return nil, err
+			}
+		} else if err := stream.CheckBatch(s, b); err != nil {
+			return nil, err
+		}
+		for i := 0; i < b.N(); i++ {
+			row := b.Row(i)
+			label := b.Labels[i]
+			classCounts[label]++
+			for j := 0; j < nAttrs; j++ {
+				if !useRecon[j] {
+					hist[label][j][parts[j].Bin(row[j])]++
+				}
+			}
+		}
+		n += b.N()
+	}
+	if n == 0 {
+		return nil, errors.New("bayes: empty training stream")
+	}
+
+	clf := &Classifier{
+		Mode:       cfg.Mode,
+		Schema:     s,
+		Priors:     make([]float64, k),
+		Cond:       make([][][]float64, k),
+		Partitions: parts,
+	}
+	for c := 0; c < k; c++ {
+		clf.Priors[c] = (float64(classCounts[c]) + cfg.Smoothing) / (float64(n) + cfg.Smoothing*float64(k))
+		clf.Cond[c] = make([][]float64, nAttrs)
+	}
+	for j := 0; j < nAttrs; j++ {
+		for c := 0; c < k; c++ {
+			var dist []float64
+			if useRecon[j] {
+				col := stats.ClassCollector(j, c)
+				if col.N() > 0 {
+					res, err := col.Reconstruct(reconstruct.Config{
+						Noise:     cfg.Noise[j],
+						Algorithm: cfg.ReconAlgorithm,
+						MaxIters:  cfg.ReconMaxIters,
+						Epsilon:   cfg.ReconEpsilon,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("bayes: reconstructing attribute %d class %d: %w", j, c, err)
+					}
+					dist = smooth(res.P, float64(col.N()), cfg.Smoothing)
+				} else {
+					dist = countDistribution(nil, parts[j], cfg.Smoothing)
+				}
+			} else {
+				dist = distFromCounts(hist[c][j], float64(classCounts[c]), cfg.Smoothing)
+			}
+			clf.Cond[c][j] = dist
+		}
+	}
+	return clf, nil
+}
+
+// EvaluateStream classifies every record of a streamed clean test set,
+// holding only one batch in memory at a time.
+func (c *Classifier) EvaluateStream(src stream.Source) (core.Evaluation, error) {
+	s := src.Schema()
+	if s.NumAttrs() != len(c.Partitions) {
+		return core.Evaluation{}, fmt.Errorf("bayes: test stream has %d attributes, classifier expects %d",
+			s.NumAttrs(), len(c.Partitions))
+	}
+	k := len(c.Priors)
+	ev := core.Evaluation{Confusion: make([][]int, k)}
+	for i := range ev.Confusion {
+		ev.Confusion[i] = make([]int, k)
+	}
+	for {
+		b, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return core.Evaluation{}, err
+		}
+		if err := stream.CheckBatch(s, b); err != nil {
+			return core.Evaluation{}, err
+		}
+		for i := 0; i < b.N(); i++ {
+			pred, err := c.Predict(b.Row(i))
+			if err != nil {
+				return core.Evaluation{}, err
+			}
+			actual := b.Labels[i]
+			if actual >= k {
+				return core.Evaluation{}, fmt.Errorf("bayes: test label %d outside model's %d classes", actual, k)
+			}
+			ev.Confusion[actual][pred]++
+			if pred == actual {
+				ev.Correct++
+			}
+			ev.N++
+		}
+	}
+	if ev.N == 0 {
+		return core.Evaluation{}, errors.New("bayes: empty test stream")
+	}
+	ev.Accuracy = float64(ev.Correct) / float64(ev.N)
+	return ev, nil
+}

@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"ppdm/internal/dataset"
+	"ppdm/internal/stream"
 	"ppdm/internal/synth"
 )
 
@@ -43,4 +44,56 @@ func readBenchmarkCSV(path string) (*dataset.Table, error) {
 	}
 	defer f.Close()
 	return dataset.ReadCSV(f, synth.Schema())
+}
+
+// writeRecordStream drains src into a gzipped record-batch file (or stdout
+// for "-"), one batch in memory at a time, and returns the record count.
+func writeRecordStream(src stream.Source, path string, stdout io.Writer) (int, error) {
+	out := stdout
+	var f *os.File
+	if path != "-" && path != "" {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			return 0, err
+		}
+		out = f
+	}
+	n := 0
+	w, err := stream.NewWriter(out, src.Schema())
+	if err == nil {
+		_, err = stream.Copy(w, src)
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+		n = w.N()
+	}
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return n, err
+}
+
+// openRecordStream opens a gzipped record-batch file (or stdin for "-") in
+// the synthetic-benchmark schema. The returned close function releases the
+// file handle.
+func openRecordStream(path string, batch int) (*stream.Reader, func() error, error) {
+	in := io.Reader(os.Stdin)
+	closeFn := func() error { return nil }
+	if path != "-" && path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		in = f
+		closeFn = f.Close
+	}
+	r, err := stream.NewReader(in, synth.Schema(), batch)
+	if err != nil {
+		closeFn()
+		return nil, nil, err
+	}
+	return r, closeFn, nil
 }

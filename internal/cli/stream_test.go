@@ -1,0 +1,145 @@
+package cli
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// `ppdm-gen -stream` must write gzipped batches whose payload is exactly
+// the CSV the in-memory path writes for the same seeds.
+func TestGenStreamMatchesCSV(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "plain.csv")
+	gzPath := filepath.Join(dir, "streamed.csv.gz")
+	common := []string{"-fn", "F2", "-n", "5000", "-seed", "3", "-perturb", "gaussian", "-noise-seed", "4"}
+
+	_, errOut, code := runCmd(t, genCmd, append(append([]string{}, common...), "-o", csvPath))
+	if code != 0 {
+		t.Fatalf("plain gen failed: %s", errOut)
+	}
+	_, errOut, code = runCmd(t, genCmd, append(append([]string{}, common...), "-stream", "-batch", "1234", "-o", gzPath))
+	if code != 0 {
+		t.Fatalf("streamed gen failed: %s", errOut)
+	}
+	if !strings.Contains(errOut, "streamed 5000 records") {
+		t.Errorf("missing stream report: %s", errOut)
+	}
+
+	want, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(gzPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("gunzipped -stream output differs from plain CSV output")
+	}
+}
+
+// The full streamed pipeline: gen -stream → train -stream -learner nb, with
+// both a CSV and a streamed test set, must train and agree with the
+// in-memory nb run on the same data.
+func TestTrainStreamPipeline(t *testing.T) {
+	dir := t.TempDir()
+	trainGz := filepath.Join(dir, "train.csv.gz")
+	trainCsv := filepath.Join(dir, "train.csv")
+	testCsv := filepath.Join(dir, "test.csv")
+	testGz := filepath.Join(dir, "test.csv.gz")
+
+	genArgs := []string{"-fn", "F2", "-n", "4000", "-seed", "3", "-perturb", "gaussian", "-noise-seed", "4"}
+	if _, errOut, code := runCmd(t, genCmd, append(append([]string{}, genArgs...), "-stream", "-o", trainGz)); code != 0 {
+		t.Fatalf("gen -stream: %s", errOut)
+	}
+	if _, errOut, code := runCmd(t, genCmd, append(append([]string{}, genArgs...), "-o", trainCsv)); code != 0 {
+		t.Fatalf("gen: %s", errOut)
+	}
+	if _, errOut, code := runCmd(t, genCmd, []string{"-fn", "F2", "-n", "1000", "-seed", "5", "-o", testCsv}); code != 0 {
+		t.Fatalf("gen test: %s", errOut)
+	}
+	if _, errOut, code := runCmd(t, genCmd, []string{"-fn", "F2", "-n", "1000", "-seed", "5", "-stream", "-o", testGz}); code != 0 {
+		t.Fatalf("gen test stream: %s", errOut)
+	}
+
+	trainArgs := []string{"-mode", "byclass", "-family", "gaussian"}
+	outMem, errOut, code := runCmd(t, trainCmd, append(append([]string{}, trainArgs...),
+		"-learner", "nb", "-train", trainCsv, "-test", testCsv))
+	if code != 0 {
+		t.Fatalf("in-memory nb train: %s", errOut)
+	}
+	outStream, errOut, code := runCmd(t, trainCmd, append(append([]string{}, trainArgs...),
+		"-learner", "nb", "-stream", "-batch", "777", "-train", trainGz, "-test", testCsv))
+	if code != 0 {
+		t.Fatalf("streamed nb train: %s", errOut)
+	}
+
+	pick := func(out, field string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, field) {
+				return strings.TrimSpace(strings.TrimPrefix(line, field))
+			}
+		}
+		t.Fatalf("output missing %q:\n%s", field, out)
+		return ""
+	}
+	if a, b := pick(outMem, "accuracy:"), pick(outStream, "accuracy:"); a != b {
+		t.Errorf("streamed accuracy %q differs from in-memory %q", b, a)
+	}
+	if !strings.Contains(outStream, "4000 records") {
+		t.Errorf("streamed train output missing record count:\n%s", outStream)
+	}
+
+	// Streamed test set (.gz) must agree too.
+	outStreamGz, errOut, code := runCmd(t, trainCmd, append(append([]string{}, trainArgs...),
+		"-learner", "nb", "-stream", "-train", trainGz, "-test", testGz))
+	if code != 0 {
+		t.Fatalf("streamed nb train with streamed test: %s", errOut)
+	}
+	if a, b := pick(outMem, "accuracy:"), pick(outStreamGz, "accuracy:"); a != b {
+		t.Errorf("streamed-test accuracy %q differs from in-memory %q", b, a)
+	}
+}
+
+func TestTrainStreamRequiresNB(t *testing.T) {
+	_, errOut, code := runCmd(t, trainCmd, []string{"-stream", "-train", "x.gz", "-test", "y.csv"})
+	if code == 0 {
+		t.Fatal("-stream with tree learner accepted")
+	}
+	if !strings.Contains(errOut, "-learner nb") {
+		t.Errorf("error does not point at -learner nb: %s", errOut)
+	}
+}
+
+func TestGenStreamBadBatchStillWorks(t *testing.T) {
+	// Batch 0 resolves to the default; negative values too.
+	out, errOut, code := runCmd(t, genCmd, []string{"-fn", "F1", "-n", "100", "-stream", "-batch", "-5", "-o", "-"})
+	if code != 0 {
+		t.Fatalf("gen -stream to stdout failed: %s", errOut)
+	}
+	gz, err := gzip.NewReader(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 101 { // header + 100 records
+		t.Errorf("stdout stream has %d lines, want 101", lines)
+	}
+}

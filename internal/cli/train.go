@@ -5,28 +5,40 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"ppdm/internal/bayes"
 	"ppdm/internal/core"
 	"ppdm/internal/dataset"
 	"ppdm/internal/noise"
 	"ppdm/internal/reconstruct"
+	"ppdm/internal/stream"
+	"ppdm/internal/synth"
 )
 
-// Train trains a privacy-preserving classifier on a benchmark CSV (as
-// written by ppdm-gen) and evaluates it on a clean test CSV.
+// Train trains a privacy-preserving classifier on a benchmark training set
+// (as written by ppdm-gen) and evaluates it on a clean test set.
 //
 // For the reconstruction modes the noise flags must describe how the
 // training file was perturbed.
 //
+// With -stream the training input is a gzipped record-batch file (or stdin
+// for "-") as written by `ppdm-gen -stream`; it is consumed in one
+// bounded-memory pass, so the training set may be larger than memory. The
+// streaming path requires -learner nb: naive Bayes needs only per-class
+// interval statistics, whereas the decision tree re-partitions individual
+// records and must hold the table. A -test file ending in .gz is streamed
+// too; otherwise it is read as plain CSV.
+//
 // Usage: ppdm-train -train train.csv -test test.csv [-mode byclass]
 // [-family gaussian] [-privacy 1.0] [-conf 0.95] [-intervals 50]
-// [-algorithm bayes|em] [-workers 0] [-print-tree]
+// [-algorithm bayes|em] [-learner tree|nb] [-workers 0] [-stream]
+// [-batch 8192] [-print-tree]
 func Train(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ppdm-train", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	trainPath := fs.String("train", "", "training CSV (perturbed for all modes except original)")
-	testPath := fs.String("test", "", "clean test CSV")
+	trainPath := fs.String("train", "", "training CSV, or a gzipped batch stream with -stream (perturbed for all modes except original)")
+	testPath := fs.String("test", "", "clean test CSV (.gz = gzipped batch stream)")
 	modeName := fs.String("mode", "byclass", "training mode: original|randomized|global|byclass|local")
 	family := fs.String("family", "gaussian", "noise family the training data was perturbed with")
 	level := fs.Float64("privacy", 1.0, "privacy level the training data was perturbed at")
@@ -35,6 +47,8 @@ func Train(args []string, stdout, stderr io.Writer) int {
 	algorithm := fs.String("algorithm", "bayes", "reconstruction algorithm: bayes|em")
 	learner := fs.String("learner", "tree", "learner: tree|nb (naive Bayes supports original/randomized/byclass)")
 	workers := fs.Int("workers", 0, "worker goroutines for training (0 = all cores); the trained model is identical for any value")
+	streamMode := fs.Bool("stream", false, "consume -train as a gzipped record-batch stream in one bounded-memory pass (requires -learner nb)")
+	batch := fs.Int("batch", 0, fmt.Sprintf("records per streamed batch (0 = %d)", stream.DefaultBatchSize))
 	printTree := fs.Bool("print-tree", false, "print the trained decision tree")
 	savePath := fs.String("save", "", "write the trained tree model as JSON to this file")
 	if err := fs.Parse(args); err != nil {
@@ -57,6 +71,24 @@ func Train(args []string, stdout, stderr io.Writer) int {
 		return fail(stderr, fmt.Errorf("unknown reconstruction algorithm %q", *algorithm))
 	}
 
+	var models map[int]noise.Model
+	if mode.NeedsNoise() {
+		models, err = noise.ModelsForAllAttrs(synth.Schema(), *family, *level, *conf)
+		if err != nil {
+			return fail(stderr, err)
+		}
+	}
+
+	if *streamMode {
+		if *learner != "nb" {
+			return fail(stderr, fmt.Errorf("-stream requires -learner nb: the tree learner re-partitions individual records and needs the full table in memory"))
+		}
+		if *savePath != "" {
+			return fail(stderr, fmt.Errorf("-save requires the tree learner"))
+		}
+		return trainStreamed(*trainPath, *testPath, mode, alg, models, *intervals, *batch, stdout, stderr)
+	}
+
 	trainTable, err := readBenchmarkCSV(*trainPath)
 	if err != nil {
 		return fail(stderr, err)
@@ -64,14 +96,6 @@ func Train(args []string, stdout, stderr io.Writer) int {
 	testTable, err := readBenchmarkCSV(*testPath)
 	if err != nil {
 		return fail(stderr, err)
-	}
-
-	var models map[int]noise.Model
-	if mode.NeedsNoise() {
-		models, err = noise.ModelsForAllAttrs(trainTable.Schema(), *family, *level, *conf)
-		if err != nil {
-			return fail(stderr, err)
-		}
 	}
 
 	var ev core.Evaluation
@@ -99,7 +123,8 @@ func Train(args []string, stdout, stderr io.Writer) int {
 		return fail(stderr, err)
 	}
 
-	printEvaluation(stdout, *learner, mode, trainTable, testTable, *trainPath, *testPath, ev, treeClf, *printTree)
+	printEvaluation(stdout, *learner, mode, trainTable.Schema(),
+		trainTable.N(), testTable.N(), *trainPath, *testPath, ev, treeClf, *printTree)
 
 	if *savePath != "" {
 		if treeClf == nil {
@@ -121,13 +146,62 @@ func Train(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// trainStreamed is the bounded-memory training path: the training stream is
+// consumed batch by batch into naive-Bayes sufficient statistics, so only
+// O(batch + classes × attributes × intervals) memory is held at once.
+func trainStreamed(trainPath, testPath string, mode core.Mode, alg reconstruct.Algorithm,
+	models map[int]noise.Model, intervals, batch int, stdout, stderr io.Writer) int {
+	src, closeTrain, err := openRecordStream(trainPath, batch)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	cfg := bayes.Config{Mode: mode, Intervals: intervals, ReconAlgorithm: alg, Noise: models}
+	nb, err := bayes.TrainStream(src, cfg)
+	if cerr := closeTrain(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fail(stderr, err)
+	}
+	trainN := src.N()
+
+	var ev core.Evaluation
+	var testN int
+	if strings.HasSuffix(testPath, ".gz") || testPath == "-" {
+		testSrc, closeTest, err := openRecordStream(testPath, batch)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		ev, err = nb.EvaluateStream(testSrc)
+		if cerr := closeTest(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fail(stderr, err)
+		}
+		testN = ev.N
+	} else {
+		testTable, err := readBenchmarkCSV(testPath)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		ev, err = nb.Evaluate(testTable)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		testN = testTable.N()
+	}
+	printEvaluation(stdout, "nb (streamed)", mode, synth.Schema(), trainN, testN, trainPath, testPath, ev, nil, false)
+	return 0
+}
+
 // printEvaluation renders the shared result block of ppdm-train.
-func printEvaluation(stdout io.Writer, learner string, mode core.Mode, trainTable, testTable *dataset.Table,
-	trainPath, testPath string, ev core.Evaluation, treeClf *core.Classifier, printTree bool) {
+func printEvaluation(stdout io.Writer, learner string, mode core.Mode, s *dataset.Schema,
+	trainN, testN int, trainPath, testPath string, ev core.Evaluation, treeClf *core.Classifier, printTree bool) {
 	fmt.Fprintf(stdout, "learner:    %s\n", learner)
 	fmt.Fprintf(stdout, "mode:       %s\n", mode)
-	fmt.Fprintf(stdout, "train:      %d records (%s)\n", trainTable.N(), trainPath)
-	fmt.Fprintf(stdout, "test:       %d records (%s)\n", testTable.N(), testPath)
+	fmt.Fprintf(stdout, "train:      %d records (%s)\n", trainN, trainPath)
+	fmt.Fprintf(stdout, "test:       %d records (%s)\n", testN, testPath)
 	fmt.Fprintf(stdout, "accuracy:   %.2f%% (%d/%d)\n", 100*ev.Accuracy, ev.Correct, ev.N)
 	if treeClf != nil {
 		fmt.Fprintf(stdout, "tree size:  %d nodes, %d leaves, depth %d\n",
@@ -135,18 +209,18 @@ func printEvaluation(stdout io.Writer, learner string, mode core.Mode, trainTabl
 	}
 	fmt.Fprintln(stdout, "confusion matrix (rows = actual, cols = predicted):")
 	for a, row := range ev.Confusion {
-		fmt.Fprintf(stdout, "  %s:", testTable.Schema().Classes[a])
+		fmt.Fprintf(stdout, "  %s:", s.Classes[a])
 		for _, c := range row {
 			fmt.Fprintf(stdout, " %6d", c)
 		}
 		fmt.Fprintln(stdout)
 	}
 	if printTree && treeClf != nil {
-		names := make([]string, trainTable.Schema().NumAttrs())
-		for i, a := range trainTable.Schema().Attrs {
+		names := make([]string, s.NumAttrs())
+		for i, a := range s.Attrs {
 			names[i] = a.Name
 		}
 		fmt.Fprintln(stdout, "\ntree:")
-		fmt.Fprint(stdout, treeClf.Tree.Render(names, trainTable.Schema().Classes))
+		fmt.Fprint(stdout, treeClf.Tree.Render(names, s.Classes))
 	}
 }

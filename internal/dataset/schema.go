@@ -1,11 +1,3 @@
-// Package dataset implements the tabular-data substrate used by the
-// reproduction: typed schemas, in-memory record tables, class labels, random
-// splits, and CSV interchange.
-//
-// A record is a fixed-length []float64 plus an integer class label.
-// Categorical attributes are stored as float64-encoded small integers; their
-// schema entry records the cardinality so downstream code (perturbation,
-// discretization, tree induction) can treat them correctly.
 package dataset
 
 import (

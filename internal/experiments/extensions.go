@@ -113,7 +113,7 @@ func runE12(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	mining := assoc.MiningConfig{MinSupport: 0.1, MaxSize: 3}
+	mining := assoc.MiningConfig{MinSupport: 0.1, MaxSize: 3, Workers: cfg.Workers}
 	reference, err := assoc.Frequent(data, mining)
 	if err != nil {
 		return nil, err

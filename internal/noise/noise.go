@@ -1,17 +1,3 @@
-// Package noise implements the paper's value-distortion operators and the
-// arithmetic that connects noise parameters to privacy levels.
-//
-// The paper (§2) perturbs a sensitive value x to x + y where y is drawn from
-// a publicly known zero-mean distribution — uniform on [-α, +α] or Gaussian
-// with standard deviation σ. Privacy is quantified by confidence intervals:
-// noise provides privacy level P (a fraction of the attribute's domain width
-// W) at confidence c if the shortest interval containing a fraction c of the
-// noise mass has width P·W. The paper reports privacy at 95% confidence; the
-// conversion helpers here accept any confidence in (0, 1).
-//
-// The package also provides the paper's value-class-membership operator
-// (discretization to interval midpoints) and, as an extension, Warner's
-// randomized response for categorical attributes.
 package noise
 
 import (

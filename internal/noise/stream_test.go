@@ -1,0 +1,118 @@
+package noise
+
+import (
+	"testing"
+
+	"ppdm/internal/dataset"
+	"ppdm/internal/prng"
+	"ppdm/internal/stream"
+)
+
+func streamTestTable(t *testing.T, n int, seed uint64) *dataset.Table {
+	t.Helper()
+	s, err := dataset.NewSchema(
+		[]dataset.Attribute{
+			dataset.NumericAttr("a", 0, 100),
+			dataset.NumericAttr("b", -10, 10),
+			dataset.NumericAttr("c", 0, 1),
+		},
+		[]string{"x", "y"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prng.New(seed)
+	tb := dataset.NewTable(s)
+	for i := 0; i < n; i++ {
+		rec := []float64{r.Uniform(0, 100), r.Uniform(-10, 10), r.Float64()}
+		if err := tb.Append(rec, r.Intn(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+// Streamed perturbation must be byte-identical to PerturbTableWorkers for
+// every batch size — aligned with PerturbChunk or not — and worker count.
+func TestPerturbStreamMatchesTable(t *testing.T) {
+	tb := streamTestTable(t, 9000, 5)
+	models := map[int]Model{0: Uniform{Alpha: 7}, 2: Gaussian{Sigma: 0.3}}
+	const seed = 77
+	want, err := PerturbTableWorkers(tb, models, seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{500, 2048, 3000, 9000} {
+		for _, workers := range []int{1, 8} {
+			src, err := PerturbStream(stream.FromTable(tb, batch), models, seed, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := stream.Collect(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < want.N(); i++ {
+				if got.Label(i) != want.Label(i) {
+					t.Fatalf("batch %d workers %d: label %d differs", batch, workers, i)
+				}
+				a, b := got.Row(i), want.Row(i)
+				for j := range a {
+					if a[j] != b[j] { // bitwise float equality, on purpose
+						t.Fatalf("batch %d workers %d: record %d attr %d: %v != %v",
+							batch, workers, i, j, a[j], b[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPerturbStreamValidation(t *testing.T) {
+	tb := streamTestTable(t, 10, 1)
+	if _, err := PerturbStream(stream.FromTable(tb, 0), map[int]Model{9: Uniform{Alpha: 1}}, 1, 0); err == nil {
+		t.Error("out-of-range attribute accepted")
+	}
+	if _, err := PerturbStream(stream.FromTable(tb, 0), map[int]Model{0: nil}, 1, 0); err == nil {
+		t.Error("nil model accepted")
+	}
+}
+
+// A stream whose batches skip records cannot be aligned to the noise chunk
+// grid; the perturber must reject it rather than silently desynchronize.
+func TestPerturbStreamRejectsGap(t *testing.T) {
+	tb := streamTestTable(t, 100, 2)
+	gappy := &skipSource{inner: stream.FromTable(tb, 10)}
+	src, err := PerturbStream(gappy, map[int]Model{0: Uniform{Alpha: 1}}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Next(); err != nil {
+		t.Fatalf("first batch: %v", err)
+	}
+	if _, err := src.Next(); err == nil {
+		t.Error("gap in stream accepted")
+	}
+}
+
+type skipSource struct {
+	inner stream.Source
+	n     int
+}
+
+func (s *skipSource) Schema() *dataset.Schema { return s.inner.Schema() }
+
+func (s *skipSource) Next() (*stream.Batch, error) {
+	b, err := s.inner.Next()
+	if err != nil {
+		return nil, err
+	}
+	s.n++
+	if s.n == 2 {
+		b, err = s.inner.Next() // drop one batch
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,17 @@
+// Package privacy implements the paper's privacy quantification (§2.2) and
+// the information-theoretic refinements proposed in the follow-up literature
+// (Agrawal & Aggarwal, PODS 2001).
+//
+// Three measures are provided:
+//
+//   - Interval privacy: the width of the confidence interval the noise puts
+//     around a value, as a fraction of the attribute's domain width. This is
+//     the number the paper quotes ("95% privacy at 95% confidence").
+//   - Differential-entropy privacy Π(X) = 2^h(X): the side length of the
+//     uniform distribution with the same inherent uncertainty.
+//   - Conditional privacy Π(X|W) and privacy loss P(X|W) = 1 − Π(X|W)/Π(X):
+//     how much of that uncertainty survives once the adversary sees the
+//     perturbed value W. This exposes the paper's blind spot that motivated
+//     the PODS'01 work: interval privacy ignores what the perturbed values
+//     reveal.
+package privacy

@@ -84,6 +84,32 @@ func SplitN(seed uint64, n int) []*Source {
 	return out
 }
 
+// Splitter derives the SplitN child sequence lazily: the c-th call to Next
+// returns a Source identical to SplitN(seed, n)[c] for any n > c. Streaming
+// stages use it when the total chunk count is not known upfront — a chunk's
+// substream still depends only on (seed, chunk index), never on how many
+// chunks eventually flow through.
+type Splitter struct {
+	parent *Source
+	next   int
+}
+
+// NewSplitter returns a Splitter over the given seed.
+func NewSplitter(seed uint64) *Splitter {
+	return &Splitter{parent: New(seed)}
+}
+
+// Next returns the next child Source. The c-th returned child equals
+// SplitN(seed, n)[c].
+func (sp *Splitter) Next() *Source {
+	sp.next++
+	return sp.parent.Split()
+}
+
+// NextIndex returns the index of the child the next call to Next will
+// return; callers aligning substreams to a chunk grid can assert it.
+func (sp *Splitter) NextIndex() int { return sp.next }
+
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

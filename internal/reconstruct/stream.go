@@ -1,0 +1,128 @@
+package reconstruct
+
+import (
+	"fmt"
+	"io"
+
+	"ppdm/internal/dataset"
+	"ppdm/internal/stream"
+)
+
+// StreamStats holds the sufficient statistics of a record stream for
+// distribution reconstruction: one Collector per requested attribute over
+// all records, one per (attribute, class) pair, and the class counts. Memory
+// is O(attributes × classes × intervals) regardless of how many records
+// flowed through — the bounded-memory counterpart of calling Reconstruct on
+// materialized columns, with bit-identical results (the reconstruction
+// depends only on the interval counts; see Collector).
+type StreamStats struct {
+	schema      *dataset.Schema
+	parts       map[int]Partition
+	all         map[int]*Collector
+	byClass     map[int][]*Collector
+	classCounts []int
+	n           int
+}
+
+// CollectStream drains a record stream in one pass, accumulating collectors
+// for every attribute listed in parts (attribute index → domain partition).
+func CollectStream(src stream.Source, parts map[int]Partition) (*StreamStats, error) {
+	s := src.Schema()
+	st, err := NewStreamStats(s, parts)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		b, err := src.Next()
+		if err == io.EOF {
+			return st, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := st.AddBatch(b); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// NewStreamStats returns empty statistics over the given schema and
+// attribute partitions, ready for AddBatch.
+func NewStreamStats(s *dataset.Schema, parts map[int]Partition) (*StreamStats, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("reconstruct: no attribute partitions to collect")
+	}
+	k := s.NumClasses()
+	st := &StreamStats{
+		schema:      s,
+		parts:       parts,
+		all:         make(map[int]*Collector, len(parts)),
+		byClass:     make(map[int][]*Collector, len(parts)),
+		classCounts: make([]int, k),
+	}
+	for j, part := range parts {
+		if j < 0 || j >= s.NumAttrs() {
+			return nil, fmt.Errorf("reconstruct: partition for attribute %d, schema has %d attributes", j, s.NumAttrs())
+		}
+		c, err := NewCollector(part)
+		if err != nil {
+			return nil, fmt.Errorf("reconstruct: attribute %q: %w", s.Attrs[j].Name, err)
+		}
+		st.all[j] = c
+		perClass := make([]*Collector, k)
+		for cl := range perClass {
+			perClass[cl], err = NewCollector(part)
+			if err != nil {
+				return nil, fmt.Errorf("reconstruct: attribute %q: %w", s.Attrs[j].Name, err)
+			}
+		}
+		st.byClass[j] = perClass
+	}
+	return st, nil
+}
+
+// AddBatch folds one record batch into the statistics.
+func (st *StreamStats) AddBatch(b *stream.Batch) error {
+	if err := stream.CheckBatch(st.schema, b); err != nil {
+		return err
+	}
+	for i := 0; i < b.N(); i++ {
+		row := b.Row(i)
+		label := b.Labels[i]
+		st.classCounts[label]++
+		for j, c := range st.all {
+			if err := c.Add(row[j]); err != nil {
+				return err
+			}
+			if err := st.byClass[j][label].Add(row[j]); err != nil {
+				return err
+			}
+		}
+	}
+	st.n += b.N()
+	return nil
+}
+
+// Schema returns the schema of the collected stream.
+func (st *StreamStats) Schema() *dataset.Schema { return st.schema }
+
+// N returns the number of records collected.
+func (st *StreamStats) N() int { return st.n }
+
+// ClassCounts returns the number of records seen per class. The returned
+// slice aliases the statistics' storage; callers must not modify it.
+func (st *StreamStats) ClassCounts() []int { return st.classCounts }
+
+// Collector returns the all-classes collector of the given attribute, or
+// nil if the attribute was not requested.
+func (st *StreamStats) Collector(attr int) *Collector { return st.all[attr] }
+
+// ClassCollector returns the collector of the given attribute restricted to
+// records of one class, or nil if the attribute was not requested.
+func (st *StreamStats) ClassCollector(attr, class int) *Collector {
+	perClass, ok := st.byClass[attr]
+	if !ok || class < 0 || class >= len(perClass) {
+		return nil
+	}
+	return perClass[class]
+}

@@ -1,0 +1,126 @@
+package reconstruct
+
+import (
+	"testing"
+
+	"ppdm/internal/dataset"
+	"ppdm/internal/noise"
+	"ppdm/internal/prng"
+	"ppdm/internal/stream"
+)
+
+func streamStatsTable(t *testing.T, n int) *dataset.Table {
+	t.Helper()
+	s, err := dataset.NewSchema(
+		[]dataset.Attribute{
+			dataset.NumericAttr("u", 0, 100),
+			dataset.NumericAttr("v", 0, 10),
+		},
+		[]string{"B", "A"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prng.New(31)
+	tb := dataset.NewTable(s)
+	for i := 0; i < n; i++ {
+		// Perturbed-looking values that escape the domain on both sides.
+		if err := tb.Append([]float64{r.Uniform(-30, 130), r.Uniform(-3, 13)}, r.Intn(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+// Collecting a stream must reproduce the column-at-a-time reconstruction
+// exactly: same collectors, same class counts, bit-identical estimates.
+func TestCollectStreamMatchesColumns(t *testing.T) {
+	tb := streamStatsTable(t, 4000)
+	part0, _ := NewPartition(0, 100, 12)
+	part1, _ := NewPartition(0, 10, 8)
+	parts := map[int]Partition{0: part0, 1: part1}
+
+	st, err := CollectStream(stream.FromTable(tb, 300), parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N() != tb.N() {
+		t.Fatalf("collected %d records, want %d", st.N(), tb.N())
+	}
+	wantCounts := tb.ClassCounts()
+	for c, n := range st.ClassCounts() {
+		if n != wantCounts[c] {
+			t.Fatalf("class %d count %d, want %d", c, n, wantCounts[c])
+		}
+	}
+
+	m := noise.Uniform{Alpha: 30}
+	for j, part := range parts {
+		// All-classes estimate vs Reconstruct on the materialized column.
+		want, err := Reconstruct(tb.Column(j), Config{Partition: part, Noise: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := st.Collector(j).Reconstruct(Config{Noise: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Iters != want.Iters || got.Converged != want.Converged {
+			t.Fatalf("attr %d: convergence differs (streamed %d/%v, batch %d/%v)",
+				j, got.Iters, got.Converged, want.Iters, want.Converged)
+		}
+		for b := range want.P {
+			if got.P[b] != want.P[b] { // bitwise float equality, on purpose
+				t.Fatalf("attr %d bin %d: streamed %v != batch %v", j, b, got.P[b], want.P[b])
+			}
+		}
+		// Per-class estimates vs ColumnForClass.
+		for c := 0; c < tb.Schema().NumClasses(); c++ {
+			values, _ := tb.ColumnForClass(j, c)
+			wantC, err := Reconstruct(values, Config{Partition: part, Noise: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			col := st.ClassCollector(j, c)
+			if col.N() != len(values) {
+				t.Fatalf("attr %d class %d: collector has %d, want %d", j, c, col.N(), len(values))
+			}
+			gotC, err := col.Reconstruct(Config{Noise: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for b := range wantC.P {
+				if gotC.P[b] != wantC.P[b] {
+					t.Fatalf("attr %d class %d bin %d differs", j, c, b)
+				}
+			}
+		}
+	}
+}
+
+func TestStreamStatsValidation(t *testing.T) {
+	tb := streamStatsTable(t, 10)
+	if _, err := CollectStream(stream.FromTable(tb, 0), nil); err == nil {
+		t.Error("empty partition map accepted")
+	}
+	part, _ := NewPartition(0, 100, 5)
+	if _, err := NewStreamStats(tb.Schema(), map[int]Partition{9: part}); err == nil {
+		t.Error("out-of-range attribute accepted")
+	}
+	if _, err := NewStreamStats(tb.Schema(), map[int]Partition{0: {Lo: 1, Hi: 0, K: 5}}); err == nil {
+		t.Error("invalid partition accepted")
+	}
+	st, err := NewStreamStats(tb.Schema(), map[int]Partition{0: part})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Collector(1) != nil {
+		t.Error("unrequested attribute returned a collector")
+	}
+	if st.ClassCollector(0, 99) != nil {
+		t.Error("out-of-range class returned a collector")
+	}
+	if st.Schema() != tb.Schema() {
+		t.Error("Schema not returned")
+	}
+}

@@ -1,11 +1,3 @@
-// Package stats provides the statistical substrate for the reproduction:
-// fixed-width histograms over closed domains, summary statistics,
-// distribution distances (L1, L2, Kolmogorov–Smirnov, chi-square), and
-// information-theoretic quantities (Shannon entropy, differential entropy,
-// mutual information) computed on binned data.
-//
-// Probability vectors in this package are plain []float64 slices indexed by
-// bin; they are expected to be non-negative and to sum to (approximately) 1.
 package stats
 
 import (

@@ -1,0 +1,76 @@
+package stream
+
+import (
+	"fmt"
+
+	"ppdm/internal/prng"
+)
+
+// Span is a run of consecutive records inside one grid chunk, together with
+// the chunk's PRNG substream positioned at the run's first record. Spans
+// returned by one ChunkCursor.Advance call cover disjoint chunks (except
+// that the first may continue a chunk left unfinished by the previous call),
+// so they can be processed in parallel.
+type Span struct {
+	// Lo and Hi bound the run's global record indexes, half-open.
+	Lo, Hi int
+	// R is the substream of the enclosing chunk. For a span that starts at
+	// a chunk boundary it is a fresh prng.SplitN child; for a continuation
+	// span it is the same Source the previous Advance handed out, already
+	// advanced past the records consumed there.
+	R *prng.Source
+}
+
+// ChunkCursor walks a fixed chunk grid across a record stream, handing each
+// grid chunk the same PRNG substream the in-memory path derives with
+// prng.SplitN: chunk c gets child c of the seed. The cursor tracks partially
+// consumed chunks across batch boundaries, so any batch size — aligned or
+// not — yields byte-identical draws.
+type ChunkCursor struct {
+	chunk int
+	split *prng.Splitter
+	cur   *prng.Source // substream of the chunk in progress; nil at boundary
+	pos   int          // next global record index
+}
+
+// NewChunkCursor returns a cursor over the grid of the given chunk size,
+// deriving substreams from seed. It panics if chunk <= 0.
+func NewChunkCursor(seed uint64, chunk int) *ChunkCursor {
+	if chunk <= 0 {
+		panic("stream: chunk size must be positive")
+	}
+	return &ChunkCursor{chunk: chunk, split: prng.NewSplitter(seed)}
+}
+
+// Pos returns the global index of the next record the cursor will consume.
+func (c *ChunkCursor) Pos() int { return c.pos }
+
+// Advance consumes the next n records and returns their decomposition into
+// chunk-aligned spans. Each span's substream is positioned exactly where the
+// in-memory path's chunk substream would be for that record range.
+func (c *ChunkCursor) Advance(n int) ([]Span, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("stream: cannot advance by %d records", n)
+	}
+	var spans []Span
+	end := c.pos + n
+	for c.pos < end {
+		cIdx := c.pos / c.chunk
+		if c.pos%c.chunk == 0 {
+			if got := c.split.NextIndex(); got != cIdx {
+				return nil, fmt.Errorf("stream: cursor at chunk %d, splitter at child %d", cIdx, got)
+			}
+			c.cur = c.split.Next()
+		}
+		hi := (cIdx + 1) * c.chunk
+		if hi > end {
+			hi = end
+		}
+		spans = append(spans, Span{Lo: c.pos, Hi: hi, R: c.cur})
+		c.pos = hi
+	}
+	if c.pos%c.chunk == 0 {
+		c.cur = nil
+	}
+	return spans, nil
+}

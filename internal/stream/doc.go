@@ -1,0 +1,28 @@
+// Package stream is the chunked record-stream subsystem: it lets tables
+// larger than memory flow through the perturb → reconstruct → train pipeline
+// as a sequence of fixed-size record batches, while preserving the library's
+// determinism contract.
+//
+// The paper's data-collection model (Agrawal & Srikant, SIGMOD 2000, §1–2)
+// is inherently streaming: each provider perturbs its own record at the
+// source and the collector never holds the true table. This package realizes
+// that model. A Source yields record batches in strict global order; every
+// record carries an implicit global index (Batch.Start plus its offset), so
+// downstream stages can align their work to the same fixed chunk grids the
+// in-memory paths use (synth.GenChunk, noise.PerturbChunk) and derive
+// per-chunk PRNG substreams with prng.Splitter. Streamed output is therefore
+// byte-identical to the in-memory path for the same seed at any worker count
+// and any batch size.
+//
+// The package provides:
+//
+//   - Batch / Source — the record-batch contract shared by all stages.
+//   - FromTable / Collect — adapters between streams and in-memory tables.
+//   - Writer / Reader — a gzipped CSV interchange format for piping record
+//     batches through files or stdin/stdout. The compressed payload is
+//     exactly the CSV that dataset.Table.WriteCSV would produce, so
+//     `gunzip` of a streamed file equals the in-memory CSV byte for byte.
+//
+// Peak memory of a streaming pipeline is O(batch × stages), independent of
+// the total record count.
+package stream

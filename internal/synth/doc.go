@@ -1,0 +1,23 @@
+// Package synth reimplements the synthetic classification benchmark of
+// Agrawal, Imielinski & Swami ("Database Mining: A Performance Perspective",
+// IEEE TKDE 1993) that the SIGMOD 2000 privacy paper uses for its entire
+// evaluation (§5.1): nine person-record attributes with published
+// distributions and a family of deterministic classification functions
+// assigning each record to Group A or Group B.
+//
+// Functions F1–F5 are the ones used in the privacy paper's experiments (its
+// "classification functions" figure); F6–F10 are the remaining functions
+// from the original generator, provided as extensions.
+//
+// All nine attributes are modeled as numeric (the integer-valued ones —
+// elevel, car, zipcode, hyears — are ordinal), matching the paper's
+// treatment where every attribute is independently perturbed with additive
+// noise.
+//
+// Generation comes in two shapes: Generate materializes the whole table in
+// parallel, and Stream yields the byte-identical records as a bounded-memory
+// record stream (see internal/stream). Both decompose the work into
+// GenChunk-sized chunks with per-chunk PRNG substreams, so output depends
+// only on (Function, N, Seed, LabelNoise) — never on the worker count or
+// batch size.
+package synth

@@ -1,0 +1,82 @@
+package synth
+
+import (
+	"io"
+	"testing"
+
+	"ppdm/internal/stream"
+)
+
+// Streamed generation must be byte-identical to Generate for every batch
+// size — aligned with GenChunk or not — and every worker count.
+func TestStreamMatchesGenerate(t *testing.T) {
+	cfg := Config{Function: F4, N: 10000, Seed: 17, LabelNoise: 0.1}
+	want, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{3, 1000, 4096, 5000, 8192, 10000} {
+		for _, workers := range []int{1, 8} {
+			c := cfg
+			c.Workers = workers
+			src, err := Stream(c, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := stream.Collect(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.N() != want.N() {
+				t.Fatalf("batch %d workers %d: %d records, want %d", batch, workers, got.N(), want.N())
+			}
+			for i := 0; i < want.N(); i++ {
+				if got.Label(i) != want.Label(i) {
+					t.Fatalf("batch %d workers %d: label %d differs", batch, workers, i)
+				}
+				a, b := got.Row(i), want.Row(i)
+				for j := range a {
+					if a[j] != b[j] { // bitwise float equality, on purpose
+						t.Fatalf("batch %d workers %d: record %d attr %d differs", batch, workers, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStreamEOF(t *testing.T) {
+	src, err := Stream(Config{Function: F1, N: 10, Seed: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for {
+		b, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += b.N()
+	}
+	if total != 10 {
+		t.Fatalf("streamed %d records, want 10", total)
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Error("Next after EOF must keep returning io.EOF")
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	if _, err := Stream(Config{Function: 0, N: 10}, 0); err == nil {
+		t.Error("invalid function accepted")
+	}
+	if _, err := Stream(Config{Function: F1, N: 0}, 0); err == nil {
+		t.Error("N = 0 accepted")
+	}
+	if _, err := Stream(Config{Function: F1, N: 10, LabelNoise: 2}, 0); err == nil {
+		t.Error("label noise > 1 accepted")
+	}
+}

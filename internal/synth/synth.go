@@ -1,17 +1,3 @@
-// Package synth reimplements the synthetic classification benchmark of
-// Agrawal, Imielinski & Swami ("Database Mining: A Performance Perspective",
-// IEEE TKDE 1993) that the SIGMOD 2000 privacy paper uses for its entire
-// evaluation: nine person-record attributes and a family of deterministic
-// classification functions assigning each record to Group A or Group B.
-//
-// Functions F1–F5 are the ones used in the privacy paper's experiments;
-// F6–F10 are the remaining functions from the original generator, provided
-// as extensions.
-//
-// All nine attributes are modeled as numeric (the integer-valued ones —
-// elevel, car, zipcode, hyears — are ordinal), matching the paper's
-// treatment where every attribute is independently perturbed with additive
-// noise.
 package synth
 
 import (
@@ -256,6 +242,11 @@ type Config struct {
 // seed, so the output depends only on (Function, N, Seed, LabelNoise).
 const GenChunk = 4096
 
+// labelNoiseSeedMix separates the label-noise substreams from the attribute
+// substreams of the same seed, so attribute values are identical for the
+// same seed whether or not label noise is enabled.
+const labelNoiseSeedMix = 0xA15A15A15A15A15A
+
 // Generate draws N records from the attribute distributions, labels each
 // with cfg.Function, and returns the table. Generation is deterministic in
 // cfg.Seed and independent of cfg.Workers.
@@ -271,9 +262,7 @@ func Generate(cfg Config) (*dataset.Table, error) {
 	}
 	chunks := parallel.NumChunks(cfg.N, GenChunk)
 	srcs := prng.SplitN(cfg.Seed, chunks)
-	// Label noise draws from independent substreams so the attribute values
-	// are identical for the same seed whether or not noise is enabled.
-	noiseSrcs := prng.SplitN(cfg.Seed^0xA15A15A15A15A15A, chunks)
+	noiseSrcs := prng.SplitN(cfg.Seed^labelNoiseSeedMix, chunks)
 	// One flat backing array for all records: chunks write disjoint slices
 	// of it, and the table adopts it wholesale — no per-record copying.
 	buf := make([]float64, cfg.N*numAttrs)

@@ -68,9 +68,31 @@ import (
 	"ppdm/internal/privacy"
 	"ppdm/internal/prng"
 	"ppdm/internal/reconstruct"
+	"ppdm/internal/stream"
 	"ppdm/internal/synth"
 	"ppdm/internal/tree"
 )
+
+// Streaming types: record batches flowing through the pipeline without the
+// full table ever materializing (see internal/stream).
+type (
+	// RecordBatch is one run of consecutive records of a streamed table.
+	RecordBatch = stream.Batch
+	// RecordSource yields successive record batches in global order.
+	RecordSource = stream.Source
+	// StreamWriter encodes record batches as a gzipped CSV stream.
+	StreamWriter = stream.Writer
+	// StreamReader decodes a gzipped record-batch stream; it implements
+	// RecordSource.
+	StreamReader = stream.Reader
+	// StreamStats holds bounded-memory per-attribute, per-class sufficient
+	// statistics collected from a record stream.
+	StreamStats = reconstruct.StreamStats
+)
+
+// DefaultBatchSize is the record-batch length used when a batch size of 0 is
+// passed to any streaming constructor.
+const DefaultBatchSize = stream.DefaultBatchSize
 
 // Data-model types.
 type (
@@ -229,6 +251,33 @@ func BenchmarkSchema() *Schema { return synth.Schema() }
 // Generate draws records from the paper's synthetic benchmark.
 func Generate(cfg GenConfig) (*Table, error) { return synth.Generate(cfg) }
 
+// GenerateStream returns a source that yields the same records Generate
+// would materialize, batch records at a time (0 = DefaultBatchSize) with
+// O(batch) memory — byte-identical to Generate for the same config at any
+// worker count and batch size.
+func GenerateStream(cfg GenConfig, batch int) (RecordSource, error) { return synth.Stream(cfg, batch) }
+
+// StreamTable adapts an in-memory table into a record source.
+func StreamTable(t *Table, batch int) RecordSource { return stream.FromTable(t, batch) }
+
+// CollectTable materializes a record source into an in-memory table — the
+// inverse of StreamTable.
+func CollectTable(src RecordSource) (*Table, error) { return stream.Collect(src) }
+
+// NewStreamWriter starts a gzipped record-batch stream on w; the compressed
+// payload is exactly the CSV Table.WriteCSV would produce.
+func NewStreamWriter(w io.Writer, s *Schema) (*StreamWriter, error) { return stream.NewWriter(w, s) }
+
+// NewStreamReader opens a gzipped record-batch stream written by
+// StreamWriter (batch 0 = DefaultBatchSize).
+func NewStreamReader(r io.Reader, s *Schema, batch int) (*StreamReader, error) {
+	return stream.NewReader(r, s, batch)
+}
+
+// CopyStream drains a record source into a stream writer and returns the
+// number of records copied.
+func CopyStream(w *StreamWriter, src RecordSource) (int, error) { return stream.Copy(w, src) }
+
 // NewUniform returns uniform noise on [-alpha, +alpha].
 func NewUniform(alpha float64) (Uniform, error) { return noise.NewUniform(alpha) }
 
@@ -280,6 +329,14 @@ func PerturbTableWorkers(t *Table, models map[int]NoiseModel, seed uint64, worke
 	return noise.PerturbTableWorkers(t, models, seed, workers)
 }
 
+// PerturbStream perturbs record batches as they flow — the paper's
+// collection model, where each record is randomized before it reaches the
+// server. The streamed output is byte-identical to PerturbTableWorkers on
+// the materialized table at any worker count and batch size.
+func PerturbStream(src RecordSource, models map[int]NoiseModel, seed uint64, workers int) (RecordSource, error) {
+	return noise.PerturbStream(src, models, seed, workers)
+}
+
 // DiscretizeTable applies the paper's value-class-membership operator.
 func DiscretizeTable(t *Table, attrs []int, k int) (*Table, error) {
 	return noise.DiscretizeTable(t, attrs, k)
@@ -300,6 +357,14 @@ func Reconstruct(perturbed []float64, cfg ReconstructConfig) (ReconstructResult,
 // partition: it keeps only O(intervals) aggregated counts, never the raw
 // perturbed values, and can reconstruct at any point during collection.
 func NewCollector(part Partition) (*Collector, error) { return reconstruct.NewCollector(part) }
+
+// CollectStreamStats drains a record source in one bounded-memory pass,
+// accumulating per-attribute and per-(attribute, class) collectors for
+// every attribute listed in parts; reconstruction from the collected
+// statistics is bit-identical to reconstructing from materialized columns.
+func CollectStreamStats(src RecordSource, parts map[int]Partition) (*StreamStats, error) {
+	return reconstruct.CollectStream(src, parts)
+}
 
 // Train builds a privacy-preserving decision-tree classifier (paper §4).
 func Train(train *Table, cfg TrainConfig) (*Classifier, error) { return core.Train(train, cfg) }
@@ -333,6 +398,13 @@ func ConditionalPrivacyOf(perturbed []float64, part Partition, m NoiseModel) (Co
 // interval distributions — the paper's scheme with a different learner.
 func TrainNaiveBayes(train *Table, cfg NaiveBayesConfig) (*NaiveBayes, error) {
 	return bayes.Train(train, cfg)
+}
+
+// TrainNaiveBayesStream trains the naive Bayes classifier from a record
+// source in one bounded-memory pass; the model is identical to
+// TrainNaiveBayes on the materialized table.
+func TrainNaiveBayesStream(src RecordSource, cfg NaiveBayesConfig) (*NaiveBayes, error) {
+	return bayes.TrainStream(src, cfg)
 }
 
 // NewTransactions returns an empty market-basket dataset over items
