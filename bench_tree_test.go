@@ -1,0 +1,80 @@
+package ppdm_test
+
+// Decision-tree pairs for BENCH_tree.json: per-node-only vs subtree-parallel
+// growth on the quickstart scenario, and in-memory vs out-of-core (spilled
+// columnar) training. All variants train byte-identical models — enforced
+// by TestStreamTreeGolden and the determinism suite — so the deltas measure
+// pure scheduling / data-access cost.
+
+import (
+	"testing"
+
+	"ppdm"
+)
+
+// quickstartTrain reproduces the examples/quickstart training workload:
+// F2, 20000 records, gaussian noise at 100% privacy, ByClass mode.
+func quickstartTrain(b *testing.B, subtreeMinRows int) {
+	b.Helper()
+	tb, err := ppdm.Generate(ppdm.GenConfig{Function: ppdm.F2, N: 20000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	models := benchModels(b)
+	perturbed, err := ppdm.PerturbTable(tb, models, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ppdm.TrainConfig{Mode: ppdm.ByClass, Noise: models}
+	cfg.Tree.SubtreeMinRows = subtreeMinRows
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ppdm.Train(perturbed, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeQuickstartNodeParallelOnly(b *testing.B) { quickstartTrain(b, -1) }
+func BenchmarkTreeQuickstartSubtreeParallel(b *testing.B)  { quickstartTrain(b, 256) }
+
+func BenchmarkTrainTreeInMemory(b *testing.B) {
+	models := benchModels(b)
+	tb, err := ppdm.Generate(ppdm.GenConfig{Function: ppdm.F2, N: streamBenchN, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	perturbed, err := ppdm.PerturbTable(tb, models, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ppdm.TrainConfig{Mode: ppdm.ByClass, Noise: models}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ppdm.Train(perturbed, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainTreeStreamed(b *testing.B) {
+	models := benchModels(b)
+	cfg := ppdm.TrainConfig{Mode: ppdm.ByClass, Noise: models}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Full out-of-core pass: gen → perturb → spill-train, no table
+		// materialized (the in-memory pair amortizes gen+perturb away;
+		// this pair deliberately includes the one-pass spill cost).
+		src, err := ppdm.GenerateStream(ppdm.GenConfig{Function: ppdm.F2, N: streamBenchN, Seed: 1}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		perturbed, err := ppdm.PerturbStream(src, models, 2, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ppdm.TrainStream(perturbed, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

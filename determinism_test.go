@@ -107,6 +107,40 @@ func TestTrainWorkerDeterminism(t *testing.T) {
 	}
 }
 
+// TestSubtreeParallelWorkerDeterminism drives the fork-join subtree growth
+// hard — a cutoff small enough that forking reaches deep into the tree —
+// and demands byte-identical serialized classifiers at Workers 1 and 8,
+// with and without pruning.
+func TestSubtreeParallelWorkerDeterminism(t *testing.T) {
+	clean := detData(t, 20000, 17, 4)
+	models, err := ppdm.ModelsForAllAttrs(clean.Schema(), "gaussian", 1.0, ppdm.DefaultConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed, err := ppdm.PerturbTable(clean, models, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, disablePruning := range []bool{false, true} {
+		var docs [2]bytes.Buffer
+		for i, workers := range []int{1, 8} {
+			cfg := ppdm.TrainConfig{Mode: ppdm.ByClass, Noise: models, Workers: workers}
+			cfg.Tree.SubtreeMinRows = 64
+			cfg.Tree.DisablePruning = disablePruning
+			clf, err := ppdm.Train(perturbed, cfg)
+			if err != nil {
+				t.Fatalf("workers %d: %v", workers, err)
+			}
+			if err := clf.Save(&docs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !bytes.Equal(docs[0].Bytes(), docs[1].Bytes()) {
+			t.Errorf("pruning disabled=%v: subtree-parallel tree differs between Workers=1 and Workers=8", disablePruning)
+		}
+	}
+}
+
 // TestExperimentWorkerDeterminism renders a full accuracy experiment at both
 // worker counts; the printable output must match byte for byte.
 func TestExperimentWorkerDeterminism(t *testing.T) {

@@ -41,15 +41,29 @@ func (d *Dataset) N() int { return d.n }
 // Add appends one transaction given as a list of item IDs. Duplicate items
 // are allowed and collapse; out-of-range items are an error.
 func (d *Dataset) Add(items []int) error {
-	row := make([]uint64, d.words)
-	for _, it := range items {
-		if it < 0 || it >= d.numItems {
-			return fmt.Errorf("assoc: item %d outside universe [0,%d)", it, d.numItems)
+	return d.AddBatch([][]int{items})
+}
+
+// AddBatch appends a batch of transactions at once, growing the packed
+// storage a single time — the ingestion path of the streamed
+// transaction-file readers. On error the dataset is left unchanged.
+func (d *Dataset) AddBatch(txs [][]int) error {
+	for _, items := range txs {
+		for _, it := range items {
+			if it < 0 || it >= d.numItems {
+				return fmt.Errorf("assoc: item %d outside universe [0,%d)", it, d.numItems)
+			}
 		}
-		row[it/64] |= 1 << (uint(it) % 64)
 	}
-	d.rows = append(d.rows, row...)
-	d.n++
+	base := len(d.rows)
+	d.rows = append(d.rows, make([]uint64, len(txs)*d.words)...)
+	for i, items := range txs {
+		row := d.rows[base+i*d.words : base+(i+1)*d.words]
+		for _, it := range items {
+			row[it/64] |= 1 << (uint(it) % 64)
+		}
+	}
+	d.n += len(txs)
 	return nil
 }
 

@@ -135,46 +135,5 @@ func TrainStream(src stream.Source, cfg Config) (*Classifier, error) {
 // EvaluateStream classifies every record of a streamed clean test set,
 // holding only one batch in memory at a time.
 func (c *Classifier) EvaluateStream(src stream.Source) (core.Evaluation, error) {
-	s := src.Schema()
-	if s.NumAttrs() != len(c.Partitions) {
-		return core.Evaluation{}, fmt.Errorf("bayes: test stream has %d attributes, classifier expects %d",
-			s.NumAttrs(), len(c.Partitions))
-	}
-	k := len(c.Priors)
-	ev := core.Evaluation{Confusion: make([][]int, k)}
-	for i := range ev.Confusion {
-		ev.Confusion[i] = make([]int, k)
-	}
-	for {
-		b, err := src.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return core.Evaluation{}, err
-		}
-		if err := stream.CheckBatch(s, b); err != nil {
-			return core.Evaluation{}, err
-		}
-		for i := 0; i < b.N(); i++ {
-			pred, err := c.Predict(b.Row(i))
-			if err != nil {
-				return core.Evaluation{}, err
-			}
-			actual := b.Labels[i]
-			if actual >= k {
-				return core.Evaluation{}, fmt.Errorf("bayes: test label %d outside model's %d classes", actual, k)
-			}
-			ev.Confusion[actual][pred]++
-			if pred == actual {
-				ev.Correct++
-			}
-			ev.N++
-		}
-	}
-	if ev.N == 0 {
-		return core.Evaluation{}, errors.New("bayes: empty test stream")
-	}
-	ev.Accuracy = float64(ev.Correct) / float64(ev.N)
-	return ev, nil
+	return core.EvaluateStreamWith(src, len(c.Partitions), len(c.Priors), c.Predict)
 }

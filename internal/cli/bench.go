@@ -11,8 +11,13 @@ import (
 
 // Bench runs the paper-reproduction experiment harness.
 //
+// With -txfile, the association-rule experiment (E12) mines transactions
+// streamed from the given plain-text file (one transaction per line, items
+// as space-separated non-negative integer IDs) instead of synthetic
+// baskets.
+//
 // Usage: ppdm-bench [-run E1,E5|all] [-scale 1.0] [-seed 42] [-workers 0]
-// [-list]
+// [-txfile tx.dat] [-list]
 func Bench(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ppdm-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -20,6 +25,7 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 	scale := fs.Float64("scale", 1.0, "workload scale; 1.0 = the paper's full size")
 	seed := fs.Uint64("seed", 42, "seed for data generation and perturbation")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores); results are identical for any value")
+	txFile := fs.String("txfile", "", "transaction file for E12 (one transaction per line, space-separated item IDs); empty = synthetic baskets")
 	list := fs.Bool("list", false, "list available experiments and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -41,7 +47,7 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers, TxFile: *txFile}
 	for _, id := range ids {
 		res, err := experiments.RunByID(id, cfg)
 		if err != nil {

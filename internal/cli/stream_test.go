@@ -115,13 +115,75 @@ func TestTrainStreamPipeline(t *testing.T) {
 	}
 }
 
-func TestTrainStreamRequiresNB(t *testing.T) {
-	_, errOut, code := runCmd(t, trainCmd, []string{"-stream", "-train", "x.gz", "-test", "y.csv"})
-	if code == 0 {
-		t.Fatal("-stream with tree learner accepted")
+// The streamed tree path: gen -stream → train -stream -learner tree must
+// produce the byte-identical evaluation block (accuracy, tree size, printed
+// tree) to the in-memory tree run on the same data, and support -save.
+func TestTrainStreamTreeMatchesInMemory(t *testing.T) {
+	dir := t.TempDir()
+	trainGz := filepath.Join(dir, "train.csv.gz")
+	trainCsv := filepath.Join(dir, "train.csv")
+	testCsv := filepath.Join(dir, "test.csv")
+	modelPath := filepath.Join(dir, "model.json")
+
+	genArgs := []string{"-fn", "F3", "-n", "4000", "-seed", "7", "-perturb", "gaussian", "-noise-seed", "8"}
+	if _, errOut, code := runCmd(t, genCmd, append(append([]string{}, genArgs...), "-stream", "-o", trainGz)); code != 0 {
+		t.Fatalf("gen -stream: %s", errOut)
 	}
-	if !strings.Contains(errOut, "-learner nb") {
-		t.Errorf("error does not point at -learner nb: %s", errOut)
+	if _, errOut, code := runCmd(t, genCmd, append(append([]string{}, genArgs...), "-o", trainCsv)); code != 0 {
+		t.Fatalf("gen: %s", errOut)
+	}
+	if _, errOut, code := runCmd(t, genCmd, []string{"-fn", "F3", "-n", "1000", "-seed", "9", "-o", testCsv}); code != 0 {
+		t.Fatalf("gen test: %s", errOut)
+	}
+
+	trainArgs := []string{"-mode", "byclass", "-family", "gaussian", "-learner", "tree", "-print-tree"}
+	outMem, errOut, code := runCmd(t, trainCmd, append(append([]string{}, trainArgs...),
+		"-train", trainCsv, "-test", testCsv))
+	if code != 0 {
+		t.Fatalf("in-memory tree train: %s", errOut)
+	}
+	outStream, errOut, code := runCmd(t, trainCmd, append(append([]string{}, trainArgs...),
+		"-stream", "-batch", "999", "-train", trainGz, "-test", testCsv, "-save", modelPath))
+	if code != 0 {
+		t.Fatalf("streamed tree train: %s", errOut)
+	}
+
+	// Everything from "accuracy:" down (metrics, confusion matrix, rendered
+	// tree) must match byte for byte; the header lines name different
+	// learner/paths by design.
+	tail := func(out string) string {
+		i := strings.Index(out, "accuracy:")
+		if i < 0 {
+			t.Fatalf("output missing accuracy block:\n%s", out)
+		}
+		return out[i:]
+	}
+	if a, b := tail(outMem), tail(outStream); a != b {
+		t.Errorf("streamed tree evaluation differs from in-memory:\n--- in-memory ---\n%s\n--- streamed ---\n%s", a, b)
+	}
+	if _, err := os.Stat(modelPath); err != nil {
+		t.Errorf("-save did not write the streamed tree model: %v", err)
+	}
+}
+
+// Local mode cannot stream: it re-reconstructs from raw node-local values.
+func TestTrainStreamTreeRejectsLocal(t *testing.T) {
+	dir := t.TempDir()
+	trainGz := filepath.Join(dir, "train.csv.gz")
+	testCsv := filepath.Join(dir, "test.csv")
+	if _, errOut, code := runCmd(t, genCmd, []string{"-fn", "F1", "-n", "500", "-seed", "1", "-perturb", "gaussian", "-stream", "-o", trainGz}); code != 0 {
+		t.Fatalf("gen: %s", errOut)
+	}
+	if _, errOut, code := runCmd(t, genCmd, []string{"-fn", "F1", "-n", "100", "-seed", "2", "-o", testCsv}); code != 0 {
+		t.Fatalf("gen: %s", errOut)
+	}
+	_, errOut, code := runCmd(t, trainCmd, []string{"-stream", "-learner", "tree", "-mode", "local",
+		"-family", "gaussian", "-train", trainGz, "-test", testCsv})
+	if code == 0 {
+		t.Fatal("-stream with local mode accepted")
+	}
+	if !strings.Contains(errOut, "materialized table") {
+		t.Errorf("error does not explain the local-mode restriction: %s", errOut)
 	}
 }
 

@@ -23,12 +23,15 @@ import (
 // training file was perturbed.
 //
 // With -stream the training input is a gzipped record-batch file (or stdin
-// for "-") as written by `ppdm-gen -stream`; it is consumed in one
-// bounded-memory pass, so the training set may be larger than memory. The
-// streaming path requires -learner nb: naive Bayes needs only per-class
-// interval statistics, whereas the decision tree re-partitions individual
-// records and must hold the table. A -test file ending in .gz is streamed
-// too; otherwise it is read as plain CSV.
+// for "-") as written by `ppdm-gen -stream`; it is consumed in bounded
+// memory, so the training set may be larger than memory. Naive Bayes trains
+// in one pass over per-class interval statistics; the decision tree builds
+// SPRINT-style columnar attribute lists in disk-spilled segments and grows
+// from them through a bounded segment cache, emitting a model byte-identical
+// to the in-memory path. Every mode except local streams (local
+// re-reconstructs from raw node-local values and needs the materialized
+// table). A -test file ending in .gz is streamed too; otherwise it is read
+// as plain CSV.
 //
 // Usage: ppdm-train -train train.csv -test test.csv [-mode byclass]
 // [-family gaussian] [-privacy 1.0] [-conf 0.95] [-intervals 50]
@@ -47,7 +50,7 @@ func Train(args []string, stdout, stderr io.Writer) int {
 	algorithm := fs.String("algorithm", "bayes", "reconstruction algorithm: bayes|em")
 	learner := fs.String("learner", "tree", "learner: tree|nb (naive Bayes supports original/randomized/byclass)")
 	workers := fs.Int("workers", 0, "worker goroutines for training (0 = all cores); the trained model is identical for any value")
-	streamMode := fs.Bool("stream", false, "consume -train as a gzipped record-batch stream in one bounded-memory pass (requires -learner nb)")
+	streamMode := fs.Bool("stream", false, "consume -train as a gzipped record-batch stream in bounded memory (tree learner spills columnar attribute lists to disk; all modes except local)")
 	batch := fs.Int("batch", 0, fmt.Sprintf("records per streamed batch (0 = %d)", stream.DefaultBatchSize))
 	printTree := fs.Bool("print-tree", false, "print the trained decision tree")
 	savePath := fs.String("save", "", "write the trained tree model as JSON to this file")
@@ -80,13 +83,18 @@ func Train(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *streamMode {
-		if *learner != "nb" {
-			return fail(stderr, fmt.Errorf("-stream requires -learner nb: the tree learner re-partitions individual records and needs the full table in memory"))
+		switch *learner {
+		case "nb":
+			if *savePath != "" {
+				return fail(stderr, fmt.Errorf("-save requires the tree learner"))
+			}
+			return trainStreamedNB(*trainPath, *testPath, mode, alg, models, *intervals, *batch, stdout, stderr)
+		case "tree":
+			cfg := core.Config{Mode: mode, Intervals: *intervals, ReconAlgorithm: alg, Noise: models, Workers: *workers}
+			return trainStreamedTree(*trainPath, *testPath, *savePath, cfg, *batch, *printTree, stdout, stderr)
+		default:
+			return fail(stderr, fmt.Errorf("unknown learner %q (want tree or nb)", *learner))
 		}
-		if *savePath != "" {
-			return fail(stderr, fmt.Errorf("-save requires the tree learner"))
-		}
-		return trainStreamed(*trainPath, *testPath, mode, alg, models, *intervals, *batch, stdout, stderr)
 	}
 
 	trainTable, err := readBenchmarkCSV(*trainPath)
@@ -130,26 +138,105 @@ func Train(args []string, stdout, stderr io.Writer) int {
 		if treeClf == nil {
 			return fail(stderr, fmt.Errorf("-save requires the tree learner"))
 		}
-		f, err := os.Create(*savePath)
-		if err != nil {
+		if err := saveTreeModel(*savePath, treeClf, stderr); err != nil {
 			return fail(stderr, err)
 		}
-		if err := treeClf.Save(f); err != nil {
-			f.Close()
-			return fail(stderr, err)
-		}
-		if err := f.Close(); err != nil {
-			return fail(stderr, err)
-		}
-		fmt.Fprintf(stderr, "saved model to %s\n", *savePath)
 	}
 	return 0
 }
 
-// trainStreamed is the bounded-memory training path: the training stream is
-// consumed batch by batch into naive-Bayes sufficient statistics, so only
+// evaluator is the surface shared by the tree and naive-Bayes classifiers
+// that the test-set dispatch needs.
+type evaluator interface {
+	Evaluate(test *dataset.Table) (core.Evaluation, error)
+	EvaluateStream(src stream.Source) (core.Evaluation, error)
+}
+
+// evaluateTestInput evaluates a trained classifier on the test input,
+// streaming it batch by batch when the path names a gzipped record stream
+// (".gz" suffix, or "-" for stdin) and reading plain CSV otherwise. It
+// returns the evaluation and the number of test records.
+func evaluateTestInput(clf evaluator, testPath string, batch int) (core.Evaluation, int, error) {
+	if strings.HasSuffix(testPath, ".gz") || testPath == "-" {
+		src, closeTest, err := openRecordStream(testPath, batch)
+		if err != nil {
+			return core.Evaluation{}, 0, err
+		}
+		ev, err := clf.EvaluateStream(src)
+		if cerr := closeTest(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return core.Evaluation{}, 0, err
+		}
+		return ev, ev.N, nil
+	}
+	testTable, err := readBenchmarkCSV(testPath)
+	if err != nil {
+		return core.Evaluation{}, 0, err
+	}
+	ev, err := clf.Evaluate(testTable)
+	if err != nil {
+		return core.Evaluation{}, 0, err
+	}
+	return ev, testTable.N(), nil
+}
+
+// saveTreeModel writes the trained tree model as JSON to path and reports
+// to stderr.
+func saveTreeModel(path string, clf *core.Classifier, stderr io.Writer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := clf.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "saved model to %s\n", path)
+	return nil
+}
+
+// trainStreamedTree is the bounded-memory decision-tree path: the training
+// stream is spilled into columnar attribute-list segments on disk and the
+// tree grows from them through a bounded segment cache, so the table is
+// never materialized and the model matches the in-memory path byte for
+// byte.
+func trainStreamedTree(trainPath, testPath, savePath string, cfg core.Config, batch int,
+	printTree bool, stdout, stderr io.Writer) int {
+	src, closeTrain, err := openRecordStream(trainPath, batch)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	clf, err := core.TrainStream(src, cfg)
+	if cerr := closeTrain(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fail(stderr, err)
+	}
+	trainN := src.N()
+
+	ev, testN, err := evaluateTestInput(clf, testPath, batch)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	printEvaluation(stdout, "tree (streamed)", cfg.Mode, synth.Schema(), trainN, testN, trainPath, testPath, ev, clf, printTree)
+	if savePath != "" {
+		if err := saveTreeModel(savePath, clf, stderr); err != nil {
+			return fail(stderr, err)
+		}
+	}
+	return 0
+}
+
+// trainStreamedNB is the bounded-memory naive-Bayes path: the training
+// stream is consumed batch by batch into sufficient statistics, so only
 // O(batch + classes × attributes × intervals) memory is held at once.
-func trainStreamed(trainPath, testPath string, mode core.Mode, alg reconstruct.Algorithm,
+func trainStreamedNB(trainPath, testPath string, mode core.Mode, alg reconstruct.Algorithm,
 	models map[int]noise.Model, intervals, batch int, stdout, stderr io.Writer) int {
 	src, closeTrain, err := openRecordStream(trainPath, batch)
 	if err != nil {
@@ -165,31 +252,9 @@ func trainStreamed(trainPath, testPath string, mode core.Mode, alg reconstruct.A
 	}
 	trainN := src.N()
 
-	var ev core.Evaluation
-	var testN int
-	if strings.HasSuffix(testPath, ".gz") || testPath == "-" {
-		testSrc, closeTest, err := openRecordStream(testPath, batch)
-		if err != nil {
-			return fail(stderr, err)
-		}
-		ev, err = nb.EvaluateStream(testSrc)
-		if cerr := closeTest(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return fail(stderr, err)
-		}
-		testN = ev.N
-	} else {
-		testTable, err := readBenchmarkCSV(testPath)
-		if err != nil {
-			return fail(stderr, err)
-		}
-		ev, err = nb.Evaluate(testTable)
-		if err != nil {
-			return fail(stderr, err)
-		}
-		testN = testTable.N()
+	ev, testN, err := evaluateTestInput(nb, testPath, batch)
+	if err != nil {
+		return fail(stderr, err)
 	}
 	printEvaluation(stdout, "nb (streamed)", mode, synth.Schema(), trainN, testN, trainPath, testPath, ev, nil, false)
 	return 0

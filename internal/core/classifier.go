@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"ppdm/internal/dataset"
+	"ppdm/internal/stream"
 )
 
 // Predict classifies a record of raw attribute values (clean test data): the
@@ -58,6 +60,63 @@ func (c *Classifier) Evaluate(test *dataset.Table) (Evaluation, error) {
 		if pred == actual {
 			ev.Correct++
 		}
+	}
+	ev.Accuracy = float64(ev.Correct) / float64(ev.N)
+	return ev, nil
+}
+
+// EvaluateStream classifies every record of a streamed clean test set,
+// holding only one batch in memory at a time — the out-of-core counterpart
+// of Evaluate, with identical results for the same records.
+func (c *Classifier) EvaluateStream(src stream.Source) (Evaluation, error) {
+	return EvaluateStreamWith(src, len(c.Partitions), c.Tree.NumClasses, c.Predict)
+}
+
+// EvaluateStreamWith drains a streamed clean test set through a per-record
+// predict function, accumulating accuracy and the confusion matrix with one
+// batch in memory at a time. numAttrs is the record width the model
+// expects and k its class count. It backs the EvaluateStream methods of
+// both the decision-tree and naive-Bayes classifiers, so the streamed
+// evaluation semantics cannot drift between learners.
+func EvaluateStreamWith(src stream.Source, numAttrs, k int, predict func(rec []float64) (int, error)) (Evaluation, error) {
+	s := src.Schema()
+	if s.NumAttrs() != numAttrs {
+		return Evaluation{}, fmt.Errorf("core: test stream has %d attributes, classifier expects %d",
+			s.NumAttrs(), numAttrs)
+	}
+	ev := Evaluation{Confusion: make([][]int, k)}
+	for i := range ev.Confusion {
+		ev.Confusion[i] = make([]int, k)
+	}
+	for {
+		b, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Evaluation{}, err
+		}
+		if err := stream.CheckBatch(s, b); err != nil {
+			return Evaluation{}, err
+		}
+		for i := 0; i < b.N(); i++ {
+			pred, err := predict(b.Row(i))
+			if err != nil {
+				return Evaluation{}, err
+			}
+			actual := b.Labels[i]
+			if actual >= k {
+				return Evaluation{}, fmt.Errorf("core: test label %d outside model's %d classes", actual, k)
+			}
+			ev.Confusion[actual][pred]++
+			if pred == actual {
+				ev.Correct++
+			}
+			ev.N++
+		}
+	}
+	if ev.N == 0 {
+		return Evaluation{}, errors.New("core: empty test stream")
 	}
 	ev.Accuracy = float64(ev.Correct) / float64(ev.N)
 	return ev, nil

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"ppdm/internal/dataset"
+	"ppdm/internal/noise"
+	"ppdm/internal/stream"
+	"ppdm/internal/synth"
+)
+
+// colstreamData generates a perturbed benchmark table plus its noise models.
+func colstreamData(t *testing.T, n int, seed uint64) (*dataset.Table, map[int]noise.Model) {
+	t.Helper()
+	clean, err := synth.Generate(synth.Config{Function: synth.F2, N: n, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := noise.ModelsForAllAttrs(clean.Schema(), "gaussian", 1.0, noise.DefaultConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed, err := noise.PerturbTable(clean, models, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return perturbed, models
+}
+
+// TestTrainStreamMatchesTrain is the core equivalence test: for every
+// supported mode and at Workers 1 and 8, the out-of-core path must
+// serialize to the identical classifier document as the in-memory path.
+func TestTrainStreamMatchesTrain(t *testing.T) {
+	perturbed, models := colstreamData(t, 6000, 21)
+	for _, mode := range []Mode{Original, Randomized, Global, ByClass} {
+		for _, workers := range []int{1, 8} {
+			cfg := Config{Mode: mode, Workers: workers}
+			if mode.NeedsNoise() {
+				cfg.Noise = models
+			}
+			// Fork deep even at this scale so the subtree-parallel path is
+			// genuinely exercised at workers 8.
+			cfg.Tree.SubtreeMinRows = 64
+
+			want, err := Train(perturbed, cfg)
+			if err != nil {
+				t.Fatalf("mode %v workers %d: Train: %v", mode, workers, err)
+			}
+			got, err := TrainStream(stream.FromTable(perturbed, 777), cfg)
+			if err != nil {
+				t.Fatalf("mode %v workers %d: TrainStream: %v", mode, workers, err)
+			}
+
+			var wantDoc, gotDoc bytes.Buffer
+			if err := want.Save(&wantDoc); err != nil {
+				t.Fatal(err)
+			}
+			if err := got.Save(&gotDoc); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wantDoc.Bytes(), gotDoc.Bytes()) {
+				t.Errorf("mode %v workers %d: streamed classifier differs from in-memory classifier", mode, workers)
+			}
+			for a := range want.Tree.Importance {
+				if want.Tree.Importance[a] != got.Tree.Importance[a] {
+					t.Errorf("mode %v workers %d: Importance[%d] %v != %v",
+						mode, workers, a, got.Tree.Importance[a], want.Tree.Importance[a])
+				}
+			}
+		}
+	}
+}
+
+// TestTrainStreamRejectsLocal documents the one unsupported mode.
+func TestTrainStreamRejectsLocal(t *testing.T) {
+	perturbed, models := colstreamData(t, 1200, 5)
+	_, err := TrainStream(stream.FromTable(perturbed, 0), Config{Mode: Local, Noise: models})
+	if err == nil {
+		t.Fatal("Local mode accepted by TrainStream")
+	}
+}
+
+// TestTrainStreamBatchSizeInvariance checks the spill pass is independent of
+// how the stream is batched.
+func TestTrainStreamBatchSizeInvariance(t *testing.T) {
+	perturbed, models := colstreamData(t, 5000, 9)
+	cfg := Config{Mode: ByClass, Noise: models}
+	var docs [][]byte
+	for _, batch := range []int{1, 100, 8192, 100000} {
+		clf, err := TrainStream(stream.FromTable(perturbed, batch), cfg)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		var doc bytes.Buffer
+		if err := clf.Save(&doc); err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, doc.Bytes())
+	}
+	for i := 1; i < len(docs); i++ {
+		if !bytes.Equal(docs[0], docs[i]) {
+			t.Errorf("batch size variant %d trained a different classifier", i)
+		}
+	}
+}
+
+// TestTrainStreamTinyCache forces constant cache thrashing (2 resident
+// segments across 9 attributes) and still demands the identical model —
+// the bounded-memory guarantee must never alter results.
+func TestTrainStreamTinyCache(t *testing.T) {
+	perturbed, models := colstreamData(t, 3000, 13)
+	base := Config{Mode: ByClass, Noise: models}
+	want, err := Train(perturbed, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := base
+	small.ColumnCacheSegments = 2
+	got, err := TrainStream(stream.FromTable(perturbed, 0), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantDoc, gotDoc bytes.Buffer
+	if err := want.Save(&wantDoc); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Save(&gotDoc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantDoc.Bytes(), gotDoc.Bytes()) {
+		t.Error("tiny segment cache changed the trained classifier")
+	}
+}

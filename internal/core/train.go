@@ -53,14 +53,24 @@ type Config struct {
 	// DefaultLocalMinRecords).
 	LocalMinRecords int
 	// Workers bounds the training parallelism (per-attribute and per-class
-	// reconstruction, split search); 0 means all cores. The trained model is
-	// bit-identical for every worker count.
+	// reconstruction, split search, subtree growth); 0 means all cores. The
+	// trained model is bit-identical for every worker count.
 	Workers int
 	// DisableWeightCache bypasses the process-global transition-matrix cache
 	// during reconstruction. Set it when measuring training cost, so a run
 	// is not timed warm against matrices another run left behind; the
 	// trained model is identical either way.
 	DisableWeightCache bool
+	// SpillDir is where the out-of-core path (TrainStream) keeps its column
+	// segment files; "" uses the operating system's temp directory. The
+	// spill is scratch of one training run and is removed before TrainStream
+	// returns. In-memory Train ignores it.
+	SpillDir string
+	// ColumnCacheSegments bounds the decompressed column segments
+	// TrainStream's tree growth holds in memory at once, across all
+	// attributes (0 = tree.DefaultCacheSegments). In-memory Train ignores
+	// it; the trained model is identical for every value.
+	ColumnCacheSegments int
 }
 
 // Classifier is a trained privacy-preserving decision-tree model: the tree
@@ -81,42 +91,14 @@ func Train(train *dataset.Table, cfg Config) (*Classifier, error) {
 	if train == nil || train.N() == 0 {
 		return nil, errors.New("core: empty training table")
 	}
-	if !cfg.Mode.Valid() {
-		return nil, fmt.Errorf("core: invalid mode %d", int(cfg.Mode))
+	cfg, err := cfg.normalized(train.N())
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Intervals == 0 {
-		cfg.Intervals = DefaultIntervals
-	}
-	if cfg.Intervals < 2 {
-		return nil, fmt.Errorf("core: need >= 2 intervals, got %d", cfg.Intervals)
-	}
-	if cfg.LocalMinRecords == 0 {
-		cfg.LocalMinRecords = DefaultLocalMinRecords
-	}
-	if cfg.ReconEpsilon == 0 {
-		cfg.ReconEpsilon = DefaultReconEpsilon
-	}
-	if cfg.Mode.NeedsNoise() && len(cfg.Noise) == 0 {
-		return nil, fmt.Errorf("core: mode %v requires noise models", cfg.Mode)
-	}
-	if cfg.Tree.MinLeaf == 0 {
-		// Perturbed training data carries per-record noise that a
-		// fully-grown tree happily memorizes; a sample-size-scaled leaf
-		// minimum keeps all modes comparable at every scale.
-		cfg.Tree.MinLeaf = adaptiveMinLeaf(train.N())
-	}
-	if cfg.Tree.Workers == 0 {
-		cfg.Tree.Workers = cfg.Workers
-	}
-
 	s := train.Schema()
-	parts := make([]reconstruct.Partition, s.NumAttrs())
-	for j, a := range s.Attrs {
-		p, err := reconstruct.NewPartition(a.Lo, a.Hi, effectiveIntervals(a, cfg.Intervals))
-		if err != nil {
-			return nil, fmt.Errorf("core: attribute %q: %w", a.Name, err)
-		}
-		parts[j] = p
+	parts, err := attrPartitions(s, cfg.Intervals)
+	if err != nil {
+		return nil, err
 	}
 
 	labels := make([]int, train.N())
@@ -175,6 +157,55 @@ func Train(train *dataset.Table, cfg Config) (*Classifier, error) {
 	return &Classifier{Mode: cfg.Mode, Tree: tr, Schema: s, Partitions: parts}, nil
 }
 
+// normalized applies defaults and validates the knobs shared by the
+// in-memory (Train) and out-of-core (TrainStream) paths. n is the training
+// set size, which scales the adaptive leaf minimum; both paths therefore
+// resolve the identical tree configuration for the same data.
+func (cfg Config) normalized(n int) (Config, error) {
+	if !cfg.Mode.Valid() {
+		return cfg, fmt.Errorf("core: invalid mode %d", int(cfg.Mode))
+	}
+	if cfg.Intervals == 0 {
+		cfg.Intervals = DefaultIntervals
+	}
+	if cfg.Intervals < 2 {
+		return cfg, fmt.Errorf("core: need >= 2 intervals, got %d", cfg.Intervals)
+	}
+	if cfg.LocalMinRecords == 0 {
+		cfg.LocalMinRecords = DefaultLocalMinRecords
+	}
+	if cfg.ReconEpsilon == 0 {
+		cfg.ReconEpsilon = DefaultReconEpsilon
+	}
+	if cfg.Mode.NeedsNoise() && len(cfg.Noise) == 0 {
+		return cfg, fmt.Errorf("core: mode %v requires noise models", cfg.Mode)
+	}
+	if cfg.Tree.MinLeaf == 0 {
+		// Perturbed training data carries per-record noise that a
+		// fully-grown tree happily memorizes; a sample-size-scaled leaf
+		// minimum keeps all modes comparable at every scale.
+		cfg.Tree.MinLeaf = adaptiveMinLeaf(n)
+	}
+	if cfg.Tree.Workers == 0 {
+		cfg.Tree.Workers = cfg.Workers
+	}
+	return cfg, nil
+}
+
+// attrPartitions builds one domain partition per schema attribute at the
+// configured interval count (capped per attribute by effectiveIntervals).
+func attrPartitions(s *dataset.Schema, intervals int) ([]reconstruct.Partition, error) {
+	parts := make([]reconstruct.Partition, s.NumAttrs())
+	for j, a := range s.Attrs {
+		p, err := reconstruct.NewPartition(a.Lo, a.Hi, effectiveIntervals(a, intervals))
+		if err != nil {
+			return nil, fmt.Errorf("core: attribute %q: %w", a.Name, err)
+		}
+		parts[j] = p
+	}
+	return parts, nil
+}
+
 // adaptiveMinLeaf returns the default minimum leaf size for n training
 // records: roughly sqrt(n), at least 10.
 func adaptiveMinLeaf(n int) int {
@@ -230,6 +261,19 @@ func reconCfg(cfg Config, part reconstruct.Partition, m noise.Model) reconstruct
 	}
 }
 
+// assignPerturbed is the shared reconstruction-and-reassignment unit of the
+// in-memory and out-of-core paths: it reconstructs the distribution of one
+// set of perturbed values — a whole column (Global) or one class's slice of
+// it (ByClass) — and maps each value to an interval by ordered
+// re-assignment. errCtx names the column (and class) for error reports.
+func assignPerturbed(values []float64, part reconstruct.Partition, m noise.Model, cfg Config, errCtx string) ([]int, error) {
+	res, err := reconstruct.Reconstruct(values, reconCfg(cfg, part, m))
+	if err != nil {
+		return nil, fmt.Errorf("core: reconstructing %s: %w", errCtx, err)
+	}
+	return orderedAssign(values, res.P)
+}
+
 // globalColumns implements the Global mode: one reconstruction per attribute
 // over all records, then ordered re-assignment. Attributes reconstruct in
 // parallel; each column depends only on its own values, so the result is
@@ -245,11 +289,7 @@ func globalColumns(t *dataset.Table, parts []reconstruct.Partition, cfg Config) 
 			}
 			return col, nil
 		}
-		res, err := reconstruct.Reconstruct(values, reconCfg(cfg, parts[j], m))
-		if err != nil {
-			return nil, fmt.Errorf("core: reconstructing attribute %d: %w", j, err)
-		}
-		return orderedAssign(values, res.P)
+		return assignPerturbed(values, parts[j], m, cfg, fmt.Sprintf("attribute %d", j))
 	})
 }
 
@@ -281,11 +321,7 @@ func byClassColumns(t *dataset.Table, parts []reconstruct.Partition, cfg Config)
 		if len(values) == 0 {
 			return nil
 		}
-		res, err := reconstruct.Reconstruct(values, reconCfg(cfg, parts[j], m))
-		if err != nil {
-			return fmt.Errorf("core: reconstructing attribute %d class %d: %w", j, c, err)
-		}
-		bins, err := orderedAssign(values, res.P)
+		bins, err := assignPerturbed(values, parts[j], m, cfg, fmt.Sprintf("attribute %d class %d", j, c))
 		if err != nil {
 			return err
 		}

@@ -34,6 +34,12 @@ type Config struct {
 	// is bit-identical for every worker count; only wall-clock
 	// measurements (E10) vary.
 	Workers int
+	// TxFile, when set, makes the association-rule experiment (E12) mine
+	// the transactions streamed from this plain-text file — one
+	// transaction per line, space-separated non-negative item IDs —
+	// instead of generating synthetic baskets. Other experiments ignore
+	// it.
+	TxFile string
 }
 
 func (c Config) withDefaults() Config {

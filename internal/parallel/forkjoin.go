@@ -1,0 +1,56 @@
+package parallel
+
+// ForkJoin executes dynamically spawned task pairs — work whose
+// decomposition is only discovered while running, like the left/right
+// recursion of a tree build — on a bounded set of goroutines.
+//
+// The fixed-grid primitives (ForEachChunk, ForEach, Map) need the task count
+// up front; recursive work does not have one. ForkJoin instead hands out
+// worker tokens: Do runs its second function on a fresh goroutine when a
+// token is free and inline otherwise. Because acquisition never blocks —
+// a task that cannot get a token simply keeps the work on its own
+// goroutine — nested Do calls from inside running tasks can never deadlock,
+// no matter how deep the recursion or how small the worker bound.
+//
+// ForkJoin bounds only scheduling, so it composes with the determinism
+// contract the same way worker counts do everywhere in this package:
+// callers must keep each forked task's result independent of where it ran
+// (no scratch shared between the two functions of one Do, no
+// order-dependent accumulation across tasks).
+type ForkJoin struct {
+	// tokens holds one slot per extra goroutine the instance may run
+	// beyond the goroutines that call Do.
+	tokens chan struct{}
+}
+
+// NewForkJoin returns a ForkJoin that keeps at most Workers(workers)
+// goroutines busy: the caller's own goroutine plus Workers(workers)-1
+// spawned ones. A bound of 1 therefore degenerates to fully inline
+// (serial) execution.
+func NewForkJoin(workers int) *ForkJoin {
+	return &ForkJoin{tokens: make(chan struct{}, Workers(workers)-1)}
+}
+
+// Do runs a and b, potentially in parallel, returning when both are done.
+// a always runs inline on the calling goroutine; b runs on a spawned
+// goroutine when a worker token is free at submission time and inline
+// (after a) otherwise, and is told which happened: when spawned is false, b
+// runs strictly after a on the same goroutine and may therefore reuse the
+// caller's scratch state, while spawned means b races a and must use its
+// own. Both functions may themselves call Do.
+func (f *ForkJoin) Do(a func(), b func(spawned bool)) {
+	select {
+	case f.tokens <- struct{}{}:
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			defer func() { <-f.tokens }()
+			b(true)
+		}()
+		a()
+		<-done
+	default:
+		a()
+		b(false)
+	}
+}

@@ -1,0 +1,209 @@
+package stream
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Segment locates one column segment inside a segment file: the byte range
+// of its gzip member and the number of values it holds. Indices live in
+// memory for the lifetime of the spill (segment files are scratch of one
+// training run, not an interchange format).
+type Segment struct {
+	// Off and Size bound the segment's gzip member in the file.
+	Off, Size int64
+	// Count is the number of values in the segment.
+	Count int
+}
+
+// SegmentWriter spills a column to a file as a sequence of independently
+// gzipped segments — the out-of-core counterpart of a memory-resident
+// attribute list. Each segment is its own gzip member holding one value per
+// line, in the same exact textual encoding as the record codec (Writer):
+// floats render with strconv.FormatFloat(v, 'g', -1, 64), so a spilled
+// value re-reads bit-identically, which is what lets the out-of-core
+// training path reproduce the in-memory path byte for byte.
+type SegmentWriter struct {
+	w     io.Writer
+	off   int64
+	index []Segment
+	buf   []byte
+}
+
+// NewSegmentWriter starts a segment file on w (typically an *os.File).
+func NewSegmentWriter(w io.Writer) *SegmentWriter {
+	return &SegmentWriter{w: w}
+}
+
+// Segments returns the number of segments written so far.
+func (w *SegmentWriter) Segments() int { return len(w.index) }
+
+// N returns the total number of values written so far.
+func (w *SegmentWriter) N() int {
+	n := 0
+	for _, s := range w.index {
+		n += s.Count
+	}
+	return n
+}
+
+// Index returns the segment directory needed to read the file back. The
+// returned slice is a copy and stays valid after further writes.
+func (w *SegmentWriter) Index() []Segment {
+	return append([]Segment(nil), w.index...)
+}
+
+// WriteFloats appends one segment of float64 values.
+func (w *SegmentWriter) WriteFloats(vals []float64) error {
+	return w.writeSegment(len(vals), func(enc *bufio.Writer) error {
+		for _, v := range vals {
+			w.buf = strconv.AppendFloat(w.buf[:0], v, 'g', -1, 64)
+			w.buf = append(w.buf, '\n')
+			if _, err := enc.Write(w.buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// WriteInts appends one segment of integer values.
+func (w *SegmentWriter) WriteInts(vals []int) error {
+	return w.writeSegment(len(vals), func(enc *bufio.Writer) error {
+		for _, v := range vals {
+			w.buf = strconv.AppendInt(w.buf[:0], int64(v), 10)
+			w.buf = append(w.buf, '\n')
+			if _, err := enc.Write(w.buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// writeSegment frames one gzip member around the encoded payload and
+// records it in the index.
+func (w *SegmentWriter) writeSegment(count int, encode func(*bufio.Writer) error) error {
+	if count == 0 {
+		return fmt.Errorf("stream: refusing to write an empty segment")
+	}
+	cw := &countingWriter{w: w.w}
+	gz := gzip.NewWriter(cw)
+	enc := bufio.NewWriter(gz)
+	if err := encode(enc); err != nil {
+		return fmt.Errorf("stream: writing segment %d: %w", len(w.index), err)
+	}
+	if err := enc.Flush(); err != nil {
+		return fmt.Errorf("stream: writing segment %d: %w", len(w.index), err)
+	}
+	if err := gz.Close(); err != nil {
+		return fmt.Errorf("stream: writing segment %d: %w", len(w.index), err)
+	}
+	w.index = append(w.index, Segment{Off: w.off, Size: cw.n, Count: count})
+	w.off += cw.n
+	return nil
+}
+
+// countingWriter tracks how many bytes pass through.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// SegmentReader reads individual segments of a file written by
+// SegmentWriter, in any order. Reads are stateless — each call opens its own
+// section and gzip stream — so a reader is safe for concurrent use as long
+// as the underlying ReaderAt is (an *os.File is).
+type SegmentReader struct {
+	r     io.ReaderAt
+	index []Segment
+}
+
+// NewSegmentReader wraps a written segment file and the index its writer
+// produced.
+func NewSegmentReader(r io.ReaderAt, index []Segment) *SegmentReader {
+	return &SegmentReader{r: r, index: index}
+}
+
+// Segments returns the number of segments in the file.
+func (r *SegmentReader) Segments() int { return len(r.index) }
+
+// Count returns the number of values in segment seg.
+func (r *SegmentReader) Count(seg int) int { return r.index[seg].Count }
+
+// N returns the total number of values across all segments.
+func (r *SegmentReader) N() int {
+	n := 0
+	for _, s := range r.index {
+		n += s.Count
+	}
+	return n
+}
+
+// ReadFloats decodes one float64 segment. The values are bit-identical to
+// what WriteFloats was given.
+func (r *SegmentReader) ReadFloats(seg int) ([]float64, error) {
+	var out []float64
+	err := r.readSegment(seg, func(line []byte) error {
+		v, err := strconv.ParseFloat(string(line), 64)
+		if err != nil {
+			return err
+		}
+		out = append(out, v)
+		return nil
+	})
+	return out, err
+}
+
+// ReadInts decodes one integer segment.
+func (r *SegmentReader) ReadInts(seg int) ([]int, error) {
+	var out []int
+	err := r.readSegment(seg, func(line []byte) error {
+		v, err := strconv.Atoi(string(line))
+		if err != nil {
+			return err
+		}
+		out = append(out, v)
+		return nil
+	})
+	return out, err
+}
+
+// readSegment streams one gzip member line by line through parse and
+// validates the value count against the index.
+func (r *SegmentReader) readSegment(seg int, parse func(line []byte) error) error {
+	if seg < 0 || seg >= len(r.index) {
+		return fmt.Errorf("stream: segment %d outside file of %d segments", seg, len(r.index))
+	}
+	s := r.index[seg]
+	gz, err := gzip.NewReader(io.NewSectionReader(r.r, s.Off, s.Size))
+	if err != nil {
+		return fmt.Errorf("stream: opening segment %d: %w", seg, err)
+	}
+	defer gz.Close()
+	sc := bufio.NewScanner(gz)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	n := 0
+	for sc.Scan() {
+		if err := parse(sc.Bytes()); err != nil {
+			return fmt.Errorf("stream: segment %d value %d: %w", seg, n, err)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("stream: reading segment %d: %w", seg, err)
+	}
+	if n != s.Count {
+		return fmt.Errorf("stream: segment %d decoded %d values, index says %d", seg, n, s.Count)
+	}
+	return nil
+}

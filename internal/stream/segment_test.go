@@ -1,0 +1,165 @@
+package stream
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ppdm/internal/prng"
+)
+
+func TestSegmentRoundTripFloats(t *testing.T) {
+	r := prng.New(7)
+	var buf bytes.Buffer
+	w := NewSegmentWriter(&buf)
+	want := make([][]float64, 5)
+	for s := range want {
+		vals := make([]float64, 100+s*37)
+		for i := range vals {
+			// Adversarial values: full-precision doubles, negatives, tiny
+			// and huge magnitudes — the codec must round-trip bits.
+			vals[i] = (r.Float64() - 0.5) * math.Pow(10, float64(r.Intn(60)-30))
+		}
+		want[s] = vals
+		if err := w.WriteFloats(vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Segments() != 5 {
+		t.Fatalf("writer reports %d segments, want 5", w.Segments())
+	}
+
+	rd := NewSegmentReader(bytes.NewReader(buf.Bytes()), w.Index())
+	if rd.N() != w.N() {
+		t.Fatalf("reader N %d != writer N %d", rd.N(), w.N())
+	}
+	// Read out of order on purpose.
+	for _, s := range []int{3, 0, 4, 2, 1} {
+		got, err := rd.ReadFloats(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want[s]) {
+			t.Fatalf("segment %d: %d values, want %d", s, len(got), len(want[s]))
+		}
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(want[s][i]) {
+				t.Fatalf("segment %d value %d: %v != %v (bits differ)", s, i, got[i], want[s][i])
+			}
+		}
+	}
+}
+
+func TestSegmentRoundTripInts(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewSegmentWriter(&buf)
+	want := [][]int{{0, 1, 2, 49}, {5}, {7, 7, 7, 7, 7, 7}}
+	for _, vals := range want {
+		if err := w.WriteInts(vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd := NewSegmentReader(bytes.NewReader(buf.Bytes()), w.Index())
+	for s := range want {
+		got, err := rd.ReadInts(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want[s]) {
+			t.Fatalf("segment %d length %d, want %d", s, len(got), len(want[s]))
+		}
+		for i := range got {
+			if got[i] != want[s][i] {
+				t.Fatalf("segment %d value %d: %d != %d", s, i, got[i], want[s][i])
+			}
+		}
+		if rd.Count(s) != len(want[s]) {
+			t.Fatalf("index count %d, want %d", rd.Count(s), len(want[s]))
+		}
+	}
+}
+
+func TestSegmentWriterRejectsEmpty(t *testing.T) {
+	w := NewSegmentWriter(&bytes.Buffer{})
+	if err := w.WriteInts(nil); err == nil {
+		t.Fatal("empty segment accepted")
+	}
+	if err := w.WriteFloats([]float64{}); err == nil {
+		t.Fatal("empty float segment accepted")
+	}
+}
+
+func TestSegmentReaderBounds(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewSegmentWriter(&buf)
+	if err := w.WriteInts([]int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	rd := NewSegmentReader(bytes.NewReader(buf.Bytes()), w.Index())
+	if _, err := rd.ReadInts(-1); err == nil {
+		t.Error("negative segment accepted")
+	}
+	if _, err := rd.ReadInts(1); err == nil {
+		t.Error("out-of-range segment accepted")
+	}
+	// Type confusion: float decode of an int segment works (ints parse as
+	// floats) but int decode of a float segment must error.
+	var fbuf bytes.Buffer
+	fw := NewSegmentWriter(&fbuf)
+	if err := fw.WriteFloats([]float64{1.5}); err != nil {
+		t.Fatal(err)
+	}
+	frd := NewSegmentReader(bytes.NewReader(fbuf.Bytes()), fw.Index())
+	if _, err := frd.ReadInts(0); err == nil {
+		t.Error("int decode of a float segment succeeded")
+	}
+}
+
+// Segment files must work through real files and concurrent readers (the
+// tree's parallel split search reads different attributes at once).
+func TestSegmentFileConcurrentReads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "col.seg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewSegmentWriter(f)
+	const segs, per = 16, 512
+	for s := 0; s < segs; s++ {
+		vals := make([]int, per)
+		for i := range vals {
+			vals[i] = s*per + i
+		}
+		if err := w.WriteInts(vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd := NewSegmentReader(f, w.Index())
+	errs := make(chan error, segs)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for s := g; s < segs; s += 8 {
+				vals, err := rd.ReadInts(s)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i, v := range vals {
+					if v != s*per+i {
+						errs <- os.ErrInvalid
+						return
+					}
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+}

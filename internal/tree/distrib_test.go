@@ -41,8 +41,11 @@ func TestDistribSourceDrivesSplitSelection(t *testing.T) {
 		},
 	}
 	spans := []Span{{Lo: 0, Hi: 3}}
-	counts := classCounts(fake, rowsUpTo(n))
-	best := findBestSplit(fake, rowsUpTo(n), spans, counts, 1, 1, make([][]int, 1))
+	counts := sourceClassCounts(fake, rowsUpTo(n))
+	best, err := findBestSplit(fake, rowsUpTo(n), spans, counts, 1, 1, make([][]int, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if fake.calls == 0 {
 		t.Fatal("DistribSource was never consulted")
 	}
@@ -69,13 +72,16 @@ func TestDistribSourceDeclineFallsBackToValues(t *testing.T) {
 	static := makeSource(t, [][]int{col}, 4, labels, 2)
 	fake := &fakeDistribSource{StaticSource: static, dist: nil}
 	spans := []Span{{Lo: 0, Hi: 3}}
-	counts := classCounts(fake, rowsUpTo(n))
-	best := findBestSplit(fake, rowsUpTo(n), spans, counts, 1, 1, make([][]int, 1))
+	counts := sourceClassCounts(fake, rowsUpTo(n))
+	best, err := findBestSplit(fake, rowsUpTo(n), spans, counts, 1, 1, make([][]int, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if fake.calls == 0 {
 		t.Fatal("DistribSource was never consulted")
 	}
 	if best.attr != 0 || best.cut != 1 {
-		t.Fatalf("split = attr%d cut %d, want attr0 cut 1 (value fallback)", best.attr, best.cut)
+		t.Fatalf("split = attr%d cut %d, want attr0 cut 1 (stored-value fallback)", best.attr, best.cut)
 	}
 }
 
@@ -144,4 +150,14 @@ func rowsUpTo(n int) []int {
 		rows[i] = i
 	}
 	return rows
+}
+
+// sourceClassCounts tallies labels through the Source interface, standing in
+// for the grower's internal counting in white-box tests.
+func sourceClassCounts(src Source, rows []int) []int {
+	counts := make([]int, src.NumClasses())
+	for _, r := range rows {
+		counts[src.Label(r)]++
+	}
+	return counts
 }

@@ -1,18 +1,6 @@
-// Package tree implements the decision-tree substrate of the reproduction: a
-// gini-index classifier over interval-valued (discretized) attributes, with
-// binary splits on interval boundaries, depth/size stopping rules, and
-// optional pessimistic pruning.
-//
-// Training data is accessed through the Source interface rather than a
-// concrete matrix. This is what lets the paper's three training modes share
-// one learner: Global/ByClass (and the Original/Randomized baselines)
-// provide a static matrix of interval indices, while Local re-derives the
-// interval assignment of every record at every node via distribution
-// reconstruction, exactly as §4 of the paper prescribes.
 package tree
 
 import (
-	"errors"
 	"fmt"
 )
 
@@ -35,7 +23,9 @@ func (s Span) Count() int { return s.Hi - s.Lo + 1 }
 // The parallel split search calls Values (and NodeDistributions) for
 // different attributes concurrently, so implementations must be safe for
 // concurrent calls with distinct attr arguments — in practice: no shared
-// scratch buffers.
+// scratch buffers. Sources whose assignments are static should additionally
+// implement ColumnSource, which routes them through the columnar engine and
+// retires Values from the hot path entirely.
 type Source interface {
 	// Len returns the number of records.
 	Len() int
@@ -59,23 +49,23 @@ type Source interface {
 
 // DistribSource is an optional refinement of Source. When implemented, the
 // split search asks it for per-class interval distributions of the node's
-// records, replacing the histogram of Values in the gini evaluation. This is
-// how the paper's Local mode plugs in: the distribution at each node is
-// freshly reconstructed from the node's perturbed values, while record
+// records, replacing the histogram of stored values in the gini evaluation.
+// This is how the paper's Local mode plugs in: the distribution at each node
+// is freshly reconstructed from the node's perturbed values, while record
 // routing still uses the stable Values assignment.
 type DistribSource interface {
 	Source
 	// NodeDistributions returns expected per-class counts over the
 	// intervals of attr for the given rows: dist[class][bin]. Bins outside
-	// span must carry zero mass. ok = false falls back to counting Values.
-	// Callers must not retain the returned slices across calls.
+	// span must carry zero mass. ok = false falls back to counting stored
+	// values. Callers must not retain the returned slices across calls.
 	NodeDistributions(attr int, rows []int, span Span) (dist [][]float64, ok bool)
 }
 
-// StaticSource is a Source backed by a precomputed matrix of interval
-// indices, stored column-major.
+// StaticSource is a ColumnSource backed by precomputed interval assignments
+// held in memory-resident attribute lists (one packed column per attribute).
 type StaticSource struct {
-	cols   [][]int // cols[attr][row]
+	lists  []*MemAttrList
 	bins   []int
 	labels []int
 	k      int // number of classes
@@ -85,7 +75,7 @@ type StaticSource struct {
 // cols[attr][row] must be in [0, bins[attr]); labels[row] in [0, numClasses).
 func NewStaticSource(cols [][]int, bins []int, labels []int, numClasses int) (*StaticSource, error) {
 	if len(cols) == 0 {
-		return nil, errors.New("tree: source needs at least one attribute")
+		return nil, errNoColumns
 	}
 	if len(cols) != len(bins) {
 		return nil, fmt.Errorf("tree: %d columns but %d bin counts", len(cols), len(bins))
@@ -94,32 +84,30 @@ func NewStaticSource(cols [][]int, bins []int, labels []int, numClasses int) (*S
 		return nil, fmt.Errorf("tree: need >= 2 classes, got %d", numClasses)
 	}
 	n := len(labels)
+	lists := make([]*MemAttrList, len(cols))
 	for a, col := range cols {
 		if len(col) != n {
 			return nil, fmt.Errorf("tree: column %d has %d rows, labels have %d", a, len(col), n)
 		}
-		if bins[a] < 1 {
-			return nil, fmt.Errorf("tree: attribute %d has %d bins", a, bins[a])
+		list, err := NewMemAttrList(col, bins[a])
+		if err != nil {
+			return nil, fmt.Errorf("tree: attribute %d: %w", a, err)
 		}
-		for i, v := range col {
-			if v < 0 || v >= bins[a] {
-				return nil, fmt.Errorf("tree: value %d of attribute %d row %d outside [0,%d)", v, a, i, bins[a])
-			}
-		}
+		lists[a] = list
 	}
 	for i, l := range labels {
 		if l < 0 || l >= numClasses {
 			return nil, fmt.Errorf("tree: label %d of row %d outside [0,%d)", l, i, numClasses)
 		}
 	}
-	return &StaticSource{cols: cols, bins: bins, labels: labels, k: numClasses}, nil
+	return &StaticSource{lists: lists, bins: bins, labels: labels, k: numClasses}, nil
 }
 
 // Len implements Source.
 func (s *StaticSource) Len() int { return len(s.labels) }
 
 // NumAttrs implements Source.
-func (s *StaticSource) NumAttrs() int { return len(s.cols) }
+func (s *StaticSource) NumAttrs() int { return len(s.lists) }
 
 // Bins implements Source.
 func (s *StaticSource) Bins(attr int) int { return s.bins[attr] }
@@ -130,19 +118,26 @@ func (s *StaticSource) NumClasses() int { return s.k }
 // Label implements Source.
 func (s *StaticSource) Label(row int) int { return s.labels[row] }
 
-// Values implements Source. Static assignments already satisfy every span a
-// correct grower can pass (rows were routed by these very values), so the
-// span is only used to clamp defensively. The source holds no scratch state
-// of its own (concurrent per-attribute searches pass their own dst), reusing
-// dst when it is big enough.
+// AttrList implements ColumnSource.
+func (s *StaticSource) AttrList(attr int) AttrList { return s.lists[attr] }
+
+// Labels implements ColumnSource.
+func (s *StaticSource) Labels() []int { return s.labels }
+
+// Values implements Source for callers outside the columnar engine (the
+// engine itself reads the attribute lists directly). Static assignments
+// already satisfy every span a correct grower can pass (rows were routed by
+// these very values), so the span is only used to clamp defensively. The
+// source holds no scratch state of its own, reusing dst when it is big
+// enough.
 func (s *StaticSource) Values(attr int, rows []int, span Span, dst []int) []int {
 	if cap(dst) < len(rows) {
 		dst = make([]int, len(rows))
 	}
 	out := dst[:len(rows)]
-	col := s.cols[attr]
+	col := s.lists[attr].vals
 	for i, r := range rows {
-		v := col[r]
+		v := int(col[r])
 		if v < span.Lo {
 			v = span.Lo
 		}

@@ -21,8 +21,9 @@ type split struct {
 // split is independent of the worker count.
 // slotScratch holds one reusable Values buffer per worker slot (its length
 // must cover parallel.Workers(workers)); the caller owns it across calls so
-// the buffers amortize over the whole tree.
-func findBestSplit(src Source, rows []int, spans []Span, parentCounts []int, minLeaf, workers int, slotScratch [][]int) split {
+// the buffers amortize over a subtree. Errors can only originate from
+// columnar storage (disk reads of a spilled attribute list).
+func findBestSplit(src Source, rows []int, spans []Span, parentCounts []int, minLeaf, workers int, slotScratch [][]int) (split, error) {
 	k := src.NumClasses()
 	n := len(rows)
 	parent := make([]float64, k)
@@ -41,10 +42,14 @@ func findBestSplit(src Source, rows []int, spans []Span, parentCounts []int, min
 		workers = 1
 	}
 	results := make([]split, src.NumAttrs())
-	parallel.ForEachSlot(src.NumAttrs(), workers, func(slot, attr int) error {
-		results[attr] = bestSplitForAttr(src, attr, rows, spans[attr], parentGini, minLeaf, &slotScratch[slot])
-		return nil
+	err := parallel.ForEachSlot(src.NumAttrs(), workers, func(slot, attr int) error {
+		s, err := bestSplitForAttr(src, attr, rows, spans[attr], parentGini, minLeaf, &slotScratch[slot])
+		results[attr] = s
+		return err
 	})
+	if err != nil {
+		return split{attr: -1}, err
+	}
 
 	best := split{attr: -1}
 	for _, s := range results {
@@ -55,20 +60,24 @@ func findBestSplit(src Source, rows []int, spans []Span, parentCounts []int, min
 			best = s
 		}
 	}
-	return best
+	return best, nil
 }
 
 // bestSplitForAttr finds the best boundary of one attribute.
 //
-// Per-interval class masses are fractional: they come either from counting
-// Values (one pass over the rows) or, when the source implements
+// Per-interval class masses are fractional: they come from walking the
+// attribute's columnar list (ColumnSource), from counting Values (one pass
+// over the rows, for row-pull sources), or, when the source implements
 // DistribSource, from the source's own per-node distribution estimate (the
 // paper's Local mode). The best boundary is then found by a prefix scan, so
-// the cost per attribute is O(rows + bins·classes).
-func bestSplitForAttr(src Source, attr int, rows []int, span Span, parentGini float64, minLeaf int, valsBuf *[]int) split {
+// the cost per attribute is O(rows + bins·classes). All three fills produce
+// identical masses for identical assignments — integer unit increments are
+// exact in float64 — so promoting a source to ColumnSource never changes
+// the tree.
+func bestSplitForAttr(src Source, attr int, rows []int, span Span, parentGini float64, minLeaf int, valsBuf *[]int) (split, error) {
 	best := split{attr: -1}
 	if span.Count() < 2 {
-		return best
+		return best, nil
 	}
 	k := src.NumClasses()
 	bins := src.Bins(attr)
@@ -86,10 +95,16 @@ func bestSplitForAttr(src Source, attr int, rows []int, span Span, parentGini fl
 		}
 	}
 	if !filled {
-		vals := src.Values(attr, rows, span, *valsBuf)
-		*valsBuf = vals
-		for i, r := range rows {
-			counts[vals[i]*k+src.Label(r)]++
+		if cs, isColumnar := src.(ColumnSource); isColumnar {
+			if err := colCounts(cs.AttrList(attr), rows, cs.Labels(), k, counts); err != nil {
+				return best, err
+			}
+		} else {
+			vals := src.Values(attr, rows, span, *valsBuf)
+			*valsBuf = vals
+			for i, r := range rows {
+				counts[vals[i]*k+src.Label(r)]++
+			}
 		}
 	}
 	// total mass and per-class totals of this attribute's estimate (may
@@ -122,7 +137,7 @@ func bestSplitForAttr(src Source, attr int, rows []int, span Span, parentGini fl
 			best = split{attr: attr, cut: cut, gain: gain}
 		}
 	}
-	return best
+	return best, nil
 }
 
 func giniOf(counts []float64, n float64) float64 {

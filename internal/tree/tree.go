@@ -3,6 +3,8 @@ package tree
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"ppdm/internal/parallel"
 )
@@ -12,6 +14,10 @@ const (
 	DefaultMaxDepth = 30
 	DefaultMinLeaf  = 5
 	DefaultMinGain  = 1e-9
+	// DefaultSubtreeMinRows is the subtree-parallelism cutoff: a child with
+	// fewer records grows inline on its parent's goroutine, because the
+	// task-submission cost would exceed the work.
+	DefaultSubtreeMinRows = 4096
 )
 
 // Config controls tree growth. The zero value gives sensible defaults with
@@ -27,12 +33,25 @@ type Config struct {
 	MinGain float64
 	// DisablePruning turns off the post-growth pessimistic pruning pass.
 	DisablePruning bool
-	// Workers bounds the parallelism of the per-node attribute split search;
-	// 0 means all cores. Grown trees are bit-identical for every worker
-	// count: each attribute's best split is found independently and the
-	// winners are compared in ascending attribute order, reproducing the
-	// serial scan's tie-breaking exactly.
+	// Workers bounds the growth parallelism; 0 means all cores. The two
+	// axes — fork-join growth of left/right subtrees and the per-node
+	// attribute split search — share the budget rather than multiplying
+	// it: each node's attribute fan-out is throttled by the number of
+	// subtree tasks currently in flight, keeping total concurrency near
+	// Workers. Grown trees are bit-identical for every worker count: each
+	// attribute's best split is found independently and the winners are
+	// compared in ascending attribute order (reproducing the serial scan's
+	// tie-breaking), subtrees are data-independent tasks, and Importance
+	// is folded in a deterministic pre-order pass after growth.
 	Workers int
+	// SubtreeMinRows is the minimum number of records in BOTH children of
+	// a split for the two subtrees to grow as parallel fork-join tasks —
+	// the size cutoff below which recursion stays inline (which also caps
+	// the forking depth, since node sizes shrink monotonically down any
+	// path). 0 means DefaultSubtreeMinRows; negative disables subtree
+	// parallelism entirely, leaving only the per-node attribute fan-out.
+	// The grown tree is identical for every value.
+	SubtreeMinRows int
 }
 
 func (c Config) withDefaults() Config {
@@ -44,6 +63,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinGain == 0 {
 		c.MinGain = DefaultMinGain
+	}
+	if c.SubtreeMinRows == 0 {
+		c.SubtreeMinRows = DefaultSubtreeMinRows
 	}
 	return c
 }
@@ -76,6 +98,11 @@ type Node struct {
 	// Counts holds the per-class record counts seen at this node during
 	// training.
 	Counts []int
+
+	// gain is the gini gain of this node's split, kept until the
+	// post-growth Importance fold (subtrees grow concurrently, so
+	// accumulating during growth would order float additions by schedule).
+	gain float64
 }
 
 // IsLeaf reports whether the node is a leaf.
@@ -94,7 +121,7 @@ type Tree struct {
 
 // Grow builds a tree from the source. Growth is deterministic: ties between
 // equally good splits are broken toward the lower attribute index and lower
-// cut.
+// cut, and the result is bit-identical for every worker count.
 func Grow(src Source, cfg Config) (*Tree, error) {
 	if src == nil {
 		return nil, errors.New("tree: nil source")
@@ -119,54 +146,178 @@ func Grow(src Source, cfg Config) (*Tree, error) {
 		rows[i] = i
 	}
 	g := &grower{
-		src:         src,
-		cfg:         cfg,
-		tree:        t,
-		total:       len(rows),
-		slotScratch: make([][]int, parallel.Workers(cfg.Workers)),
+		src:   src,
+		cfg:   cfg,
+		total: len(rows),
+		fj:    parallel.NewForkJoin(cfg.Workers),
+	}
+	if cs, ok := src.(ColumnSource); ok {
+		g.cols = cs
+		g.labels = cs.Labels()
 	}
 	spans := make([]Span, src.NumAttrs())
 	for a := range spans {
 		spans[a] = Span{Lo: 0, Hi: src.Bins(a) - 1}
 	}
-	t.Root = g.grow(rows, spans, 0)
+	t.Root = g.grow(g.newTask(), rows, spans, 0)
+	if err := g.err(); err != nil {
+		return nil, err
+	}
+	// Fold Importance in pre-order — node, left subtree, right subtree —
+	// which is exactly the addition order of a serial recursion, so the
+	// totals are bit-identical at any worker count. The fold runs before
+	// pruning on purpose: a split contributes even when later collapsed,
+	// matching the learner's historical behaviour.
+	g.foldImportance(t, t.Root)
 	if !cfg.DisablePruning {
 		prune(t.Root)
 	}
 	return t, nil
 }
 
+// grower holds the per-Grow state shared by all subtree tasks. Everything
+// here is either immutable during growth or internally synchronized; all
+// mutable scratch lives in growTask.
 type grower struct {
-	src   Source
-	cfg   Config
-	tree  *Tree
-	total int
+	src    Source
+	cols   ColumnSource // nil for row-pull sources (the paper's Local mode)
+	labels []int        // cols.Labels(), hoisted out of the hot loops
+	cfg    Config
+	total  int
+	fj     *parallel.ForkJoin
 
-	// valsBuf is scratch for the serial partition step and slotScratch the
-	// per-worker-slot Values buffers of the split search; the recursive
-	// grow calls never overlap, so one set serves the whole tree.
-	valsBuf     []int
-	slotScratch [][]int
+	// spawned counts subtree tasks currently running on their own
+	// goroutines; the per-node attribute fan-out divides the Workers
+	// budget by it so the two axes compose without oversubscription. The
+	// count only throttles scheduling — results never depend on it.
+	spawned atomic.Int64
+
+	failed   atomic.Bool
+	mu       sync.Mutex
+	firstErr error
 }
 
-func (g *grower) grow(rows []int, spans []Span, depth int) *Node {
-	node := &Node{Counts: classCounts(g.src, rows)}
+// growTask is the scratch of one growth goroutine: a spawned subtree gets a
+// fresh task, an inline recursion reuses its parent's. valsBuf backs the
+// serial partition step of row-pull sources, slotScratch the per-worker-slot
+// Values buffers of the split search, and bits the rowID bitmap of columnar
+// partitioning (lazily sized to the full row range; subtree row sets
+// interleave, so tasks must not share words).
+type growTask struct {
+	valsBuf     []int
+	slotScratch [][]int
+	bits        bitmap
+}
+
+func (g *grower) newTask() *growTask {
+	return &growTask{slotScratch: make([][]int, parallel.Workers(g.cfg.Workers))}
+}
+
+// attrWorkers returns this node's share of the Workers budget for the
+// attribute split search: the full budget when growth is serial, shrinking
+// as spawned subtree tasks occupy workers of their own.
+func (g *grower) attrWorkers() int {
+	w := parallel.Workers(g.cfg.Workers)
+	share := w / (1 + int(g.spawned.Load()))
+	if share < 1 {
+		return 1
+	}
+	return share
+}
+
+// fail records the first error encountered; later growth short-circuits.
+func (g *grower) fail(err error) {
+	g.mu.Lock()
+	if g.firstErr == nil {
+		g.firstErr = err
+	}
+	g.mu.Unlock()
+	g.failed.Store(true)
+}
+
+func (g *grower) err() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.firstErr
+}
+
+func (g *grower) grow(t *growTask, rows []int, spans []Span, depth int) *Node {
+	if g.failed.Load() {
+		return nil
+	}
+	node := &Node{Counts: g.classCounts(rows)}
 	node.Class = argmax(node.Counts)
 
 	if depth >= g.cfg.MaxDepth || len(rows) < 2*g.cfg.MinLeaf || isPure(node.Counts) {
 		return node
 	}
-	best := findBestSplit(g.src, rows, spans, node.Counts, g.cfg.MinLeaf, g.cfg.Workers, g.slotScratch)
+	best, err := findBestSplit(g.src, rows, spans, node.Counts, g.cfg.MinLeaf, g.attrWorkers(), t.slotScratch)
+	if err != nil {
+		g.fail(err)
+		return nil
+	}
 	if best.attr < 0 || best.gain < g.cfg.MinGain {
 		return node
 	}
-	// Partition rows by re-fetching the winning attribute's assignments.
-	// With a static source this returns the same values evaluated during
-	// the search; with a Local source it recomputes the same deterministic
-	// reconstruction.
-	vals := g.src.Values(best.attr, rows, spans[best.attr], g.valsBuf)
-	g.valsBuf = vals
-	var left, right []int
+	left, right, err := g.partition(t, rows, spans, best)
+	if err != nil {
+		g.fail(err)
+		return nil
+	}
+	if len(left) < g.cfg.MinLeaf || len(right) < g.cfg.MinLeaf {
+		return node
+	}
+	node.Attr = best.attr
+	node.Cut = best.cut
+	node.gain = best.gain * float64(len(rows)) / float64(g.total)
+
+	// Children inherit the path constraints, narrowed by this split.
+	leftSpans := append([]Span(nil), spans...)
+	rightSpans := append([]Span(nil), spans...)
+	leftSpans[best.attr].Hi = best.cut
+	rightSpans[best.attr].Lo = best.cut + 1
+
+	// Above the cutoff the two subtrees grow as fork-join tasks; the right
+	// child runs on a spawned goroutine when a worker is free — with fresh
+	// scratch, since it races the left child — and inline (after the left
+	// child, reusing this task's scratch) otherwise. Below the cutoff,
+	// recursion stays serial on this task. Either way the children are
+	// computed from disjoint row sets with no shared mutable state, so the
+	// result is schedule-free.
+	if min := g.cfg.SubtreeMinRows; min >= 0 && len(left) >= min && len(right) >= min {
+		g.fj.Do(
+			func() { node.Left = g.grow(t, left, leftSpans, depth+1) },
+			func(spawned bool) {
+				rt := t
+				if spawned {
+					rt = g.newTask()
+					g.spawned.Add(1)
+					defer g.spawned.Add(-1)
+				}
+				node.Right = g.grow(rt, right, rightSpans, depth+1)
+			},
+		)
+	} else {
+		node.Left = g.grow(t, left, leftSpans, depth+1)
+		node.Right = g.grow(t, right, rightSpans, depth+1)
+	}
+	return node
+}
+
+// partition routes the node's rows on the chosen split. Columnar sources
+// partition by bitmap join against the winning attribute's list; row-pull
+// sources re-fetch the winning attribute's assignments (with a static
+// source this returns the same values evaluated during the search; with a
+// Local source it recomputes the same deterministic reconstruction).
+func (g *grower) partition(t *growTask, rows []int, spans []Span, best split) (left, right []int, err error) {
+	if g.cols != nil {
+		if t.bits == nil {
+			t.bits = newBitmap(g.total)
+		}
+		return partitionRows(g.cols.AttrList(best.attr), rows, best.cut, t.bits)
+	}
+	vals := g.src.Values(best.attr, rows, spans[best.attr], t.valsBuf)
+	t.valsBuf = vals
 	for i, r := range rows {
 		if vals[i] <= best.cut {
 			left = append(left, r)
@@ -174,29 +325,34 @@ func (g *grower) grow(rows []int, spans []Span, depth int) *Node {
 			right = append(right, r)
 		}
 	}
-	if len(left) < g.cfg.MinLeaf || len(right) < g.cfg.MinLeaf {
-		return node
-	}
-	node.Attr = best.attr
-	node.Cut = best.cut
-	g.tree.Importance[best.attr] += best.gain * float64(len(rows)) / float64(g.total)
-
-	// Children inherit the path constraints, narrowed by this split.
-	leftSpans := append([]Span(nil), spans...)
-	rightSpans := append([]Span(nil), spans...)
-	leftSpans[best.attr].Hi = best.cut
-	rightSpans[best.attr].Lo = best.cut + 1
-	node.Left = g.grow(left, leftSpans, depth+1)
-	node.Right = g.grow(right, rightSpans, depth+1)
-	return node
+	return left, right, nil
 }
 
-func classCounts(src Source, rows []int) []int {
-	counts := make([]int, src.NumClasses())
+// classCounts tallies the node's records per class, reading the hoisted
+// class list when the source is columnar.
+func (g *grower) classCounts(rows []int) []int {
+	counts := make([]int, g.src.NumClasses())
+	if g.labels != nil {
+		for _, r := range rows {
+			counts[g.labels[r]]++
+		}
+		return counts
+	}
 	for _, r := range rows {
-		counts[src.Label(r)]++
+		counts[g.src.Label(r)]++
 	}
 	return counts
+}
+
+// foldImportance walks the grown tree in pre-order, adding each split's
+// stored gain into the per-attribute Importance totals.
+func (g *grower) foldImportance(t *Tree, n *Node) {
+	if n == nil || n.IsLeaf() {
+		return
+	}
+	t.Importance[n.Attr] += n.gain
+	g.foldImportance(t, n.Left)
+	g.foldImportance(t, n.Right)
 }
 
 func isPure(counts []int) bool {

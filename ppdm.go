@@ -36,9 +36,10 @@
 // Every hot stage of the pipeline runs on a shared chunked worker-pool
 // engine (internal/parallel): record perturbation and synthetic generation
 // are processed in fixed-size chunks with per-chunk PRNG substreams,
-// training reconstructs attributes (and classes) in parallel and searches
-// tree splits across attributes in parallel, and the experiment harness
-// computes independent series points concurrently. Parallelism is bounded by
+// training reconstructs attributes (and classes) in parallel, searches
+// tree splits across attributes in parallel and grows left/right subtrees
+// as fork-join tasks (TreeConfig.SubtreeMinRows sets the cutoff), and the
+// experiment harness computes independent series points concurrently. Parallelism is bounded by
 // the Workers field on GenConfig, TrainConfig, TreeConfig,
 // ReconstructConfig, and ExperimentConfig (and by PerturbTableWorkers); 0
 // means all cores. The bound applies per parallel stage, not globally:
@@ -369,6 +370,17 @@ func CollectStreamStats(src RecordSource, parts map[int]Partition) (*StreamStats
 // Train builds a privacy-preserving decision-tree classifier (paper §4).
 func Train(train *Table, cfg TrainConfig) (*Classifier, error) { return core.Train(train, cfg) }
 
+// TrainStream builds the decision-tree classifier from a record source
+// without ever materializing the table: one streaming pass spills columnar
+// (SPRINT-style) attribute lists to gzipped segment files, perturbed
+// columns are reconstructed and re-assigned one at a time, and the tree
+// grows from the spilled lists through a bounded segment cache. The model
+// is byte-identical to Train on the materialized table at every worker
+// count and batch size. All modes except Local are supported.
+func TrainStream(src RecordSource, cfg TrainConfig) (*Classifier, error) {
+	return core.TrainStream(src, cfg)
+}
+
 // LoadClassifier restores a classifier saved with Classifier.Save,
 // validating the document (it may come from an untrusted source).
 func LoadClassifier(r io.Reader) (*Classifier, error) { return core.Load(r) }
@@ -410,6 +422,21 @@ func TrainNaiveBayesStream(src RecordSource, cfg NaiveBayesConfig) (*NaiveBayes,
 // NewTransactions returns an empty market-basket dataset over items
 // 0..numItems-1.
 func NewTransactions(numItems int) (*Transactions, error) { return assoc.NewDataset(numItems) }
+
+// ReadTransactions parses a plain-text transaction stream — one transaction
+// per line, items as space-separated non-negative integer IDs — into a
+// market-basket dataset over items 0..numItems-1, ingesting batch-wise so
+// parse memory stays O(batch).
+func ReadTransactions(r io.Reader, numItems int) (*Transactions, error) {
+	return assoc.ReadTransactions(r, numItems)
+}
+
+// ReadTransactionsFile reads a transaction file in the ReadTransactions
+// format; numItems <= 0 infers the item universe with a first streaming
+// pass.
+func ReadTransactionsFile(path string, numItems int) (*Transactions, error) {
+	return assoc.ReadTransactionsFile(path, numItems)
+}
 
 // NewBitFlip validates a per-item flip probability in [0, 0.5).
 func NewBitFlip(f float64) (BitFlip, error) { return assoc.NewBitFlip(f) }

@@ -1,8 +1,8 @@
 // Command doccheck fails (exit 1) when a Go package directory contains
 // exported identifiers without doc comments, or lacks a package comment.
-// CI runs it over internal/stream (and any other directory passed as an
-// argument) so the streaming subsystem's API surface stays fully
-// documented.
+// CI runs it over internal/stream, internal/tree, and internal/parallel
+// (and any other directory passed as an argument) so the streaming,
+// tree-learner, and worker-pool API surfaces stay fully documented.
 //
 // Usage: go run ./scripts/doccheck <pkgdir> [pkgdir...]
 package main

@@ -160,6 +160,87 @@ func TestStreamReconstructionGolden(t *testing.T) {
 	}
 }
 
+// TestStreamTreeGolden checks out-of-core decision-tree training end to
+// end: for every supported mode, the tree trained from the stream — spilled
+// columnar attribute lists, reconstruction from re-read columns, growth
+// through the bounded segment cache — must serialize byte-identically to
+// the in-memory tree, at Workers 1 and 8, with identical render and
+// Importance.
+func TestStreamTreeGolden(t *testing.T) {
+	const n = 10000
+	tb, err := ppdm.Generate(ppdm.GenConfig{Function: ppdm.F3, N: n, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := ppdm.ModelsForAllAttrs(tb.Schema(), "gaussian", 1.0, ppdm.DefaultConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed, err := ppdm.PerturbTable(tb, models, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []ppdm.Mode{ppdm.Randomized, ppdm.ByClass} {
+		for _, workers := range []int{1, 8} {
+			cfg := ppdm.TrainConfig{Mode: mode, Workers: workers}
+			if mode.NeedsNoise() {
+				cfg.Noise = models
+			}
+			// Tiny cutoff so Workers 8 genuinely forks subtrees.
+			cfg.Tree.SubtreeMinRows = 128
+
+			want, err := ppdm.Train(perturbed, cfg)
+			if err != nil {
+				t.Fatalf("mode %v workers %d: %v", mode, workers, err)
+			}
+			// Full streamed pass: gen → perturb → spill-train, no table
+			// materialized on the streaming side.
+			src, err := ppdm.GenerateStream(ppdm.GenConfig{Function: ppdm.F3, N: n, Seed: 5, Workers: workers}, 3000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			psrc, err := ppdm.PerturbStream(src, models, 6, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ppdm.TrainStream(psrc, cfg)
+			if err != nil {
+				t.Fatalf("mode %v workers %d: %v", mode, workers, err)
+			}
+
+			var wantDoc, gotDoc bytes.Buffer
+			if err := want.Save(&wantDoc); err != nil {
+				t.Fatal(err)
+			}
+			if err := got.Save(&gotDoc); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wantDoc.Bytes(), gotDoc.Bytes()) {
+				t.Errorf("mode %v workers %d: streamed tree model differs from in-memory model", mode, workers)
+			}
+			if want.Tree.String() != got.Tree.String() {
+				t.Errorf("mode %v workers %d: rendered trees differ", mode, workers)
+			}
+			for a := range want.Tree.Importance {
+				if want.Tree.Importance[a] != got.Tree.Importance[a] { // bitwise, on purpose
+					t.Errorf("mode %v workers %d: Importance[%d] differs", mode, workers, a)
+				}
+			}
+			wantEv, err := want.Evaluate(tb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotEv, err := got.Evaluate(tb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantEv.Accuracy != gotEv.Accuracy {
+				t.Errorf("mode %v workers %d: accuracy %v != %v", mode, workers, gotEv.Accuracy, wantEv.Accuracy)
+			}
+		}
+	}
+}
+
 // TestStreamNaiveBayesGolden checks streamed training end to end: the model
 // trained from the stream must serialize identically to the in-memory one.
 func TestStreamNaiveBayesGolden(t *testing.T) {
