@@ -1,0 +1,14 @@
+// Command ppdm-serve is the online inference daemon: it loads a model saved
+// by ppdm-train -save (decision tree or naive Bayes) and serves
+// micro-batched classification, server-side perturbation, health, and stats
+// endpoints over HTTP/JSON. SIGHUP (or POST /reload) hot-reloads the model
+// file atomically; in-flight requests finish on the old model.
+package main
+
+import (
+	"os"
+
+	"ppdm/internal/cli"
+)
+
+func main() { os.Exit(cli.Serve(os.Args[1:], os.Stdout, os.Stderr)) }

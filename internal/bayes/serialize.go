@@ -1,0 +1,142 @@
+package bayes
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"ppdm/internal/core"
+	"ppdm/internal/dataset"
+	"ppdm/internal/reconstruct"
+)
+
+// ModelFormat identifies the naive-Bayes serialization format/version.
+// Load rejects any other format string; bump the suffix when the document
+// layout changes incompatibly.
+const ModelFormat = "ppdm-nb/1"
+
+// classifierJSON is the on-disk representation of a trained naive-Bayes
+// classifier: the schema is flattened into attributes + class names so the
+// whole model is a single self-describing JSON document, exactly as the
+// decision-tree format does.
+type classifierJSON struct {
+	Format     string                  `json:"format"`
+	Mode       string                  `json:"mode"`
+	Attrs      []dataset.Attribute     `json:"attrs"`
+	Classes    []string                `json:"classes"`
+	Partitions []reconstruct.Partition `json:"partitions"`
+	Priors     []float64               `json:"priors"`
+	Cond       [][][]float64           `json:"cond"`
+}
+
+// Save writes the classifier as JSON in the ppdm-nb/1 format. The model is
+// self-contained: Load restores it without access to the training data, and
+// the restored classifier predicts identically.
+func (c *Classifier) Save(w io.Writer) error {
+	if c == nil || c.Schema == nil || len(c.Priors) == 0 || len(c.Cond) == 0 {
+		return errors.New("bayes: cannot save incomplete classifier")
+	}
+	doc := classifierJSON{
+		Format:     ModelFormat,
+		Mode:       c.Mode.String(),
+		Attrs:      c.Schema.Attrs,
+		Classes:    c.Schema.Classes,
+		Partitions: c.Partitions,
+		Priors:     c.Priors,
+		Cond:       c.Cond,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Load restores a classifier saved with Save, validating the document
+// thoroughly (it may come from an untrusted source): the format version,
+// the schema, the partition grids, and the shape and positivity of every
+// probability table.
+func Load(r io.Reader) (*Classifier, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("bayes: reading classifier: %w", err)
+	}
+	format, err := core.PeekFormat(data)
+	if err != nil {
+		return nil, err
+	}
+	if format != ModelFormat {
+		return nil, fmt.Errorf("bayes: unsupported model format %q (this build reads %q)", format, ModelFormat)
+	}
+	var doc classifierJSON
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("bayes: decoding classifier: %w", err)
+	}
+	mode, err := core.ParseMode(doc.Mode)
+	if err != nil {
+		return nil, err
+	}
+	switch mode {
+	case core.Original, core.Randomized, core.ByClass:
+	default:
+		return nil, fmt.Errorf("bayes: model mode %v has no naive-Bayes learner", mode)
+	}
+	schema, err := dataset.NewSchema(doc.Attrs, doc.Classes)
+	if err != nil {
+		return nil, fmt.Errorf("bayes: invalid schema in model: %w", err)
+	}
+	if len(doc.Partitions) != schema.NumAttrs() {
+		return nil, fmt.Errorf("bayes: model has %d partitions for %d attributes", len(doc.Partitions), schema.NumAttrs())
+	}
+	for j, p := range doc.Partitions {
+		if _, err := reconstruct.NewPartition(p.Lo, p.Hi, p.K); err != nil {
+			return nil, fmt.Errorf("bayes: partition %d: %w", j, err)
+		}
+	}
+	k := schema.NumClasses()
+	if len(doc.Priors) != k {
+		return nil, fmt.Errorf("bayes: model has %d priors for %d classes", len(doc.Priors), k)
+	}
+	for c, p := range doc.Priors {
+		if !(p > 0) || p > 1 || math.IsNaN(p) {
+			return nil, fmt.Errorf("bayes: prior of class %d is %v, want (0, 1]", c, p)
+		}
+	}
+	if len(doc.Cond) != k {
+		return nil, fmt.Errorf("bayes: model has conditionals for %d of %d classes", len(doc.Cond), k)
+	}
+	for c := range doc.Cond {
+		if len(doc.Cond[c]) != schema.NumAttrs() {
+			return nil, fmt.Errorf("bayes: class %d has conditionals for %d of %d attributes", c, len(doc.Cond[c]), schema.NumAttrs())
+		}
+		for j := range doc.Cond[c] {
+			if len(doc.Cond[c][j]) != doc.Partitions[j].K {
+				return nil, fmt.Errorf("bayes: class %d attribute %d has %d probabilities for %d intervals",
+					c, j, len(doc.Cond[c][j]), doc.Partitions[j].K)
+			}
+			for b, p := range doc.Cond[c][j] {
+				if !(p > 0) || p > 1 || math.IsNaN(p) {
+					return nil, fmt.Errorf("bayes: P(attr %d in interval %d | class %d) is %v, want (0, 1]", j, b, c, p)
+				}
+			}
+		}
+	}
+	return &Classifier{
+		Mode:       mode,
+		Schema:     schema,
+		Priors:     doc.Priors,
+		Cond:       doc.Cond,
+		Partitions: doc.Partitions,
+	}, nil
+}
+
+// ClassifyBatch classifies a batch of records concurrently on the worker
+// engine (workers 0 = all cores), returning one class index per record in
+// input order. Prediction is read-only on the model, so ClassifyBatch is
+// safe to call from many goroutines at once.
+func (c *Classifier) ClassifyBatch(records [][]float64, workers int) ([]int, error) {
+	return core.ClassifyBatchWith(records, workers, c.Predict)
+}

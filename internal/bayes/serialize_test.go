@@ -1,0 +1,136 @@
+package bayes
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ppdm/internal/core"
+	"ppdm/internal/noise"
+	"ppdm/internal/synth"
+)
+
+// trainedNB trains a small ByClass naive-Bayes model over perturbed
+// benchmark data for the serialization tests.
+func trainedNB(t *testing.T) *Classifier {
+	t.Helper()
+	table, err := synth.Generate(synth.Config{Function: synth.F2, N: 3000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := noise.ModelsForAllAttrs(table.Schema(), "gaussian", 0.5, noise.DefaultConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed, err := noise.PerturbTable(table, models, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := Train(perturbed, Config{Mode: core.ByClass, Noise: models})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clf
+}
+
+// TestSaveLoadRoundTrip asserts that a loaded model predicts identically to
+// the model it was saved from, record for record.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	clf := trainedNB(t)
+	var buf bytes.Buffer
+	if err := clf.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if loaded.Mode != clf.Mode {
+		t.Fatalf("mode round-trip: got %v, want %v", loaded.Mode, clf.Mode)
+	}
+	test, err := synth.Generate(synth.Config{Function: synth.F2, N: 2000, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < test.N(); i++ {
+		want, err := clf.Predict(test.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Predict(test.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("record %d: loaded model predicts %d, original predicts %d", i, got, want)
+		}
+	}
+}
+
+// TestLoadRejectsForeignFormats asserts the loader names the supported
+// version when handed a document of another format — including a tree model.
+func TestLoadRejectsForeignFormats(t *testing.T) {
+	for _, doc := range []string{
+		`{"format":"ppdm-classifier/1"}`,
+		`{"format":"ppdm-nb/999"}`,
+		`{"format":""}`,
+	} {
+		_, err := Load(strings.NewReader(doc))
+		if err == nil {
+			t.Fatalf("Load accepted document %s", doc)
+		}
+		if !strings.Contains(err.Error(), ModelFormat) {
+			t.Fatalf("error for %s does not name the supported format: %v", doc, err)
+		}
+	}
+}
+
+// TestLoadRejectsCorruptModels spot-checks the structural validation.
+func TestLoadRejectsCorruptModels(t *testing.T) {
+	clf := trainedNB(t)
+	var buf bytes.Buffer
+	if err := clf.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	for name, bad := range map[string]string{
+		"zero prior":       strings.Replace(good, `"priors": [`, `"priors": [0,`, 1),
+		"negative cond":    strings.Replace(good, `"cond": [`, `"cond": [[[-1]],`, 1),
+		"tree-only mode":   strings.Replace(good, `"mode": "byclass"`, `"mode": "local"`, 1),
+		"unknown field":    strings.Replace(good, `"mode"`, `"extra": 1, "mode"`, 1),
+		"truncated priors": strings.Replace(good, `"priors": [`, `"priors": [0.5],"was_priors": [`, 1),
+	} {
+		if bad == good {
+			t.Fatalf("%s: mutation did not apply", name)
+		}
+		if _, err := Load(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: Load accepted a corrupt model", name)
+		}
+	}
+}
+
+// TestClassifyBatchMatchesPredict asserts the batched path returns exactly
+// the per-record predictions at any worker count.
+func TestClassifyBatchMatchesPredict(t *testing.T) {
+	clf := trainedNB(t)
+	test, err := synth.Generate(synth.Config{Function: synth.F2, N: 500, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := make([][]float64, test.N())
+	for i := range records {
+		records[i] = test.Row(i)
+	}
+	for _, workers := range []int{1, 8} {
+		got, err := clf.ClassifyBatch(records, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, rec := range records {
+			want, _ := clf.Predict(rec)
+			if got[i] != want {
+				t.Fatalf("workers=%d record %d: batch predicts %d, Predict says %d", workers, i, got[i], want)
+			}
+		}
+	}
+}

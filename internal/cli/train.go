@@ -4,7 +4,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"os"
 	"strings"
 
 	"ppdm/internal/bayes"
@@ -53,7 +52,7 @@ func Train(args []string, stdout, stderr io.Writer) int {
 	streamMode := fs.Bool("stream", false, "consume -train as a gzipped record-batch stream in bounded memory (tree learner spills columnar attribute lists to disk; all modes except local)")
 	batch := fs.Int("batch", 0, fmt.Sprintf("records per streamed batch (0 = %d)", stream.DefaultBatchSize))
 	printTree := fs.Bool("print-tree", false, "print the trained decision tree")
-	savePath := fs.String("save", "", "write the trained tree model as JSON to this file")
+	savePath := fs.String("save", "", "write the trained model (tree or naive Bayes) as JSON to this file, crash-safely (temp file + rename)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -85,10 +84,7 @@ func Train(args []string, stdout, stderr io.Writer) int {
 	if *streamMode {
 		switch *learner {
 		case "nb":
-			if *savePath != "" {
-				return fail(stderr, fmt.Errorf("-save requires the tree learner"))
-			}
-			return trainStreamedNB(*trainPath, *testPath, mode, alg, models, *intervals, *batch, stdout, stderr)
+			return trainStreamedNB(*trainPath, *testPath, *savePath, mode, alg, models, *intervals, *batch, stdout, stderr)
 		case "tree":
 			cfg := core.Config{Mode: mode, Intervals: *intervals, ReconAlgorithm: alg, Noise: models, Workers: *workers}
 			return trainStreamedTree(*trainPath, *testPath, *savePath, cfg, *batch, *printTree, stdout, stderr)
@@ -108,6 +104,7 @@ func Train(args []string, stdout, stderr io.Writer) int {
 
 	var ev core.Evaluation
 	var treeClf *core.Classifier
+	var save func(w io.Writer) error
 	switch *learner {
 	case "tree":
 		cfg := core.Config{Mode: mode, Intervals: *intervals, ReconAlgorithm: alg, Noise: models, Workers: *workers}
@@ -115,6 +112,7 @@ func Train(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(stderr, err)
 		}
+		save = treeClf.Save
 		ev, err = treeClf.Evaluate(testTable)
 	case "nb":
 		cfg := bayes.Config{Mode: mode, Intervals: *intervals, ReconAlgorithm: alg, Noise: models}
@@ -123,6 +121,7 @@ func Train(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(stderr, err)
 		}
+		save = nb.Save
 		ev, err = nb.Evaluate(testTable)
 	default:
 		return fail(stderr, fmt.Errorf("unknown learner %q (want tree or nb)", *learner))
@@ -135,10 +134,7 @@ func Train(args []string, stdout, stderr io.Writer) int {
 		trainTable.N(), testTable.N(), *trainPath, *testPath, ev, treeClf, *printTree)
 
 	if *savePath != "" {
-		if treeClf == nil {
-			return fail(stderr, fmt.Errorf("-save requires the tree learner"))
-		}
-		if err := saveTreeModel(*savePath, treeClf, stderr); err != nil {
+		if err := saveModel(*savePath, save, stderr); err != nil {
 			return fail(stderr, err)
 		}
 	}
@@ -182,18 +178,12 @@ func evaluateTestInput(clf evaluator, testPath string, batch int) (core.Evaluati
 	return ev, testTable.N(), nil
 }
 
-// saveTreeModel writes the trained tree model as JSON to path and reports
-// to stderr.
-func saveTreeModel(path string, clf *core.Classifier, stderr io.Writer) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := clf.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+// saveModel writes a trained model as JSON to path crash-safely
+// (core.WriteFileAtomic: temp file in the same directory + rename), so the
+// serving daemon can never load a truncated document, and reports to
+// stderr.
+func saveModel(path string, save func(w io.Writer) error, stderr io.Writer) error {
+	if err := core.WriteFileAtomic(path, save); err != nil {
 		return err
 	}
 	fmt.Fprintf(stderr, "saved model to %s\n", path)
@@ -226,7 +216,7 @@ func trainStreamedTree(trainPath, testPath, savePath string, cfg core.Config, ba
 	}
 	printEvaluation(stdout, "tree (streamed)", cfg.Mode, synth.Schema(), trainN, testN, trainPath, testPath, ev, clf, printTree)
 	if savePath != "" {
-		if err := saveTreeModel(savePath, clf, stderr); err != nil {
+		if err := saveModel(savePath, clf.Save, stderr); err != nil {
 			return fail(stderr, err)
 		}
 	}
@@ -236,7 +226,7 @@ func trainStreamedTree(trainPath, testPath, savePath string, cfg core.Config, ba
 // trainStreamedNB is the bounded-memory naive-Bayes path: the training
 // stream is consumed batch by batch into sufficient statistics, so only
 // O(batch + classes × attributes × intervals) memory is held at once.
-func trainStreamedNB(trainPath, testPath string, mode core.Mode, alg reconstruct.Algorithm,
+func trainStreamedNB(trainPath, testPath, savePath string, mode core.Mode, alg reconstruct.Algorithm,
 	models map[int]noise.Model, intervals, batch int, stdout, stderr io.Writer) int {
 	src, closeTrain, err := openRecordStream(trainPath, batch)
 	if err != nil {
@@ -257,6 +247,11 @@ func trainStreamedNB(trainPath, testPath string, mode core.Mode, alg reconstruct
 		return fail(stderr, err)
 	}
 	printEvaluation(stdout, "nb (streamed)", mode, synth.Schema(), trainN, testN, trainPath, testPath, ev, nil, false)
+	if savePath != "" {
+		if err := saveModel(savePath, nb.Save, stderr); err != nil {
+			return fail(stderr, err)
+		}
+	}
 	return 0
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"ppdm/internal/dataset"
+	"ppdm/internal/parallel"
 	"ppdm/internal/stream"
 )
 
@@ -21,6 +22,26 @@ func (c *Classifier) Predict(rec []float64) (int, error) {
 		bins[j] = c.Partitions[j].Bin(v)
 	}
 	return c.Tree.Predict(bins)
+}
+
+// ClassifyBatch classifies a batch of records concurrently on the worker
+// engine (workers 0 = all cores) and returns one class index per record, in
+// input order. Prediction is read-only on the model, so ClassifyBatch is
+// safe to call from many goroutines at once — it is the serving hot path.
+// On error the smallest-index record's error is returned.
+func (c *Classifier) ClassifyBatch(records [][]float64, workers int) ([]int, error) {
+	return ClassifyBatchWith(records, workers, c.Predict)
+}
+
+// ClassifyBatchWith fans a batch of records across the worker engine through
+// an arbitrary per-record predict function, returning one class index per
+// record in input order. It backs the ClassifyBatch methods of both the
+// decision-tree and naive-Bayes classifiers, so batched prediction semantics
+// cannot drift between learners. predict must be safe for concurrent use.
+func ClassifyBatchWith(records [][]float64, workers int, predict func(rec []float64) (int, error)) ([]int, error) {
+	return parallel.Map(len(records), workers, func(i int) (int, error) {
+		return predict(records[i])
+	})
 }
 
 // Evaluation summarizes classifier performance on a test table.

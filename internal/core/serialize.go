@@ -1,10 +1,13 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"ppdm/internal/dataset"
 	"ppdm/internal/reconstruct"
@@ -23,8 +26,53 @@ type classifierJSON struct {
 	Tree       *tree.Tree              `json:"tree"`
 }
 
-// modelFormat identifies the serialization format/version.
-const modelFormat = "ppdm-classifier/1"
+// ModelFormat identifies the decision-tree serialization format/version.
+// Load rejects any other format string; bump the suffix when the document
+// layout changes incompatibly.
+const ModelFormat = "ppdm-classifier/1"
+
+// WriteFileAtomic writes a file through a temp file in the destination's
+// own directory plus an atomic rename, so a crash mid-write can never
+// leave a truncated document at path — it either keeps its previous
+// content or holds the complete new one. This is the install discipline
+// every model writer must use for a path the serving daemon hot-reloads.
+// The result is world-readable (0644), like a plain create, regardless of
+// the temp-file default.
+func WriteFileAtomic(path string, write func(w io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	err = write(tmp)
+	if err == nil {
+		err = tmp.Chmod(0o644)
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// PeekFormat decodes only the "format" field of a serialized model
+// document, tolerating unknown fields — the dispatch step a multi-format
+// loader (e.g. the serving daemon) runs before committing to a strict
+// decoder.
+func PeekFormat(data []byte) (string, error) {
+	var head struct {
+		Format string `json:"format"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return "", fmt.Errorf("core: decoding model document: %w", err)
+	}
+	return head.Format, nil
+}
 
 // Save writes the classifier as JSON. The model is self-contained: Load
 // restores it without access to the training data.
@@ -33,7 +81,7 @@ func (c *Classifier) Save(w io.Writer) error {
 		return errors.New("core: cannot save incomplete classifier")
 	}
 	doc := classifierJSON{
-		Format:     modelFormat,
+		Format:     ModelFormat,
 		Mode:       c.Mode.String(),
 		Attrs:      c.Schema.Attrs,
 		Classes:    c.Schema.Classes,
@@ -48,14 +96,25 @@ func (c *Classifier) Save(w io.Writer) error {
 // Load restores a classifier saved with Save, validating the document
 // thoroughly (it may come from an untrusted source).
 func Load(r io.Reader) (*Classifier, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading classifier: %w", err)
+	}
+	// Check the format version before the strict decode, so a document of a
+	// different (or future) format is reported as such instead of as an
+	// unknown-field soup.
+	format, err := PeekFormat(data)
+	if err != nil {
+		return nil, err
+	}
+	if format != ModelFormat {
+		return nil, fmt.Errorf("core: unsupported model format %q (this build reads %q)", format, ModelFormat)
+	}
 	var doc classifierJSON
-	dec := json.NewDecoder(r)
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&doc); err != nil {
 		return nil, fmt.Errorf("core: decoding classifier: %w", err)
-	}
-	if doc.Format != modelFormat {
-		return nil, fmt.Errorf("core: unsupported model format %q", doc.Format)
 	}
 	mode, err := ParseMode(doc.Mode)
 	if err != nil {

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWriteFileAtomicBareName regresses the cross-device bug: for a bare
+// file name the temp file must be created in the destination's own
+// directory (the cwd), never in os.TempDir, or the final rename fails with
+// EXDEV whenever TMPDIR is a different filesystem.
+func TestWriteFileAtomicBareName(t *testing.T) {
+	t.Chdir(t.TempDir())
+	// Force the failure mode: point TMPDIR at a directory that is removed
+	// before the write — if the temp file were created there, CreateTemp
+	// itself would fail.
+	gone := filepath.Join(t.TempDir(), "gone")
+	t.Setenv("TMPDIR", gone)
+	err := WriteFileAtomic("model.json", func(w io.Writer) error {
+		_, err := io.WriteString(w, `{"format":"test"}`)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("WriteFileAtomic with a bare name: %v", err)
+	}
+	data, err := os.ReadFile("model.json")
+	if err != nil || string(data) != `{"format":"test"}` {
+		t.Fatalf("content: %q, err %v", data, err)
+	}
+	info, err := os.Stat("model.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o644 {
+		t.Fatalf("saved file mode %o, want 644 (a service user must be able to read the model)", perm)
+	}
+	leftovers, err := filepath.Glob("*.tmp*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Fatalf("temp files left behind: %v", leftovers)
+	}
+}
+
+// TestWriteFileAtomicKeepsOldOnError asserts a failed write never touches
+// the existing file.
+func TestWriteFileAtomicKeepsOldOnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the write error", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "old" {
+		t.Fatalf("existing file was touched: %q, err %v", data, err)
+	}
+	leftovers, _ := filepath.Glob(filepath.Join(filepath.Dir(path), "*.tmp*"))
+	if len(leftovers) != 0 {
+		t.Fatalf("temp files left behind: %v", leftovers)
+	}
+}

@@ -1,0 +1,339 @@
+package serve
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Batcher defaults, used when the corresponding Config field is zero.
+const (
+	// DefaultMaxBatch is the record count at which a micro-batch flushes
+	// without waiting for the deadline.
+	DefaultMaxBatch = 64
+	// DefaultFlushDelay is how long the dispatcher holds an incomplete
+	// micro-batch open for more requests to coalesce.
+	DefaultFlushDelay = 2 * time.Millisecond
+	// DefaultQueueDepth is the bounded-queue capacity in request groups;
+	// submissions beyond it are rejected immediately (ErrQueueFull) rather
+	// than buffered without limit.
+	DefaultQueueDepth = 256
+)
+
+// ErrQueueFull is returned by Submit when the bounded request queue is at
+// capacity — the server is saturated and the client should back off.
+var ErrQueueFull = errors.New("serve: request queue full")
+
+// ErrStopped is returned by Submit when the batcher has been closed.
+var ErrStopped = errors.New("serve: batcher stopped")
+
+// group is one submitted request: all of its records are answered together,
+// from one model snapshot.
+type group struct {
+	records [][]float64
+	out     chan groupResult
+}
+
+// groupResult carries a group's predictions plus the exact model snapshot
+// that produced them (every record of a group is classified by one
+// generation, even across a concurrent hot reload).
+type groupResult struct {
+	classes []int
+	cached  int
+	model   *Model
+	err     error
+}
+
+// Batcher coalesces concurrent classification requests into micro-batches:
+// request groups land in a bounded queue, a single dispatcher goroutine
+// collects them until the batch reaches maxBatch records or the flush
+// deadline passes, and each flush classifies the whole batch on the
+// internal/parallel worker engine against one model snapshot. Under load
+// the queue naturally back-fills while a flush is running, so batches grow
+// with pressure (classic adaptive micro-batching); when idle a lone request
+// waits at most the flush delay.
+type Batcher struct {
+	queue    chan *group
+	maxBatch int
+	delay    time.Duration
+	workers  int
+	model    func() *Model
+	stop     chan struct{}
+	done     chan struct{}
+	closed   atomic.Bool
+
+	batches atomic.Int64
+	records atomic.Int64
+	groups  atomic.Int64
+	rejects atomic.Int64
+	largest atomic.Int64
+}
+
+// NewBatcher starts the dispatcher. model returns the current snapshot
+// (typically an atomic.Pointer load); maxBatch, delay, and queueDepth fall
+// back to the package defaults when zero; workers bounds each flush's
+// classification parallelism (0 = all cores).
+func NewBatcher(model func() *Model, maxBatch int, delay time.Duration, queueDepth, workers int) *Batcher {
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	if delay <= 0 {
+		delay = DefaultFlushDelay
+	}
+	if queueDepth <= 0 {
+		queueDepth = DefaultQueueDepth
+	}
+	b := &Batcher{
+		queue:    make(chan *group, queueDepth),
+		maxBatch: maxBatch,
+		delay:    delay,
+		workers:  workers,
+		model:    model,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// Submit queues one request group and blocks until its micro-batch is
+// classified, returning the predictions, the number answered from the
+// prediction cache, and the model snapshot that produced them. It fails
+// fast with ErrQueueFull when the bounded queue is at capacity and with
+// ErrStopped when the batcher is shut down.
+func (b *Batcher) Submit(records [][]float64) ([]int, int, *Model, error) {
+	if b.closed.Load() {
+		return nil, 0, nil, ErrStopped
+	}
+	g := &group{records: records, out: make(chan groupResult, 1)}
+	select {
+	case b.queue <- g:
+	default:
+		b.rejects.Add(1)
+		return nil, 0, nil, ErrQueueFull
+	}
+	select {
+	case res := <-g.out:
+		return res.classes, res.cached, res.model, res.err
+	case <-b.done:
+		// The dispatcher drained and exited; the group may still have been
+		// answered in the final drain.
+		select {
+		case res := <-g.out:
+			return res.classes, res.cached, res.model, res.err
+		default:
+			return nil, 0, nil, ErrStopped
+		}
+	}
+}
+
+// Close stops accepting work, flushes everything still queued, and waits
+// for the dispatcher to exit.
+func (b *Batcher) Close() {
+	if b.closed.Swap(true) {
+		<-b.done
+		return
+	}
+	close(b.stop)
+	<-b.done
+}
+
+// Stats is a point-in-time snapshot of the batcher counters.
+type Stats struct {
+	// Batches is the number of micro-batches flushed.
+	Batches int64 `json:"batches"`
+	// Records is the total records classified through the batcher.
+	Records int64 `json:"records"`
+	// Groups is the total request groups served.
+	Groups int64 `json:"groups"`
+	// LargestBatch is the high-watermark batch size in records.
+	LargestBatch int64 `json:"largest_batch"`
+	// QueueRejects counts submissions bounced off the full queue.
+	QueueRejects int64 `json:"queue_rejects"`
+	// QueueDepth is the current number of queued groups.
+	QueueDepth int `json:"queue_depth"`
+	// QueueCap is the bounded queue's capacity in groups.
+	QueueCap int `json:"queue_cap"`
+}
+
+// Stats returns the current counters.
+func (b *Batcher) Stats() Stats {
+	return Stats{
+		Batches:      b.batches.Load(),
+		Records:      b.records.Load(),
+		Groups:       b.groups.Load(),
+		LargestBatch: b.largest.Load(),
+		QueueRejects: b.rejects.Load(),
+		QueueDepth:   len(b.queue),
+		QueueCap:     cap(b.queue),
+	}
+}
+
+// run is the dispatcher loop: wait for a first group, batch it up with
+// whatever else is queued, classify, repeat. On stop it drains and answers
+// everything still queued.
+func (b *Batcher) run() {
+	defer close(b.done)
+	for {
+		select {
+		case g := <-b.queue:
+			b.collectAndFlush(g)
+		case <-b.stop:
+			b.drain()
+			return
+		}
+		select {
+		case <-b.stop:
+			b.drain()
+			return
+		default:
+		}
+	}
+}
+
+// collectAndFlush forms one micro-batch behind the first group and
+// classifies it. Collection is greedy: everything already queued joins the
+// batch (up to maxBatch records) without waiting, so under load batches
+// grow to whatever piled up during the previous flush and the dispatcher
+// never idles. Only when the queue goes momentarily empty does an
+// incomplete batch wait — once, for at most the flush delay — for company
+// before flushing, which bounds the latency a solitary request can pay at
+// delay and costs the saturated path nothing.
+func (b *Batcher) collectAndFlush(first *group) {
+	pending := []*group{first}
+	n := len(first.records)
+	waited := false
+	for n < b.maxBatch {
+		select {
+		case g := <-b.queue:
+			pending = append(pending, g)
+			n += len(g.records)
+			continue
+		default:
+		}
+		if waited || b.delay <= 0 {
+			break
+		}
+		waited = true
+		deadline := time.NewTimer(b.delay)
+		select {
+		case g := <-b.queue:
+			pending = append(pending, g)
+			n += len(g.records)
+		case <-deadline.C:
+		case <-b.stop:
+		}
+		deadline.Stop()
+	}
+	b.flush(pending, n)
+}
+
+// drain flushes every group still in the queue at shutdown, in maxBatch-
+// record batches.
+func (b *Batcher) drain() {
+	for {
+		var pending []*group
+		n := 0
+		for n < b.maxBatch {
+			select {
+			case g := <-b.queue:
+				pending = append(pending, g)
+				n += len(g.records)
+				continue
+			default:
+			}
+			break
+		}
+		if len(pending) == 0 {
+			return
+		}
+		b.flush(pending, n)
+	}
+}
+
+// flush classifies one micro-batch. The model snapshot is loaded exactly
+// once, so every group in the batch — and therefore every HTTP response —
+// is answered by a single model generation even while a hot reload swaps
+// the pointer concurrently. Records hitting the snapshot's prediction
+// cache skip classification; the misses of all groups are concatenated and
+// classified in one ClassifyBatch call on the worker engine.
+func (b *Batcher) flush(pending []*group, n int) {
+	m := b.model()
+	b.batches.Add(1)
+	b.records.Add(int64(n))
+	b.groups.Add(int64(len(pending)))
+	if hw := b.largest.Load(); int64(n) > hw {
+		b.largest.Store(int64(n)) // dispatcher-only write; no CAS needed
+	}
+
+	// Validate groups up front so one malformed record fails only its own
+	// request, never the whole batch.
+	live := pending[:0:0]
+	for _, g := range pending {
+		if err := checkGroup(m, g.records); err != nil {
+			g.out <- groupResult{err: err}
+			continue
+		}
+		live = append(live, g)
+	}
+
+	type slot struct {
+		g   *group
+		i   int
+		key string
+	}
+	var missRecs [][]float64
+	var missSlots []slot
+	results := make(map[*group][]int, len(live))
+	cachedPer := make(map[*group]int, len(live))
+	for _, g := range live {
+		classes := make([]int, len(g.records))
+		results[g] = classes
+		for i, rec := range g.records {
+			if m.cache == nil {
+				missRecs = append(missRecs, rec)
+				missSlots = append(missSlots, slot{g: g, i: i})
+				continue
+			}
+			key := m.CacheKey(rec)
+			if class, ok := m.cache.get(key); ok {
+				classes[i] = class
+				cachedPer[g]++
+				continue
+			}
+			missRecs = append(missRecs, rec)
+			missSlots = append(missSlots, slot{g: g, i: i, key: key})
+		}
+	}
+
+	if len(missRecs) > 0 {
+		preds, err := m.Predictor.ClassifyBatch(missRecs, b.workers)
+		if err != nil {
+			// Widths were validated above, so neither learner can fail here;
+			// if something does, fail every group of the batch honestly.
+			for _, g := range live {
+				g.out <- groupResult{err: err}
+			}
+			return
+		}
+		for k, s := range missSlots {
+			results[s.g][s.i] = preds[k]
+			if m.cache != nil {
+				m.cache.put(s.key, preds[k])
+			}
+		}
+	}
+	for _, g := range live {
+		g.out <- groupResult{classes: results[g], cached: cachedPer[g], model: m}
+	}
+}
+
+// checkGroup validates every record width of one group.
+func checkGroup(m *Model, records [][]float64) error {
+	for _, rec := range records {
+		if err := m.CheckRecord(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

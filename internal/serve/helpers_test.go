@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"ppdm/internal/bayes"
+	"ppdm/internal/core"
+	"ppdm/internal/dataset"
+	"ppdm/internal/noise"
+	"ppdm/internal/synth"
+)
+
+// trainTree trains a small ByClass tree on perturbed benchmark data and
+// returns the classifier plus its serialized bytes.
+func trainTree(t *testing.T, fn synth.Function, seed uint64) (*core.Classifier, []byte) {
+	t.Helper()
+	table, err := synth.Generate(synth.Config{Function: fn, N: 4000, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := noise.ModelsForAllAttrs(table.Schema(), "gaussian", 0.5, noise.DefaultConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed, err := noise.PerturbTable(table, models, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := core.Train(perturbed, core.Config{Mode: core.ByClass, Noise: models, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := clf.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return clf, buf.Bytes()
+}
+
+// trainNB trains a small naive-Bayes model and returns it with its bytes.
+func trainNB(t *testing.T, fn synth.Function, seed uint64) (*bayes.Classifier, []byte) {
+	t.Helper()
+	table, err := synth.Generate(synth.Config{Function: fn, N: 4000, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := bayes.Train(table, bayes.Config{Mode: core.Original})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := clf.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return clf, buf.Bytes()
+}
+
+// writeModelAtomic installs model bytes with the same crash-safe
+// discipline ppdm-train -save uses (core.WriteFileAtomic), so a
+// concurrently reloading server can never observe a truncated document.
+func writeModelAtomic(t *testing.T, path string, data []byte) {
+	t.Helper()
+	err := core.WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testRecords samples clean benchmark records for query traffic.
+func testRecords(t *testing.T, n int, seed uint64) [][]float64 {
+	t.Helper()
+	table, err := synth.Generate(synth.Config{Function: synth.F2, N: n, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := make([][]float64, table.N())
+	for i := range records {
+		records[i] = table.Row(i)
+	}
+	return records
+}
+
+// benchSchema is the schema every test model shares.
+func benchSchema() *dataset.Schema { return synth.Schema() }

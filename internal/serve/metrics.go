@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// endpointMetrics accumulates one endpoint's counters with lock-free
+// atomics — the observation path rides on every request.
+type endpointMetrics struct {
+	requests  atomic.Int64
+	errors    atomic.Int64
+	records   atomic.Int64
+	latencyNS atomic.Int64
+	maxNS     atomic.Int64
+}
+
+// observe folds one finished request into the counters.
+func (m *endpointMetrics) observe(start time.Time, records int, failed bool) {
+	el := time.Since(start).Nanoseconds()
+	m.requests.Add(1)
+	m.records.Add(int64(records))
+	m.latencyNS.Add(el)
+	if failed {
+		m.errors.Add(1)
+	}
+	for {
+		cur := m.maxNS.Load()
+		if el <= cur || m.maxNS.CompareAndSwap(cur, el) {
+			return
+		}
+	}
+}
+
+// EndpointStats is the exported snapshot of one endpoint's counters.
+type EndpointStats struct {
+	// Requests counts completed requests, including failed ones.
+	Requests int64 `json:"requests"`
+	// Errors counts requests answered with a non-2xx status.
+	Errors int64 `json:"errors"`
+	// Records counts the records those requests carried.
+	Records int64 `json:"records"`
+	// LatencyMSTotal is the summed wall-clock handling time.
+	LatencyMSTotal float64 `json:"latency_ms_total"`
+	// LatencyMSMean is LatencyMSTotal / Requests (0 when idle).
+	LatencyMSMean float64 `json:"latency_ms_mean"`
+	// LatencyMSMax is the slowest single request.
+	LatencyMSMax float64 `json:"latency_ms_max"`
+}
+
+// metrics holds the per-endpoint counter set. The map is built once at
+// server construction and never mutated, so reads need no lock.
+type metrics struct {
+	endpoints map[string]*endpointMetrics
+}
+
+// newMetrics preallocates counters for the given endpoint names.
+func newMetrics(names ...string) *metrics {
+	m := &metrics{endpoints: make(map[string]*endpointMetrics, len(names))}
+	for _, n := range names {
+		m.endpoints[n] = &endpointMetrics{}
+	}
+	return m
+}
+
+// endpoint returns the counter set for a name registered at construction.
+func (m *metrics) endpoint(name string) *endpointMetrics { return m.endpoints[name] }
+
+// snapshot renders every endpoint's counters, keyed by endpoint name.
+func (m *metrics) snapshot() map[string]EndpointStats {
+	out := make(map[string]EndpointStats, len(m.endpoints))
+	for n, e := range m.endpoints {
+		req := e.requests.Load()
+		total := float64(e.latencyNS.Load()) / 1e6
+		mean := 0.0
+		if req > 0 {
+			mean = total / float64(req)
+		}
+		out[n] = EndpointStats{
+			Requests:       req,
+			Errors:         e.errors.Load(),
+			Records:        e.records.Load(),
+			LatencyMSTotal: total,
+			LatencyMSMean:  mean,
+			LatencyMSMax:   float64(e.maxNS.Load()) / 1e6,
+		}
+	}
+	return out
+}

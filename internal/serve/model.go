@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"time"
+
+	"ppdm/internal/bayes"
+	"ppdm/internal/core"
+	"ppdm/internal/dataset"
+	"ppdm/internal/reconstruct"
+)
+
+// Predictor is the prediction surface the server needs from a trained
+// model: per-record prediction plus the worker-engine batch path. Both the
+// decision-tree (core.Classifier) and naive-Bayes (bayes.Classifier)
+// learners satisfy it; predictions must be safe for concurrent use.
+type Predictor interface {
+	Predict(rec []float64) (int, error)
+	ClassifyBatch(records [][]float64, workers int) ([]int, error)
+}
+
+// Model is one loaded, immutable model snapshot: the predictor plus the
+// metadata the endpoints report and the per-snapshot prediction cache.
+// Snapshots are swapped whole on hot reload, so everything hanging off a
+// Model — including cached predictions — is consistent with exactly one set
+// of parameters by construction.
+type Model struct {
+	// Predictor answers queries.
+	Predictor Predictor
+	// Format is the serialization format the model was loaded from
+	// (core.ModelFormat or bayes.ModelFormat).
+	Format string
+	// Schema describes the records the model classifies.
+	Schema *dataset.Schema
+	// Partitions discretize records; the prediction-cache key is the vector
+	// of interval indices.
+	Partitions []reconstruct.Partition
+	// Mode names the training strategy the model was built with.
+	Mode string
+	// Path is the file the model was loaded from.
+	Path string
+	// LoadedAt is when this snapshot was read.
+	LoadedAt time.Time
+	// Generation counts loads within one server lifetime, starting at 1.
+	Generation int64
+
+	cache *lru
+}
+
+// CacheKey renders the discretized form of a record — the vector of
+// partition interval indices — as a compact byte-string cache key. Records
+// that land in the same intervals are classified identically by either
+// learner's discretized model, which is what makes the prediction cache
+// sound.
+func (m *Model) CacheKey(rec []float64) string {
+	buf := make([]byte, 0, 3*len(rec))
+	for j, v := range rec {
+		buf = appendUvarint(buf, uint64(m.Partitions[j].Bin(v)))
+	}
+	return string(buf)
+}
+
+// appendUvarint appends a minimal little-endian base-128 encoding of v.
+func appendUvarint(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+// CheckRecord validates one record's width against the model schema.
+func (m *Model) CheckRecord(rec []float64) error {
+	if len(rec) != m.Schema.NumAttrs() {
+		return fmt.Errorf("serve: record has %d attributes, model expects %d", len(rec), m.Schema.NumAttrs())
+	}
+	return nil
+}
+
+// LoadModelFile reads a saved model of any supported format (dispatching on
+// the document's "format" field) and wraps it in a Model snapshot.
+// cacheSize bounds the snapshot's prediction cache (0 disables caching).
+func LoadModelFile(path string, cacheSize int) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading model: %w", err)
+	}
+	format, err := core.PeekFormat(data)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{Format: format, Path: path, LoadedAt: time.Now()}
+	switch format {
+	case core.ModelFormat:
+		clf, err := core.Load(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		m.Predictor, m.Schema, m.Partitions, m.Mode = clf, clf.Schema, clf.Partitions, clf.Mode.String()
+	case bayes.ModelFormat:
+		clf, err := bayes.Load(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		m.Predictor, m.Schema, m.Partitions, m.Mode = clf, clf.Schema, clf.Partitions, clf.Mode.String()
+	default:
+		return nil, fmt.Errorf("serve: unsupported model format %q (this build reads %q and %q)",
+			format, core.ModelFormat, bayes.ModelFormat)
+	}
+	if cacheSize > 0 {
+		m.cache = newLRU(cacheSize)
+	}
+	return m, nil
+}

@@ -1,0 +1,450 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ppdm/internal/noise"
+	"ppdm/internal/prng"
+	"ppdm/internal/stream"
+)
+
+// DefaultCacheSize is the per-model prediction-cache capacity used when
+// Config.CacheSize is zero.
+const DefaultCacheSize = 4096
+
+// Config parameterizes New.
+type Config struct {
+	// ModelPath is the saved model to serve (tree ppdm-classifier/1 or
+	// naive-Bayes ppdm-nb/1 JSON); hot reload re-reads the same path.
+	ModelPath string
+	// Workers bounds the classification parallelism of each micro-batch
+	// flush and each streamed-CSV batch (0 = all cores).
+	Workers int
+	// MaxBatch is the micro-batch flush size in records (0 =
+	// DefaultMaxBatch).
+	MaxBatch int
+	// FlushDelay is how long an incomplete micro-batch waits for more
+	// requests (0 = DefaultFlushDelay).
+	FlushDelay time.Duration
+	// QueueDepth bounds the request queue in groups (0 =
+	// DefaultQueueDepth); beyond it /classify answers 503.
+	QueueDepth int
+	// CacheSize bounds each model snapshot's prediction cache in entries
+	// (0 = DefaultCacheSize, negative disables caching).
+	CacheSize int
+	// StreamBatch is the records-per-batch granularity for gzipped-CSV
+	// request bodies (0 = stream.DefaultBatchSize).
+	StreamBatch int
+}
+
+// Server is the inference daemon: a model snapshot behind an atomic
+// pointer, the micro-batcher feeding it, and the HTTP handlers. Create it
+// with New, expose Handler over any http.Server, and Close it when done.
+type Server struct {
+	cfg     Config
+	model   atomic.Pointer[Model]
+	batcher *Batcher
+	metrics *metrics
+	mux     *http.ServeMux
+	start   time.Time
+
+	reloadMu   sync.Mutex // serializes Reload; swaps stay atomic for readers
+	generation atomic.Int64
+	reloads    atomic.Int64
+}
+
+// New loads the model and starts the micro-batcher. The returned server is
+// ready to answer requests through Handler.
+func New(cfg Config) (*Server, error) {
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	s := &Server{cfg: cfg, start: time.Now()}
+	m, err := LoadModelFile(cfg.ModelPath, cfg.CacheSize)
+	if err != nil {
+		return nil, err
+	}
+	m.Generation = s.generation.Add(1)
+	s.model.Store(m)
+	s.batcher = NewBatcher(s.Current, cfg.MaxBatch, cfg.FlushDelay, cfg.QueueDepth, cfg.Workers)
+	s.metrics = newMetrics("classify", "perturb", "healthz", "stats", "reload")
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/classify", s.instrument("classify", s.handleClassify))
+	s.mux.HandleFunc("/perturb", s.instrument("perturb", s.handlePerturb))
+	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("/stats", s.instrument("stats", s.handleStats))
+	s.mux.HandleFunc("/reload", s.instrument("reload", s.handleReload))
+	return s, nil
+}
+
+// Handler returns the HTTP surface of the server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Current returns the live model snapshot.
+func (s *Server) Current() *Model { return s.model.Load() }
+
+// Close stops the micro-batcher, answering everything still queued.
+func (s *Server) Close() { s.batcher.Close() }
+
+// Reload re-reads the model file and atomically swaps the new snapshot in.
+// Readers are never blocked: micro-batches already dispatched finish on the
+// snapshot they loaded, and the fresh snapshot starts with an empty
+// prediction cache. On failure the old model stays live.
+func (s *Server) Reload() (*Model, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	m, err := LoadModelFile(s.cfg.ModelPath, s.cfg.CacheSize)
+	if err != nil {
+		return nil, err
+	}
+	m.Generation = s.generation.Add(1)
+	s.model.Store(m)
+	s.reloads.Add(1)
+	return m, nil
+}
+
+// statusWriter records the status code a handler answered with, so the
+// instrumentation middleware can count errors.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader implements http.ResponseWriter.
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the per-endpoint latency/throughput
+// counters. Handlers report their record count through the requestRecords
+// pointer smuggled via the wrapper.
+func (s *Server) instrument(name string, h func(w http.ResponseWriter, r *http.Request) int) http.HandlerFunc {
+	em := s.metrics.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		records := h(sw, r)
+		em.observe(start, records, sw.status >= 400)
+	}
+}
+
+// modelInfo is the model summary embedded in several responses.
+type modelInfo struct {
+	Format     string `json:"format"`
+	Mode       string `json:"mode"`
+	Path       string `json:"path"`
+	Generation int64  `json:"generation"`
+	LoadedAt   string `json:"loaded_at"`
+	Classes    int    `json:"classes"`
+	Attrs      int    `json:"attrs"`
+}
+
+// info summarizes a snapshot for responses.
+func info(m *Model) modelInfo {
+	return modelInfo{
+		Format:     m.Format,
+		Mode:       m.Mode,
+		Path:       m.Path,
+		Generation: m.Generation,
+		LoadedAt:   m.LoadedAt.UTC().Format(time.RFC3339Nano),
+		Classes:    m.Schema.NumClasses(),
+		Attrs:      m.Schema.NumAttrs(),
+	}
+}
+
+// writeJSON encodes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError answers a JSON error document.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// classifyRequest is the JSON body of POST /classify: one record or many.
+type classifyRequest struct {
+	Record  []float64   `json:"record"`
+	Records [][]float64 `json:"records"`
+}
+
+// classifyResponse answers a JSON /classify request.
+type classifyResponse struct {
+	N            int       `json:"n"`
+	Classes      []string  `json:"classes"`
+	ClassIndices []int     `json:"class_indices"`
+	Cached       int       `json:"cached"`
+	Model        modelInfo `json:"model"`
+}
+
+// streamClassifyResponse answers a gzipped-CSV /classify request: per-class
+// counts (and accuracy against the labels the stream carries) instead of
+// one entry per record.
+type streamClassifyResponse struct {
+	N           int            `json:"n"`
+	ClassCounts map[string]int `json:"class_counts"`
+	Correct     int            `json:"correct"`
+	Accuracy    float64        `json:"accuracy"`
+	Batches     int            `json:"batches"`
+	Model       modelInfo      `json:"model"`
+}
+
+// handleClassify answers POST /classify. A JSON body rides the
+// micro-batcher; a gzipped body (detected by the magic bytes, e.g. a file
+// written by `ppdm-gen -stream`) is decoded as a CSV record stream and
+// classified batch-by-batch in bounded memory against one snapshot.
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return 0
+	}
+	body, gzipped, err := stream.SniffGzip(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return 0
+	}
+	if gzipped {
+		return s.classifyStream(w, body)
+	}
+	var req classifyRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return 0
+	}
+	records := req.Records
+	if req.Record != nil {
+		records = append([][]float64{req.Record}, records...)
+	}
+	if len(records) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New(`body needs "record" or "records"`))
+		return 0
+	}
+	classes, cached, m, err := s.batcher.Submit(records)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return len(records)
+	case errors.Is(err, ErrStopped):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return len(records)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return len(records)
+	}
+	names := make([]string, len(classes))
+	for i, c := range classes {
+		names[i] = m.Schema.Classes[c]
+	}
+	writeJSON(w, http.StatusOK, classifyResponse{
+		N:            len(classes),
+		Classes:      names,
+		ClassIndices: classes,
+		Cached:       cached,
+		Model:        info(m),
+	})
+	return len(records)
+}
+
+// classifyStream drains a gzipped CSV record stream from the request body,
+// classifying every batch on the worker engine against a single model
+// snapshot (the stream bypasses the micro-batcher — it is already a batch).
+func (s *Server) classifyStream(w http.ResponseWriter, body io.Reader) int {
+	m := s.Current()
+	reader, err := stream.NewReader(body, m.Schema, s.cfg.StreamBatch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return 0
+	}
+	defer reader.Close()
+	resp := streamClassifyResponse{ClassCounts: make(map[string]int), Model: info(m)}
+	for {
+		b, err := reader.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return resp.N
+		}
+		records := make([][]float64, b.N())
+		for i := range records {
+			records[i] = b.Row(i)
+		}
+		preds, err := m.Predictor.ClassifyBatch(records, s.cfg.Workers)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return resp.N
+		}
+		for i, p := range preds {
+			resp.ClassCounts[m.Schema.Classes[p]]++
+			if p == b.Labels[i] {
+				resp.Correct++
+			}
+		}
+		resp.N += b.N()
+		resp.Batches++
+	}
+	if resp.N == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty record stream"))
+		return 0
+	}
+	resp.Accuracy = float64(resp.Correct) / float64(resp.N)
+	writeJSON(w, http.StatusOK, resp)
+	return resp.N
+}
+
+// perturbRequest is the JSON body of POST /perturb: records to randomize
+// plus the noise model to apply, named exactly as on the CLI.
+type perturbRequest struct {
+	Family  string      `json:"family"`
+	Privacy float64     `json:"privacy"`
+	Conf    float64     `json:"conf"`
+	Seed    uint64      `json:"seed"`
+	Records [][]float64 `json:"records"`
+}
+
+// perturbResponse returns the randomized records.
+type perturbResponse struct {
+	N       int         `json:"n"`
+	Family  string      `json:"family"`
+	Privacy float64     `json:"privacy"`
+	Conf    float64     `json:"conf"`
+	Seed    uint64      `json:"seed"`
+	Records [][]float64 `json:"records"`
+}
+
+// handlePerturb answers POST /perturb: server-side randomization (paper §2)
+// for clients that trust the collector. Each attribute receives noise of
+// the requested family at the requested privacy level, scaled to that
+// attribute's domain width in the model schema; the result is
+// deterministic in the request seed.
+func (s *Server) handlePerturb(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return 0
+	}
+	var req perturbRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return 0
+	}
+	if len(req.Records) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New(`body needs "records"`))
+		return 0
+	}
+	if req.Conf == 0 {
+		req.Conf = noise.DefaultConfidence
+	}
+	m := s.Current()
+	for _, rec := range req.Records {
+		if err := m.CheckRecord(rec); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return len(req.Records)
+		}
+	}
+	models, err := noise.ModelsForAllAttrs(m.Schema, req.Family, req.Privacy, req.Conf)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return len(req.Records)
+	}
+	rng := prng.New(req.Seed)
+	out := make([][]float64, len(req.Records))
+	for i, rec := range req.Records {
+		row := make([]float64, len(rec))
+		for j, v := range rec {
+			row[j] = v + models[j].Sample(rng)
+		}
+		out[i] = row
+	}
+	writeJSON(w, http.StatusOK, perturbResponse{
+		N:       len(out),
+		Family:  req.Family,
+		Privacy: req.Privacy,
+		Conf:    req.Conf,
+		Seed:    req.Seed,
+		Records: out,
+	})
+	return len(out)
+}
+
+// healthzResponse answers GET /healthz.
+type healthzResponse struct {
+	Status   string    `json:"status"`
+	UptimeMS float64   `json:"uptime_ms"`
+	Model    modelInfo `json:"model"`
+}
+
+// handleHealthz answers GET /healthz: liveness plus the loaded model.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:   "ok",
+		UptimeMS: float64(time.Since(s.start).Nanoseconds()) / 1e6,
+		Model:    info(s.Current()),
+	})
+	return 0
+}
+
+// statsResponse answers GET /stats.
+type statsResponse struct {
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+	Batcher   Stats                    `json:"batcher"`
+	Cache     cacheStats               `json:"cache"`
+	Reloads   int64                    `json:"reloads"`
+	Model     modelInfo                `json:"model"`
+}
+
+// cacheStats reports the live snapshot's prediction cache.
+type cacheStats struct {
+	Enabled  bool  `json:"enabled"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Size     int   `json:"size"`
+	Capacity int   `json:"capacity"`
+}
+
+// handleStats answers GET /stats with every counter the server keeps.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) int {
+	m := s.Current()
+	cs := cacheStats{}
+	if m.cache != nil {
+		cs.Enabled = true
+		cs.Hits, cs.Misses, cs.Size = m.cache.stats()
+		cs.Capacity = m.cache.cap
+	}
+	writeJSON(w, http.StatusOK, statsResponse{
+		Endpoints: s.metrics.snapshot(),
+		Batcher:   s.batcher.Stats(),
+		Cache:     cs,
+		Reloads:   s.reloads.Load(),
+		Model:     info(m),
+	})
+	return 0
+}
+
+// handleReload answers POST /reload: re-read the model file and swap it in
+// atomically. SIGHUP triggers the same path in the CLI wrapper.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return 0
+	}
+	m, err := s.Reload()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return 0
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "reloaded", "model": info(m)})
+	return 0
+}

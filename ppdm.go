@@ -385,6 +385,11 @@ func TrainStream(src RecordSource, cfg TrainConfig) (*Classifier, error) {
 // validating the document (it may come from an untrusted source).
 func LoadClassifier(r io.Reader) (*Classifier, error) { return core.Load(r) }
 
+// LoadNaiveBayes restores a naive-Bayes model saved with NaiveBayes.Save
+// (format "ppdm-nb/1"); the restored model predicts identically to the one
+// that was saved.
+func LoadNaiveBayes(r io.Reader) (*NaiveBayes, error) { return bayes.Load(r) }
+
 // ParseMode parses a training-mode name ("original" … "local").
 func ParseMode(s string) (Mode, error) { return core.ParseMode(s) }
 

@@ -1,8 +1,9 @@
 // Command doccheck fails (exit 1) when a Go package directory contains
 // exported identifiers without doc comments, or lacks a package comment.
-// CI runs it over internal/stream, internal/tree, and internal/parallel
-// (and any other directory passed as an argument) so the streaming,
-// tree-learner, and worker-pool API surfaces stay fully documented.
+// CI runs it over internal/stream, internal/tree, internal/parallel,
+// internal/core, and internal/serve (and any other directory passed as an
+// argument) so the streaming, tree-learner, worker-pool, training, and
+// serving API surfaces stay fully documented.
 //
 // Usage: go run ./scripts/doccheck <pkgdir> [pkgdir...]
 package main

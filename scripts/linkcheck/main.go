@@ -1,0 +1,98 @@
+// Command linkcheck fails (exit 1) when a markdown document references
+// repository paths that do not exist. It extracts every token that looks
+// like a repo path — anything under cmd/, internal/, examples/, scripts/,
+// or docs/, plus root-level *.go / *.json / *.md file names — and stats it
+// relative to the repository root, so architecture documentation cannot
+// drift to packages that were renamed or removed. CI runs it over
+// docs/ARCHITECTURE.md and the README.
+//
+// Usage: go run ./scripts/linkcheck <doc.md> [doc.md...]
+package main
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// pathPattern matches repository-path-shaped tokens: a known top-level
+// directory followed by path characters, or a root-level file with a
+// checkable extension.
+var pathPattern = regexp.MustCompile(
+	`(?:cmd|internal|examples|scripts|docs)(?:/[A-Za-z0-9_.-]+)+|[A-Za-z0-9_-]+\.(?:go|json|md)\b`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <doc.md> [doc.md...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, doc := range os.Args[1:] {
+		missing, err := check(doc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %s: %v\n", doc, err)
+			os.Exit(2)
+		}
+		for _, ref := range missing {
+			fmt.Fprintf(os.Stderr, "%s: references %s, which does not exist\n", doc, ref)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d dangling references\n", bad)
+		os.Exit(1)
+	}
+}
+
+// check returns the repo-path references of one document that do not
+// resolve to an existing file or directory.
+func check(doc string) ([]string, error) {
+	data, err := os.ReadFile(doc)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var missing []string
+	for _, line := range strings.Split(string(data), "\n") {
+		for _, ref := range pathPattern.FindAllString(line, -1) {
+			ref = strings.TrimRight(ref, ".")
+			if seen[ref] || skip(ref) {
+				continue
+			}
+			seen[ref] = true
+			if _, err := os.Stat(ref); err == nil {
+				continue
+			}
+			// A qualified Go name like internal/cli.Serve refers to the
+			// package before the dot; require that to exist instead.
+			if i := strings.LastIndex(ref, "."); i > strings.LastIndex(ref, "/") {
+				if _, err := os.Stat(ref[:i]); err == nil {
+					continue
+				}
+			}
+			missing = append(missing, ref)
+		}
+	}
+	return missing, nil
+}
+
+// skip filters tokens that look path-shaped but are not repository paths:
+// example artifacts the reader is told to generate (model/train/test
+// files) and generic placeholders.
+func skip(ref string) bool {
+	switch {
+	case strings.HasSuffix(ref, ".tmp"):
+		return true
+	case !strings.Contains(ref, "/"):
+		// Root-level file names: only require the ones that are clearly
+		// repository artifacts (uppercase docs, *_test.go, go.mod-adjacent);
+		// lowercase names like model.json / train.csv are user artifacts
+		// from quickstart commands.
+		base := ref
+		if base == strings.ToLower(base) && !strings.HasSuffix(base, "_test.go") && base != "ppdm.go" {
+			return true
+		}
+	}
+	return false
+}
