@@ -115,6 +115,7 @@ func TrainStream(src stream.Source, cfg Config) (*Classifier, error) {
 						Algorithm: cfg.ReconAlgorithm,
 						MaxIters:  cfg.ReconMaxIters,
 						Epsilon:   cfg.ReconEpsilon,
+						TailMass:  cfg.ReconTailMass,
 					})
 					if err != nil {
 						return nil, fmt.Errorf("bayes: reconstructing attribute %d class %d: %w", j, c, err)

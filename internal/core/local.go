@@ -34,7 +34,19 @@ type localSource struct {
 	cfg      Config
 	fallback [][]int // root ByClass assignment, cols[attr][row]
 	classes  int
+	// wcache is this training run's private transition-matrix cache. Node
+	// sub-partitions inherit the root partition's interval width at varying
+	// offsets, and the banded kernel keys matrices by canonicalised
+	// (width, offset, band) geometry — so sibling nodes and recurring span
+	// shapes re-hit entries here instead of rebuilding every matrix, while
+	// never evicting the shared cache's recurring root-partition entries.
+	wcache *reconstruct.WeightCache
 }
+
+// localWeightCacheEntries bounds one Local training run's private
+// node-geometry cache. Node matrices are small (span-count × observation
+// rows, band-limited), so the bound is generous.
+const localWeightCacheEntries = 256
 
 // Len implements tree.Source.
 func (s *localSource) Len() int { return s.table.N() }
@@ -105,10 +117,12 @@ func (s *localSource) NodeDistributions(attr int, rows []int, span tree.Span) ([
 		if len(vals) == 0 {
 			continue
 		}
-		// Node sub-partitions are one-off geometries: caching their weight
-		// matrices would only evict the recurring root-partition entries.
+		// Node sub-partitions resolve against the per-training cache: their
+		// canonicalised geometries repeat across nodes and subtrees, and the
+		// private cache keeps them from evicting the shared cache's
+		// recurring root-partition entries.
 		rcfg := reconCfg(s.cfg, sub, m)
-		rcfg.DisableWeightCache = true
+		rcfg.Cache = s.wcache
 		res, err := reconstruct.Reconstruct(vals, rcfg)
 		if err != nil {
 			return nil, false

@@ -52,6 +52,7 @@ func buildLocalSource(t *testing.T, n int) (*localSource, map[int]noise.Model) {
 		cfg:      cfg,
 		fallback: fallback,
 		classes:  s.NumClasses(),
+		wcache:   reconstruct.NewWeightCache(localWeightCacheEntries),
 	}, models
 }
 
@@ -199,5 +200,35 @@ func TestTrainSingleClassData(t *testing.T) {
 		if !clf.Tree.Root.IsLeaf() || clf.Tree.Root.Class != synth.GroupA {
 			t.Errorf("%v: single-class data should give a GroupA leaf", mode)
 		}
+	}
+}
+
+// TestLocalNodeCacheReHit asserts the Local-mode tentpole win: repeated node
+// geometries (same span, same attribute family width, same observation
+// layout) resolve from the per-training weight cache instead of rebuilding
+// their transition matrices at every node.
+func TestLocalNodeCacheReHit(t *testing.T) {
+	src, _ := buildLocalSource(t, 3000)
+	rows := make([]int, src.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	span := tree.Span{Lo: 5, Hi: 30}
+	if _, ok := src.NodeDistributions(synth.AttrSalary, rows, span); !ok {
+		t.Fatal("NodeDistributions declined a large node")
+	}
+	after1 := src.wcache.Stats()
+	if after1.Misses == 0 {
+		t.Fatal("first node reconstruction did not touch the per-training cache")
+	}
+	if _, ok := src.NodeDistributions(synth.AttrSalary, rows, span); !ok {
+		t.Fatal("NodeDistributions declined on the second call")
+	}
+	after2 := src.wcache.Stats()
+	if after2.Misses != after1.Misses {
+		t.Errorf("repeated node geometry recomputed its matrices (misses %d -> %d)", after1.Misses, after2.Misses)
+	}
+	if after2.Hits <= after1.Hits {
+		t.Errorf("repeated node geometry did not re-hit the cache (hits %d -> %d)", after1.Hits, after2.Hits)
 	}
 }

@@ -47,14 +47,21 @@ type Config struct {
 	// values use the reconstruct package defaults.
 	ReconMaxIters int
 	ReconEpsilon  float64
+	// ReconTailMass bounds the noise mass the banded reconstruction kernel
+	// may discard per transition-matrix row for unbounded noise models; zero
+	// selects reconstruct.DefaultTailMass, negative disables banding for
+	// every model (dense rows). When banding is enabled, bounded noise
+	// (uniform) bands at its exact support, discarding zero mass.
+	ReconTailMass float64
 	// Tree configures the decision-tree learner.
 	Tree tree.Config
 	// LocalMinRecords is Local mode's re-reconstruction threshold (default
 	// DefaultLocalMinRecords).
 	LocalMinRecords int
 	// Workers bounds the training parallelism (per-attribute and per-class
-	// reconstruction, split search, subtree growth); 0 means all cores. The
-	// trained model is bit-identical for every worker count.
+	// reconstruction, split search, subtree growth); 0 means all cores,
+	// negative values are rejected. The trained model is bit-identical for
+	// every worker count.
 	Workers int
 	// DisableWeightCache bypasses the process-global transition-matrix cache
 	// during reconstruction. Set it when measuring training cost, so a run
@@ -147,6 +154,7 @@ func Train(train *dataset.Table, cfg Config) (*Classifier, error) {
 			cfg:      cfg,
 			fallback: fallback,
 			classes:  s.NumClasses(),
+			wcache:   reconstruct.NewWeightCache(localWeightCacheEntries),
 		}
 	}
 
@@ -179,6 +187,9 @@ func (cfg Config) normalized(n int) (Config, error) {
 	}
 	if cfg.Mode.NeedsNoise() && len(cfg.Noise) == 0 {
 		return cfg, fmt.Errorf("core: mode %v requires noise models", cfg.Mode)
+	}
+	if cfg.Workers < 0 {
+		return cfg, fmt.Errorf("core: Workers %d must not be negative (0 means all cores)", cfg.Workers)
 	}
 	if cfg.Tree.MinLeaf == 0 {
 		// Perturbed training data carries per-record noise that a
@@ -256,6 +267,7 @@ func reconCfg(cfg Config, part reconstruct.Partition, m noise.Model) reconstruct
 		Algorithm:          cfg.ReconAlgorithm,
 		MaxIters:           cfg.ReconMaxIters,
 		Epsilon:            cfg.ReconEpsilon,
+		TailMass:           cfg.ReconTailMass,
 		Workers:            1,
 		DisableWeightCache: cfg.DisableWeightCache,
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ppdm/internal/noise"
+	"ppdm/internal/reconstruct"
 	"ppdm/internal/synth"
 )
 
@@ -219,5 +220,45 @@ func TestEvaluateSchemaMismatch(t *testing.T) {
 	// same schema works
 	if _, err := clf.Evaluate(bad); err != nil {
 		t.Errorf("same-schema evaluate failed: %v", err)
+	}
+}
+
+// TestTrainingReHitsSharedWeightCache asserts the shared transition-matrix
+// cache actually earns its keep during training: repeated Global/ByClass
+// trainings (the experiment-harness pattern — the same data retrained
+// across modes and series points) must resolve every geometry from the
+// cache instead of recomputing it.
+func TestTrainingReHitsSharedWeightCache(t *testing.T) {
+	train, err := synth.Generate(synth.Config{Function: synth.F2, N: 4000, Seed: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := noise.ModelsForAllAttrs(train.Schema(), "gaussian", 1.0, noise.DefaultConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed, err := noise.PerturbTable(train, models, 81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{Global, ByClass} {
+		reconstruct.ResetSharedWeightCache()
+		if _, err := Train(perturbed, Config{Mode: mode, Noise: models}); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		first := reconstruct.SharedWeightCacheStats()
+		if first.Misses == 0 {
+			t.Fatalf("%v: training computed no matrices at all (stats %+v)", mode, first)
+		}
+		if _, err := Train(perturbed, Config{Mode: mode, Noise: models}); err != nil {
+			t.Fatal(err)
+		}
+		second := reconstruct.SharedWeightCacheStats()
+		if second.Misses != first.Misses {
+			t.Errorf("%v: identical re-training missed the cache (misses %d -> %d)", mode, first.Misses, second.Misses)
+		}
+		if second.Hits <= first.Hits {
+			t.Errorf("%v: identical re-training recorded no hits (hits %d -> %d)", mode, first.Hits, second.Hits)
+		}
 	}
 }

@@ -53,6 +53,9 @@ func (c Config) validate() error {
 	if c.Scale < 0 {
 		return fmt.Errorf("experiments: scale %v must be positive", c.Scale)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("experiments: Workers %d must not be negative (0 means all cores)", c.Workers)
+	}
 	return nil
 }
 

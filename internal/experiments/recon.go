@@ -79,31 +79,44 @@ func reconSeries(title string, samples func(int, *prng.Source) []float64, family
 	}
 	truth := part.Histogram(original)
 
-	notes := []string{fmt.Sprintf("n = %d samples, %d intervals on [0,100]", n, k)}
+	notes := []string{
+		fmt.Sprintf("n = %d samples, %d intervals on [0,100]", n, k),
+		"series points after the first warm-start from the previous level's estimate (Config.Prior)",
+	}
 	summary := Table{
 		Title:   "reconstruction quality (L1 distance to original distribution)",
 		Columns: []string{"privacy", "L1(randomized)", "L1(reconstructed)", "iterations"},
 	}
-	// One series point per privacy level; points share only the read-only
-	// original sample and each re-seeds its own perturbation stream.
-	type point struct {
-		tb     Table
-		sumRow []string
-	}
-	points, err := parallel.Map(len(levels), cfg.Workers, func(li int) (point, error) {
-		level := levels[li]
+	// Series points run in privacy-level order so each one can warm-start
+	// from the previous level's estimate: neighbouring levels reconstruct
+	// nearly the same distribution, so the chained prior converges in a
+	// fraction of the cold-start iterations. The chaining order is fixed,
+	// so the table is identical at every worker count (only the inner
+	// kernel parallelism scales with Workers).
+	var prior []float64
+	tables := make([]Table, 0, len(levels)+1)
+	for _, level := range levels {
 		m, err := noise.ForPrivacy(family, level, 100, noise.DefaultConfidence)
 		if err != nil {
-			return point{}, err
+			return nil, nil, err
 		}
 		nr := prng.New(cfg.Seed + 2)
 		perturbed := make([]float64, n)
 		for i, v := range original {
 			perturbed[i] = v + m.Sample(nr)
 		}
-		res, err := reconstruct.Reconstruct(perturbed, reconstruct.Config{Partition: part, Noise: m, Epsilon: 1e-3, Workers: cfg.Workers})
+		res, err := reconstruct.Reconstruct(perturbed, reconstruct.Config{
+			Partition: part, Noise: m, Epsilon: 1e-3, Prior: prior, Workers: cfg.Workers,
+		})
 		if err != nil {
-			return point{}, err
+			return nil, nil, err
+		}
+		// The iterative update is multiplicative, so an exactly-zero prior
+		// entry could never regain mass at later levels; floor the chained
+		// prior with a sliver of uniform mass (Reconstruct re-normalizes).
+		prior = make([]float64, len(res.P))
+		for b, p := range res.P {
+			prior[b] = p + 1e-6/float64(k)
 		}
 		raw := part.Histogram(perturbed)
 		tb := Table{
@@ -117,17 +130,10 @@ func reconSeries(title string, samples func(int, *prng.Source) []float64, family
 		}
 		l1raw, _ := stats.L1(truth, raw)
 		l1rec, _ := stats.L1(truth, res.P)
-		return point{tb: tb, sumRow: []string{
+		tables = append(tables, tb)
+		summary.Rows = append(summary.Rows, []string{
 			pct(level), f4(l1raw), f4(l1rec), fmt.Sprint(res.Iters),
-		}}, nil
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	tables := make([]Table, 0, len(levels)+1)
-	for _, p := range points {
-		tables = append(tables, p.tb)
-		summary.Rows = append(summary.Rows, p.sumRow)
+		})
 	}
 	tables = append(tables, summary)
 	return tables, notes, nil

@@ -53,6 +53,19 @@ func (l Laplace) ConfidenceWidth(conf float64) float64 {
 	return -2 * l.B * math.Log(1-conf)
 }
 
+// Support implements Supporter: P(|Y| > R) = e^(−R/b) = tailMass gives
+// R = −b·ln(tailMass). The support is unbounded, so tailMass <= 0 yields
+// +Inf.
+func (l Laplace) Support(tailMass float64) float64 {
+	if !(tailMass > 0) {
+		return math.Inf(1)
+	}
+	if tailMass >= 1 {
+		return 0
+	}
+	return -l.B * math.Log(tailMass)
+}
+
 // LaplaceForPrivacy calibrates Laplace noise to the paper's privacy level
 // (fraction of domain width at the given confidence).
 func LaplaceForPrivacy(level, width, conf float64) (Laplace, error) {

@@ -27,6 +27,19 @@ type Model interface {
 	ConfidenceWidth(conf float64) float64
 }
 
+// Supporter is an optional Model extension for band-limited consumers: a
+// model that can bound its support reports the radius beyond which (almost)
+// no noise mass lies. The reconstruction kernel uses it to store transition
+// matrices as narrow bands instead of dense rows; models that do not
+// implement it are treated as having unbounded support.
+type Supporter interface {
+	// Support returns a radius R such that at most tailMass of the noise
+	// probability mass lies outside [-R, R]. Models with genuinely bounded
+	// support return the exact radius even at tailMass = 0; unbounded models
+	// return +Inf when tailMass <= 0.
+	Support(tailMass float64) float64
+}
+
 // Uniform is additive noise distributed uniformly on [-Alpha, +Alpha].
 type Uniform struct{ Alpha float64 }
 
@@ -68,6 +81,10 @@ func (u Uniform) CDF(y float64) float64 {
 // fraction c of the mass, so the width is 2cα.
 func (u Uniform) ConfidenceWidth(conf float64) float64 { return 2 * conf * u.Alpha }
 
+// Support implements Supporter: the support is exactly [-α, +α] for any
+// tail mass, including 0.
+func (u Uniform) Support(tailMass float64) float64 { return u.Alpha }
+
 // Gaussian is additive noise distributed N(0, Sigma²).
 type Gaussian struct{ Sigma float64 }
 
@@ -100,6 +117,19 @@ func (g Gaussian) CDF(y float64) float64 {
 // normal quantile (z ≈ 1.96 at 95%).
 func (g Gaussian) ConfidenceWidth(conf float64) float64 {
 	return 2 * normalQuantile(conf) * g.Sigma
+}
+
+// Support implements Supporter: P(|Y| > z·σ) = tailMass at the two-sided
+// quantile z = √2·erfinv(1−tailMass). The support is unbounded, so
+// tailMass <= 0 yields +Inf.
+func (g Gaussian) Support(tailMass float64) float64 {
+	if !(tailMass > 0) {
+		return math.Inf(1)
+	}
+	if tailMass >= 1 {
+		return 0
+	}
+	return normalQuantile(1-tailMass) * g.Sigma
 }
 
 // normalQuantile returns z such that P(|Z| <= z) = conf for standard normal Z.

@@ -180,3 +180,57 @@ func TestSampleMomentsMatchModel(t *testing.T) {
 		t.Errorf("gaussian noise variance = %v, want ~9", v)
 	}
 }
+
+// TestSupportRadii pins the Supporter contract for all three models: the
+// uniform support is exact at any tail mass (including 0), unbounded models
+// return +Inf at tail mass 0, and the quantile radii really contain all but
+// tailMass of the mass (checked against the CDF).
+func TestSupportRadii(t *testing.T) {
+	u := Uniform{Alpha: 12}
+	if u.Support(0) != 12 || u.Support(1e-3) != 12 {
+		t.Errorf("uniform support = %v, %v; want exactly alpha", u.Support(0), u.Support(1e-3))
+	}
+	g := Gaussian{Sigma: 3}
+	l := Laplace{B: 2}
+	for _, m := range []Model{g, l} {
+		sup := m.(Supporter)
+		if !math.IsInf(sup.Support(0), 1) || !math.IsInf(sup.Support(-1), 1) {
+			t.Errorf("%s: tailMass <= 0 should give +Inf", m.Name())
+		}
+		for _, tail := range []float64{1e-2, 1e-6, 1e-12} {
+			r := sup.Support(tail)
+			if !(r > 0) || math.IsInf(r, 0) {
+				t.Fatalf("%s: Support(%g) = %v", m.Name(), tail, r)
+			}
+			outside := m.CDF(-r) + (1 - m.CDF(r))
+			if outside > tail*1.001 { // erfinv/CDF round-trip is ~1e-4 relative at extreme tails
+				t.Errorf("%s: Support(%g) = %v leaves %v mass outside", m.Name(), tail, r, outside)
+			}
+			// the radius is not wastefully loose: half the radius must leak
+			// more than tailMass
+			if half := m.CDF(-r/2) + (1 - m.CDF(r/2)); half <= tail {
+				t.Errorf("%s: Support(%g) = %v is loose (half radius already within bound)", m.Name(), tail, r)
+			}
+		}
+	}
+	if z := g.Support(1); z != 0 {
+		t.Errorf("gaussian Support(1) = %v, want 0", z)
+	}
+	if z := l.Support(1); z != 0 {
+		t.Errorf("laplace Support(1) = %v, want 0", z)
+	}
+}
+
+// TestSupportMonotonic checks that smaller tail masses give wider radii.
+func TestSupportMonotonic(t *testing.T) {
+	for _, sup := range []Supporter{Gaussian{Sigma: 5}, Laplace{B: 5}} {
+		prev := 0.0
+		for _, tail := range []float64{1e-1, 1e-3, 1e-6, 1e-9} {
+			r := sup.Support(tail)
+			if r <= prev {
+				t.Fatalf("support not monotone: Support(%g) = %v after %v", tail, r, prev)
+			}
+			prev = r
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package reconstruct
+
+import (
+	"math"
+	"sync"
+
+	"ppdm/internal/noise"
+	"ppdm/internal/parallel"
+)
+
+// DefaultTailMass is the total per-row noise mass (both tails combined)
+// the banded kernel may discard for an unbounded model (Gaussian/Laplace)
+// when Config.TailMass is zero. It is far below the statistical noise floor of
+// any reconstruction, so the default band is numerically indistinguishable
+// from the dense matrix while still pruning genuinely negligible tails.
+const DefaultTailMass = 1e-12
+
+// bandedWeights is the transition-weight matrix A[s][t] between observation
+// interval s and domain interval t in flat, row-major, band-limited form.
+//
+// Both grids share one interval width and the observation grid sits at
+// offset lowIdx on the partition grid, so every entry depends only on the
+// *index difference* d = lowIdx + s − t:
+//
+//	Bayes: A[s][t] = Density(d·w)
+//	EM:    A[s][t] = CDF((d+0.5)·w) − CDF((d−0.5)·w)
+//
+// Entries with |d| > radius are dropped; row s therefore stores only the
+// contiguous [bandLo(s), bandHi(s)) slice of its full k-wide row, packed
+// back to back in one data slab. radius is chosen from the noise model's
+// support (noise.Supporter) so dropped entries are exactly zero for bounded
+// noise and carry at most Config.TailMass total probability mass (both
+// tails combined) per row for unbounded noise; a radius covering every row
+// reproduces the dense matrix.
+//
+// The translation invariance of the entries is also what makes the matrix
+// cacheable across geometries: two (partition, observation-grid) pairs with
+// the same width, interval count, offset, length, and radius share one
+// bitwise-identical matrix regardless of where their domains sit on the real
+// line (weightKey exploits this for per-node sub-partitions in Local-mode
+// training).
+type bandedWeights struct {
+	k      int       // domain intervals (full row width)
+	m      int       // observation rows
+	lowIdx int       // observation-grid offset on the partition grid
+	radius int       // band half-width in intervals
+	off    []int     // len m+1; row s occupies data[off[s]:off[s+1]]
+	data   []float64 // contiguous row slabs
+}
+
+// bandLo returns the first in-band domain interval of row s (inclusive).
+func (w *bandedWeights) bandLo(s int) int {
+	lo := w.lowIdx + s - w.radius
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > w.k {
+		lo = w.k
+	}
+	return lo
+}
+
+// bandHi returns the past-the-end domain interval of row s's band.
+func (w *bandedWeights) bandHi(s int) int {
+	hi := w.lowIdx + s + w.radius + 1
+	if hi > w.k {
+		hi = w.k
+	}
+	if hi < w.bandLo(s) {
+		hi = w.bandLo(s)
+	}
+	return hi
+}
+
+// row returns the packed band of row s.
+func (w *bandedWeights) row(s int) []float64 { return w.data[w.off[s]:w.off[s+1]] }
+
+// denseRadius returns the smallest radius at which every row's band already
+// spans the full [0, k) domain. Radii at or above it are canonicalised to
+// this value so "dense" is a single cache key, not a family of them.
+func denseRadius(k, lowIdx, m int) int {
+	r := k - 1 - lowIdx
+	if r2 := lowIdx + m - 1; r2 > r {
+		r = r2
+	}
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// bandRadius resolves the band half-width for one reconstruction: the noise
+// model's support radius at the configured tail mass, in intervals, plus one
+// interval of slack for the EM half-interval edge offsets and floating-point
+// boundary rounding. Models that cannot bound their support, and
+// configurations with a negative TailMass, get the dense radius.
+func bandRadius(cfg Config, width float64, k, lowIdx, m int) int {
+	dense := denseRadius(k, lowIdx, m)
+	tail := cfg.TailMass
+	if tail == 0 {
+		tail = DefaultTailMass
+	}
+	if tail < 0 {
+		return dense
+	}
+	sup, ok := cfg.Noise.(noise.Supporter)
+	if !ok {
+		return dense
+	}
+	r := sup.Support(tail)
+	if math.IsInf(r, 1) || math.IsNaN(r) {
+		return dense
+	}
+	band := int(math.Ceil(r/width)) + 1
+	if band >= dense {
+		return dense
+	}
+	return band
+}
+
+// computeWeights builds the banded matrix for one geometry. The per-row
+// evaluations run in parallel bounded by workers; rows are index-addressed,
+// so the result is bitwise identical at any worker count.
+func computeWeights(m noise.Model, alg Algorithm, width float64, k, lowIdx, nObs, radius, workers int) *bandedWeights {
+	w := &bandedWeights{k: k, m: nObs, lowIdx: lowIdx, radius: radius}
+	w.off = make([]int, nObs+1)
+	for s := 0; s < nObs; s++ {
+		w.off[s+1] = w.off[s] + w.bandHi(s) - w.bandLo(s)
+	}
+	w.data = make([]float64, w.off[nObs])
+	parallel.ForEach(nObs, workers, func(s int) error {
+		row := w.row(s)
+		lo := w.bandLo(s)
+		for i := range row {
+			d := float64(lowIdx + s - (lo + i))
+			switch alg {
+			case Bayes:
+				row[i] = m.Density(d * width)
+			case EM:
+				row[i] = m.CDF((d+0.5)*width) - m.CDF((d-0.5)*width)
+			}
+		}
+		return nil
+	})
+	return w
+}
+
+// iterScratch is the reusable per-call state of the fused iteration:
+// the current and next estimates (length k) and the per-observation-row
+// vector that holds denominators, then update coefficients (length m).
+// Instances cycle through scratchPool so steady-state reconstruction — the
+// per-node Local-mode path and serving-adjacent callers — performs no
+// iteration-state allocation; only the observation histogram and the
+// returned estimate are fresh per call.
+type iterScratch struct {
+	p, next []float64
+	q       []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(iterScratch) }}
+
+// ensure sizes the buffers for a k-interval domain and m observation rows.
+func (sc *iterScratch) ensure(k, m int) {
+	if cap(sc.p) < k {
+		sc.p = make([]float64, k)
+		sc.next = make([]float64, k)
+	}
+	sc.p, sc.next = sc.p[:k], sc.next[:k]
+	if cap(sc.q) < m {
+		sc.q = make([]float64, m)
+	}
+	sc.q = sc.q[:m]
+}
+
+// Fixed chunk grids for the parallel accumulation passes. The grids depend
+// only on the problem size (determinism contract); iterWorkStep is the
+// minimum per-iteration flop count below which the passes stay serial —
+// goroutine fan-out costs more than it saves on small grids.
+const (
+	iterRowChunk = 128
+	iterColChunk = 128
+	iterWorkMin  = 1 << 15
+)
+
+// iterWorkers resolves the worker count for the fused iteration passes:
+// the configured count, forced serial when the banded matrix is too small
+// to amortize scheduling. Results are identical either way.
+func iterWorkers(cfg Config, nnz int) int {
+	if nnz < iterWorkMin {
+		return 1
+	}
+	return cfg.Workers
+}
+
+// denomPass computes q[s] = Σ_t A[s][t]·p[t] for every observation row
+// (the band-limited A·p mat-vec). Rows are independent and index-addressed,
+// so the chunked parallel run is bitwise deterministic.
+func denomPass(w *bandedWeights, counts []int, p, q []float64, workers int) {
+	parallel.ForEachChunk(w.m, iterRowChunk, workers, func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			if counts[s] == 0 {
+				q[s] = 0
+				continue
+			}
+			row := w.row(s)
+			bLo := w.bandLo(s)
+			var denom float64
+			for i, a := range row {
+				denom += a * p[bLo+i]
+			}
+			q[s] = denom
+		}
+	})
+}
+
+// updatePass computes next[t] = Σ_s q[s]·A[s][t]·p[t] + fallback·p[t] (the
+// band-limited p ⊙ Aᵀq mat-vec). Each domain interval folds its covering
+// rows in increasing s, whether the pass runs serially or chunked over
+// disjoint column ranges, so the accumulation is bitwise identical at any
+// worker count. p[t] deliberately stays inside the inner product instead of
+// being hoisted to next[t] = acc·p[t]: the per-term association reproduces
+// the pre-banding kernel's rounding exactly, keeping every committed golden
+// (example accuracy, streamed-training equality) stable across the rewrite.
+func updatePass(w *bandedWeights, q []float64, p, next []float64, fallback float64, workers int) {
+	parallel.ForEachChunk(w.k, iterColChunk, workers, func(_, lo, hi int) {
+		for t := lo; t < hi; t++ {
+			sLo := t - w.lowIdx - w.radius
+			if sLo < 0 {
+				sLo = 0
+			}
+			sHi := t - w.lowIdx + w.radius + 1
+			if sHi > w.m {
+				sHi = w.m
+			}
+			var acc float64
+			for s := sLo; s < sHi; s++ {
+				qs := q[s]
+				if qs == 0 {
+					continue
+				}
+				acc += qs * w.data[w.off[s]+t-w.bandLo(s)] * p[t]
+			}
+			if fallback > 0 {
+				acc += fallback * p[t]
+			}
+			next[t] = acc
+		}
+	})
+}

@@ -1,0 +1,268 @@
+package reconstruct
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ppdm/internal/noise"
+	"ppdm/internal/prng"
+	"ppdm/internal/stats"
+)
+
+// bandedPerturbed draws n samples from a bimodal shape on [0, 100] and
+// perturbs them with m.
+func bandedPerturbed(n int, m noise.Model, seed uint64) []float64 {
+	original := bimodalSamples(n, seed)
+	return perturbSamples(original, m, seed+1)
+}
+
+// reconstructPair runs one reconstruction banded (cfg.TailMass as given) and
+// once dense (TailMass = -1), both cache-bypassed so neither can shortcut
+// through the other's matrix.
+func reconstructPair(t *testing.T, vals []float64, cfg Config) (banded, dense Result) {
+	t.Helper()
+	cfg.DisableWeightCache = true
+	banded, err := Reconstruct(vals, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.TailMass = -1
+	dense, err = Reconstruct(vals, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return banded, dense
+}
+
+// TestBandedMatchesDenseUniform is the bounded-noise exactness property:
+// every entry the band drops is exactly zero for uniform noise, so the
+// banded kernel must reproduce the dense result bit for bit — same
+// estimate, same iteration count, same final delta — for both algorithms
+// across random geometries.
+func TestBandedMatchesDenseUniform(t *testing.T) {
+	f := func(seed uint64, alphaRaw, kRaw, algRaw uint8) bool {
+		alpha := 2 + float64(alphaRaw)/4 // [2, 65.75]
+		k := int(kRaw%40) + 2
+		alg := Bayes
+		if algRaw%2 == 1 {
+			alg = EM
+		}
+		m := noise.Uniform{Alpha: alpha}
+		vals := bandedPerturbed(400+int(seed%1000), m, seed)
+		part, err := NewPartition(0, 100, k)
+		if err != nil {
+			return false
+		}
+		cfg := Config{Partition: part, Noise: m, Algorithm: alg, MaxIters: 60, DisableWeightCache: true}
+		banded, err := Reconstruct(vals, cfg)
+		if err != nil {
+			return false
+		}
+		cfg.TailMass = -1
+		dense, err := Reconstruct(vals, cfg)
+		if err != nil {
+			return false
+		}
+		if banded.Iters != dense.Iters || banded.Delta != dense.Delta || banded.Converged != dense.Converged {
+			return false
+		}
+		for b := range banded.P {
+			if banded.P[b] != dense.P[b] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBandedWithinTailBound is the unbounded-noise accuracy contract: at
+// tail mass τ the banded result may differ from dense by at most the
+// documented tolerance Iters·k·τ in total variation — and at the default
+// τ = 1e-12 the two are indistinguishable at any practical precision.
+func TestBandedWithinTailBound(t *testing.T) {
+	gauss, _ := noise.NewGaussian(6)
+	lap, _ := noise.NewLaplace(4)
+	part, _ := NewPartition(0, 100, 40)
+	for _, tc := range []struct {
+		name string
+		m    noise.Model
+	}{{"gaussian", gauss}, {"laplace", lap}} {
+		vals := bandedPerturbed(20000, tc.m, 42)
+		for _, tail := range []float64{1e-3, 1e-6, DefaultTailMass} {
+			banded, dense := reconstructPair(t, vals, Config{Partition: part, Noise: tc.m, TailMass: tail})
+			tv, err := stats.TotalVariation(banded.P, dense.P)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := float64(dense.Iters) * float64(part.K) * tail
+			if tv > bound {
+				t.Errorf("%s tail=%g: TV(banded, dense) = %g exceeds tolerance %g", tc.name, tail, tv, bound)
+			}
+			if tail == DefaultTailMass && tv > 1e-9 {
+				t.Errorf("%s default tail: TV(banded, dense) = %g, want indistinguishable", tc.name, tv)
+			}
+		}
+	}
+}
+
+// TestBandedActuallyBands guards the optimization itself: for noise much
+// narrower than the domain the banded slab must be a small fraction of the
+// dense matrix, or the kernel is silently storing dense rows.
+func TestBandedActuallyBands(t *testing.T) {
+	m := noise.Uniform{Alpha: 5}
+	part, _ := NewPartition(0, 100, 100)
+	vals := bandedPerturbed(5000, m, 7)
+	obs := newObservationGrid(vals, part)
+	banded := transitionWeights(Config{Partition: part, Noise: m, DisableWeightCache: true}, obs)
+	dense := transitionWeights(Config{Partition: part, Noise: m, TailMass: -1, DisableWeightCache: true}, obs)
+	if got, limit := len(banded.data), len(dense.data)/4; got > limit {
+		t.Errorf("banded slab holds %d entries, dense %d — banding is not happening", got, len(dense.data))
+	}
+	if banded.radius >= denseRadius(part.K, obs.lowIdx, len(obs.counts)) {
+		t.Errorf("banded radius %d is the dense radius", banded.radius)
+	}
+}
+
+// TestIterationWorkerDeterminism races the chunked accumulation passes on a
+// grid large enough to cross the parallel threshold: the estimate must be
+// bitwise identical between Workers=1 and Workers=8, banded and dense, for
+// both algorithms.
+func TestIterationWorkerDeterminism(t *testing.T) {
+	m, _ := noise.NewGaussian(4)
+	part, _ := NewPartition(0, 100, 300)
+	vals := bandedPerturbed(50000, m, 11)
+	for _, alg := range []Algorithm{Bayes, EM} {
+		for _, tail := range []float64{0, -1} {
+			var ps [2][]float64
+			for i, workers := range []int{1, 8} {
+				res, err := Reconstruct(vals, Config{
+					Partition: part, Noise: m, Algorithm: alg, TailMass: tail,
+					Workers: workers, DisableWeightCache: true, MaxIters: 40,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ps[i] = res.P
+			}
+			for b := range ps[0] {
+				if ps[0][b] != ps[1][b] {
+					t.Fatalf("alg %v tail %v: bin %d differs between Workers=1 and Workers=8", alg, tail, b)
+				}
+			}
+		}
+	}
+}
+
+// TestBandedCollectorMatchesReconstruct checks the second entry point into
+// reconstructGrid: a Collector over the same observations must produce the
+// identical banded estimate.
+func TestBandedCollectorMatchesReconstruct(t *testing.T) {
+	m := noise.Uniform{Alpha: 10}
+	part, _ := NewPartition(0, 100, 30)
+	vals := bandedPerturbed(8000, m, 13)
+	direct, err := Reconstruct(vals, Config{Partition: part, Noise: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCollector(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddAll(vals); err != nil {
+		t.Fatal(err)
+	}
+	collected, err := c.Reconstruct(Config{Partition: part, Noise: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range direct.P {
+		if direct.P[b] != collected.P[b] {
+			t.Fatalf("bin %d: collector path differs from direct path", b)
+		}
+	}
+}
+
+// TestObservationGridEdgeFuzz drives newObservationGrid with adversarial
+// values — exact bucket edges, values far outside the domain, negative
+// offsets, single observations — and checks its invariants: every value is
+// counted exactly once, the grid covers the observed range, and the grid
+// stays aligned to the partition.
+func TestObservationGridEdgeFuzz(t *testing.T) {
+	f := func(seed uint64, kRaw uint8, spreadRaw uint8) bool {
+		r := prng.New(seed)
+		k := int(kRaw%50) + 1
+		part, err := NewPartition(0, 100, k)
+		if err != nil {
+			return false
+		}
+		spread := 1 + float64(spreadRaw)*4
+		n := 1 + r.Intn(300)
+		vals := make([]float64, n)
+		for i := range vals {
+			switch r.Intn(4) {
+			case 0: // exact bucket edge, including negative multiples
+				vals[i] = float64(r.Intn(2*k)-k) * part.Width()
+			case 1: // far outside the domain
+				vals[i] = r.Uniform(-spread*100, spread*100)
+			default:
+				vals[i] = r.Uniform(-spread, 100+spread)
+			}
+		}
+		g := newObservationGrid(vals, part)
+		total := 0
+		for _, c := range g.counts {
+			if c < 0 {
+				return false
+			}
+			total += c
+		}
+		if total != n {
+			return false
+		}
+		minV, maxV := vals[0], vals[0]
+		for _, v := range vals {
+			minV, maxV = math.Min(minV, v), math.Max(maxV, v)
+		}
+		if g.lo > minV {
+			return false
+		}
+		if g.lo+float64(len(g.counts))*g.width < maxV-1e-9 {
+			return false
+		}
+		// alignment: lo sits on the partition grid at offset lowIdx
+		if g.lo != part.Lo+float64(g.lowIdx)*part.Width() {
+			return false
+		}
+		return g.width == part.Width()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBandRadiusResolution pins the radius policy: dense for negative tail
+// mass and non-Supporter models, exact-support banding for uniform, and a
+// canonicalised dense radius for tails wider than the grid.
+func TestBandRadiusResolution(t *testing.T) {
+	part, _ := NewPartition(0, 100, 50)
+	w := part.Width()
+	dense := denseRadius(part.K, -5, 60)
+	if got := bandRadius(Config{Noise: noise.Uniform{Alpha: 8}, TailMass: -1}, w, part.K, -5, 60); got != dense {
+		t.Errorf("negative TailMass: radius %d, want dense %d", got, dense)
+	}
+	if got := bandRadius(Config{Noise: funcModel{base: noise.Gaussian{Sigma: 2}}}, w, part.K, -5, 60); got != dense {
+		t.Errorf("non-Supporter model: radius %d, want dense %d", got, dense)
+	}
+	got := bandRadius(Config{Noise: noise.Uniform{Alpha: 8}}, w, part.K, -5, 60)
+	if want := int(math.Ceil(8/w)) + 1; got != want {
+		t.Errorf("uniform alpha=8: radius %d, want %d", got, want)
+	}
+	// a gaussian so wide its tail radius exceeds the grid collapses to dense
+	if got := bandRadius(Config{Noise: noise.Gaussian{Sigma: 500}}, w, part.K, -5, 60); got != dense {
+		t.Errorf("wide gaussian: radius %d, want dense %d", got, dense)
+	}
+}

@@ -1,40 +1,139 @@
 package reconstruct
 
 import (
+	"container/list"
 	"sync"
 
 	"ppdm/internal/noise"
-	"ppdm/internal/parallel"
 )
 
-// weightKey identifies one transition-weight matrix. The matrix entries are
-// A[s][t] = f(noise, algorithm, grid geometry), and the grid geometry of an
-// observationGrid aligned to a partition is fully captured by the partition
-// itself plus the grid's offset and length — so two reconstructions with the
-// same key compute bitwise-identical matrices.
+// weightKey identifies one banded transition-weight matrix. Entries depend
+// only on the noise model, the algorithm, the shared interval width, the
+// index-difference geometry (domain interval count, observation-grid offset
+// and length), and the band radius — never on where the domain sits on the
+// real line — so two reconstructions with the same key compute
+// bitwise-identical matrices even for translated partitions (e.g. the
+// per-node sub-partitions of Local-mode training, which reuse the root
+// partition's width at varying offsets).
 type weightKey struct {
 	model  noise.Model
 	alg    Algorithm
-	part   Partition
+	width  float64
+	k      int
 	lowIdx int
 	nObs   int
+	radius int
 }
 
-// weightCache shares transition matrices across reconstructions. Training in
-// Global or ByClass mode reconstructs every attribute (× every class) with
-// the same noise model and partition family, and experiment harness runs
-// repeat those trainings across modes and series points; without the cache
-// each of them recomputes an identical m×k grid of density/CDF evaluations.
-//
-// The cache is bounded: when it exceeds weightCacheLimit entries it is
-// cleared wholesale (the matrices are cheap to rebuild and the working set of
-// any one pipeline run is far below the limit).
-var weightCache = struct {
-	sync.Mutex
-	m map[weightKey][][]float64
-}{m: make(map[weightKey][][]float64)}
+// DefaultWeightCacheEntries bounds the shared transition-matrix cache.
+// Global/ByClass training over a realistic schema touches a few dozen
+// distinct geometries; the bound only exists to keep pathological callers
+// (scans over thousands of partitions) from growing the cache without limit.
+const DefaultWeightCacheEntries = 128
 
-const weightCacheLimit = 64
+// CacheStats reports the behaviour of one WeightCache.
+type CacheStats struct {
+	// Hits and Misses count lookups since the cache (or its counters) was
+	// created; evictions do not reset them.
+	Hits, Misses uint64
+	// Entries is the number of matrices currently resident.
+	Entries int
+}
+
+// WeightCache is a bounded LRU of banded transition matrices. The shared
+// instance serves all reconstructions by default (Global/ByClass training
+// reconstructs every attribute × class with the same geometry family, and
+// experiment harnesses repeat those trainings), while Local-mode training
+// creates a private per-training cache for its node sub-partition
+// geometries so they cannot evict the recurring root entries.
+//
+// A WeightCache is safe for concurrent use. Cached matrices are shared and
+// treated as read-only by every consumer.
+type WeightCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[weightKey]*list.Element
+	order    list.List // front = most recently used; values are *weightEntry
+	hits     uint64
+	misses   uint64
+}
+
+type weightEntry struct {
+	key weightKey
+	w   *bandedWeights
+}
+
+// NewWeightCache returns an empty cache bounded to capacity matrices
+// (values < 1 use DefaultWeightCacheEntries).
+func NewWeightCache(capacity int) *WeightCache {
+	if capacity < 1 {
+		capacity = DefaultWeightCacheEntries
+	}
+	return &WeightCache{capacity: capacity, entries: make(map[weightKey]*list.Element)}
+}
+
+// get returns the cached matrix for key, counting the lookup.
+func (c *WeightCache) get(key weightKey) (*bandedWeights, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.entries[key]
+	if !found {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*weightEntry).w, true
+}
+
+// put inserts a freshly computed matrix, evicting least-recently-used
+// entries beyond the capacity. Concurrent misses on one key may both
+// compute; the loser's insert keeps the winner's (bitwise identical) matrix.
+func (c *WeightCache) put(key weightKey, w *bandedWeights) *bandedWeights {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*weightEntry).w
+	}
+	c.entries[key] = c.order.PushFront(&weightEntry{key: key, w: w})
+	for len(c.entries) > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*weightEntry).key)
+	}
+	return w
+}
+
+// Stats returns the cache's lookup counters and current size.
+func (c *WeightCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+}
+
+// Reset empties the cache and zeroes its counters. It exists for tests and
+// cold-cache benchmarking.
+func (c *WeightCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[weightKey]*list.Element)
+	c.order.Init()
+	c.hits, c.misses = 0, 0
+}
+
+// sharedWeightCache serves every reconstruction that does not bring its own
+// cache (Config.Cache) and does not opt out (Config.DisableWeightCache).
+var sharedWeightCache = NewWeightCache(DefaultWeightCacheEntries)
+
+// SharedWeightCacheStats reports the shared transition-matrix cache's
+// counters; tests use it to assert that training paths actually re-hit
+// cached geometries.
+func SharedWeightCacheStats() CacheStats { return sharedWeightCache.Stats() }
+
+// ResetSharedWeightCache empties the shared cache and zeroes its counters,
+// for tests and cold-cache benchmarks.
+func ResetSharedWeightCache() { sharedWeightCache.Reset() }
 
 // cacheableModel reports whether the model may participate in the cache.
 // Only the library's own immutable value-struct models qualify: they compare
@@ -51,47 +150,31 @@ func cacheableModel(m noise.Model) bool {
 	}
 }
 
-// transitionWeights returns the interaction-weight matrix A[s][t] between
-// observation interval s and domain interval t, computing it (in parallel,
+// transitionWeights returns the banded interaction-weight matrix between
+// observation intervals and domain intervals, computing it (in parallel,
 // bounded by cfg.Workers) on a cache miss. The returned matrix is shared and
 // must be treated as read-only.
-func transitionWeights(cfg Config, obs *observationGrid) [][]float64 {
+func transitionWeights(cfg Config, obs *observationGrid) *bandedWeights {
+	k := cfg.Partition.K
+	width := cfg.Partition.Width()
+	radius := bandRadius(cfg, width, k, obs.lowIdx, len(obs.counts))
+
+	cache := cfg.Cache
+	if cache == nil {
+		cache = sharedWeightCache
+	}
 	cacheable := !cfg.DisableWeightCache && cacheableModel(cfg.Noise)
-	key := weightKey{alg: cfg.Algorithm, part: cfg.Partition, lowIdx: obs.lowIdx, nObs: len(obs.counts)}
+	key := weightKey{alg: cfg.Algorithm, width: width, k: k, lowIdx: obs.lowIdx, nObs: len(obs.counts), radius: radius}
 	if cacheable {
 		key.model = cfg.Noise
-		weightCache.Lock()
-		w, ok := weightCache.m[key]
-		weightCache.Unlock()
-		if ok {
+		if w, ok := cache.get(key); ok {
 			return w
 		}
 	}
 
-	part := cfg.Partition
-	weights := make([][]float64, len(obs.counts))
-	parallel.ForEach(len(obs.counts), cfg.Workers, func(s int) error {
-		row := make([]float64, part.K)
-		for t := 0; t < part.K; t++ {
-			switch cfg.Algorithm {
-			case Bayes:
-				row[t] = cfg.Noise.Density(obs.midpoint(s) - part.Midpoint(t))
-			case EM:
-				row[t] = cfg.Noise.CDF(obs.hiEdge(s)-part.Midpoint(t)) -
-					cfg.Noise.CDF(obs.loEdge(s)-part.Midpoint(t))
-			}
-		}
-		weights[s] = row
-		return nil
-	})
-
+	w := computeWeights(cfg.Noise, cfg.Algorithm, width, k, obs.lowIdx, len(obs.counts), radius, cfg.Workers)
 	if cacheable {
-		weightCache.Lock()
-		if len(weightCache.m) >= weightCacheLimit {
-			weightCache.m = make(map[weightKey][][]float64)
-		}
-		weightCache.m[key] = weights
-		weightCache.Unlock()
+		w = cache.put(key, w)
 	}
-	return weights
+	return w
 }

@@ -1,0 +1,55 @@
+// Package reconstruct implements the paper's central algorithm: estimating
+// the original distribution of a sensitive attribute from its perturbed
+// values and the known noise distribution (§3 of the SIGMOD 2000 paper,
+// "Reconstructing The Original Distribution").
+//
+// The attribute domain is partitioned into k equal-width intervals and the
+// estimate is a probability vector over those intervals. Two update rules
+// are provided:
+//
+//   - Bayes — the paper's iterative procedure with the midpoint
+//     approximation: interval interactions are weighted by the noise density
+//     evaluated at midpoint differences.
+//   - EM — the exact-interval variant (the maximum-likelihood EM update of
+//     Agrawal & Aggarwal, PODS 2001): interactions use the noise mass that
+//     actually falls between interval edges, obtained from the noise CDF.
+//
+// Both rules aggregate the perturbed observations into intervals first, so
+// one iteration costs O(k·m) for k domain intervals and m observation
+// intervals, independent of the number of records — the optimization the
+// paper describes for scaling to large collections.
+//
+// # Kernel layout
+//
+// The transition-weight matrix A[s][t] between observation interval s and
+// domain interval t is stored flat, row-major, and band-limited
+// (bandedWeights): one contiguous float64 slab holds every row's band back
+// to back, with per-row [lo, hi) band bounds derived from a single radius.
+// Because the observation grid is aligned to the domain partition, every
+// entry depends only on the index difference lowIdx + s − t, which makes
+// the matrix translation-invariant: geometries that share (width, interval
+// count, grid offset, length, band radius) share one bitwise-identical
+// matrix, and the bounded LRU WeightCache exploits exactly that key.
+//
+// Each iteration runs as two fused band-limited mat-vec passes over the
+// slab — q = A·p (per-row denominators), then next = p ⊙ Aᵀq — with
+// iteration state in pooled scratch buffers (sync.Pool) so steady-state
+// callers allocate only the observation histogram and the returned
+// estimate. On large grids both passes shard over fixed chunk grids on
+// internal/parallel; every per-interval fold runs in index order, so the
+// estimate is bit-identical at any worker count.
+//
+// # Band and tail semantics
+//
+// The band radius comes from the noise model's optional noise.Supporter
+// extension. Bounded noise (Uniform) reports its exact support: every
+// entry outside the band is exactly zero and the banded result is
+// bit-for-bit identical to the dense matrix. Unbounded noise
+// (Gaussian/Laplace) is truncated at the radius that keeps at most
+// Config.TailMass total probability mass in the two discarded tails
+// combined (quantile bound); the reconstruction then differs from the
+// dense result by at most that discarded mass per matrix row and iteration — at the
+// DefaultTailMass of 1e-12 the difference is far below the statistical
+// noise floor of any reconstruction. TailMass < 0 disables banding, and
+// models that do not implement noise.Supporter always get dense rows.
+package reconstruct

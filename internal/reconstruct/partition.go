@@ -1,22 +1,3 @@
-// Package reconstruct implements the paper's central algorithm: estimating
-// the original distribution of a sensitive attribute from its perturbed
-// values and the known noise distribution (§3 of the SIGMOD 2000 paper).
-//
-// The attribute domain is partitioned into k equal-width intervals and the
-// estimate is a probability vector over those intervals. Two update rules
-// are provided:
-//
-//   - Bayes — the paper's iterative procedure with the midpoint
-//     approximation: interval interactions are weighted by the noise density
-//     evaluated at midpoint differences.
-//   - EM — the exact-interval variant (the maximum-likelihood EM update of
-//     Agrawal & Aggarwal, PODS 2001): interactions use the noise mass that
-//     actually falls between interval edges, obtained from the noise CDF.
-//
-// Both rules aggregate the perturbed observations into intervals first, so
-// one iteration costs O(k·m) for k domain intervals and m observation
-// intervals, independent of the number of records — the optimization the
-// paper describes for scaling to large collections.
 package reconstruct
 
 import (

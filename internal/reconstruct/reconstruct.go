@@ -52,16 +52,32 @@ type Config struct {
 	Epsilon float64
 	// Prior, if non-nil, is the starting estimate (length Partition.K,
 	// non-negative). Nil starts from the uniform distribution, as in the
-	// paper.
+	// paper. Warm-starting from a nearby estimate (e.g. the previous point
+	// of a privacy-level series) cuts the iteration count without changing
+	// what the procedure converges towards.
 	Prior []float64
-	// Workers bounds the parallelism of the transition-weight precompute;
-	// 0 means all cores. The result is bit-identical for every worker count.
+	// TailMass bounds the total per-row probability mass (both noise tails
+	// combined) the banded kernel may discard when band-limiting the
+	// transition matrix of an unbounded model (Gaussian/Laplace). Zero selects
+	// DefaultTailMass; a negative value disables banding for every model
+	// and stores dense rows. Whenever banding is enabled, bounded models
+	// (Uniform) band at their exact support regardless of the tail value,
+	// discarding zero mass, so their banded results are bit-identical to
+	// dense rows.
+	TailMass float64
+	// Workers bounds the parallelism of the transition-weight precompute and
+	// of the fused iteration passes on large grids; 0 means all cores,
+	// negative values are rejected. The result is bit-identical for every
+	// worker count.
 	Workers int
-	// DisableWeightCache bypasses the shared transition-matrix cache. Set it
-	// for one-off geometries (e.g. per-node sub-partitions in Local-mode
-	// training) whose matrices would never be re-hit and would only evict
-	// the recurring entries. Cached or not, the computed matrix is bitwise
-	// identical.
+	// Cache, if non-nil, overrides the shared transition-matrix cache —
+	// Local-mode training passes a private per-training cache so its node
+	// sub-partition geometries cannot evict the recurring root entries.
+	Cache *WeightCache
+	// DisableWeightCache bypasses the transition-matrix cache (shared or
+	// Cache) entirely, for cost measurements that must not run warm against
+	// matrices a previous run left behind. Cached or not, the computed
+	// matrix is bitwise identical.
 	DisableWeightCache bool
 }
 
@@ -101,6 +117,14 @@ func Reconstruct(perturbed []float64, cfg Config) (Result, error) {
 
 // reconstructGrid runs the iterative estimate on pre-aggregated observation
 // counts; both Reconstruct and Collector.Reconstruct funnel here.
+//
+// Each iteration is two fused band-limited mat-vec passes over the flat
+// weight slab: denomPass computes q = A·p (the per-observation-interval
+// denominators), a serial index-ordered fold turns q into update
+// coefficients, and updatePass computes next = p ⊙ Aᵀq. Iteration state
+// lives in pooled scratch buffers, and on large grids both passes shard
+// over fixed chunk grids on internal/parallel — the estimate is
+// bit-identical at every worker count.
 func reconstructGrid(obs *observationGrid, cfg Config) (Result, error) {
 	if cfg.Noise == nil {
 		return Result{}, errors.New("reconstruct: nil noise model")
@@ -113,27 +137,37 @@ func reconstructGrid(obs *observationGrid, cfg Config) (Result, error) {
 		maxIters = DefaultMaxIters
 	}
 	if maxIters < 0 {
-		return Result{}, fmt.Errorf("reconstruct: MaxIters %d must be positive", maxIters)
+		return Result{}, fmt.Errorf("reconstruct: MaxIters %d must not be negative (0 selects the default %d)", maxIters, DefaultMaxIters)
 	}
 	eps := cfg.Epsilon
 	if eps == 0 {
 		eps = DefaultEpsilon
 	}
 	if eps < 0 || math.IsNaN(eps) {
-		return Result{}, fmt.Errorf("reconstruct: Epsilon %v must be positive", eps)
+		return Result{}, fmt.Errorf("reconstruct: Epsilon %v must not be negative (0 selects the default %v)", eps, DefaultEpsilon)
+	}
+	if cfg.Workers < 0 {
+		return Result{}, fmt.Errorf("reconstruct: Workers %d must not be negative (0 means all cores)", cfg.Workers)
+	}
+	if math.IsNaN(cfg.TailMass) || cfg.TailMass >= 1 {
+		return Result{}, fmt.Errorf("reconstruct: TailMass %v must be below 1 (0 selects the default, negative disables banding)", cfg.TailMass)
 	}
 
-	part := cfg.Partition
-	k := part.K
+	k := cfg.Partition.K
+	m := len(obs.counts)
 
-	// Interaction weights A[s][t] between observation interval s and domain
-	// interval t, from the shared cache when an identical grid was already
+	// Banded interaction weights between observation intervals and domain
+	// intervals, from the cache when an identical geometry was already
 	// computed (Global/ByClass training recompute the same matrices many
-	// times over).
+	// times over; Local-mode node geometries repeat across subtrees).
 	weights := transitionWeights(cfg, obs)
 
+	sc := scratchPool.Get().(*iterScratch)
+	defer scratchPool.Put(sc)
+	sc.ensure(k, m)
+	p, next, q := sc.p, sc.next, sc.q
+
 	// Initialize the estimate.
-	p := make([]float64, k)
 	if cfg.Prior != nil {
 		if len(cfg.Prior) != k {
 			return Result{}, fmt.Errorf("reconstruct: prior has %d entries, partition has %d", len(cfg.Prior), k)
@@ -159,36 +193,31 @@ func reconstructGrid(obs *observationGrid, cfg Config) (Result, error) {
 		return Result{}, errors.New("reconstruct: no observations")
 	}
 	n := float64(total)
-	next := make([]float64, k)
+	workers := iterWorkers(cfg, len(weights.data))
 	res := Result{}
 	for iter := 1; iter <= maxIters; iter++ {
-		for t := range next {
-			next[t] = 0
-		}
+		// Pass 1: per-row denominators q = A·p.
+		denomPass(weights, obs.counts, p, q, workers)
+		// Serial index-ordered fold: q[s] becomes the row's update
+		// coefficient cnt/(n·denom). Rows whose denominator is not positive
+		// cannot be explained by the current estimate (possible with bounded
+		// noise and values far outside the domain); they retain the prior
+		// mass instead, folded into one fallback coefficient.
+		var fallback float64
 		for s, cnt := range obs.counts {
 			if cnt == 0 {
 				continue
 			}
 			frac := float64(cnt) / n
-			row := weights[s]
-			var denom float64
-			for u := 0; u < k; u++ {
-				denom += row[u] * p[u]
-			}
-			if denom <= 0 {
-				// The current estimate cannot explain this observation
-				// (possible with bounded noise and values far outside the
-				// domain); retain the prior mass for it.
-				for t := 0; t < k; t++ {
-					next[t] += frac * p[t]
-				}
-				continue
-			}
-			inv := frac / denom
-			for t := 0; t < k; t++ {
-				next[t] += inv * row[t] * p[t]
+			if q[s] > 0 {
+				q[s] = frac / q[s]
+			} else {
+				q[s] = 0
+				fallback += frac
 			}
 		}
+		// Pass 2: next = p ⊙ Aᵀq (+ fallback·p).
+		updatePass(weights, q, p, next, fallback, workers)
 		stats.Normalize(next)
 		delta, err := stats.TotalVariation(p, next)
 		if err != nil {
@@ -202,7 +231,7 @@ func reconstructGrid(obs *observationGrid, cfg Config) (Result, error) {
 			break
 		}
 	}
-	res.P = p
+	res.P = append([]float64(nil), p...)
 	return res, nil
 }
 

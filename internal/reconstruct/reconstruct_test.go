@@ -99,6 +99,21 @@ func TestReconstructValidation(t *testing.T) {
 		t.Error("negative Epsilon accepted")
 	}
 	cfg = good
+	cfg.Workers = -1
+	if _, err := Reconstruct([]float64{1}, cfg); err == nil {
+		t.Error("negative Workers accepted")
+	}
+	cfg = good
+	cfg.TailMass = 1
+	if _, err := Reconstruct([]float64{1}, cfg); err == nil {
+		t.Error("TailMass >= 1 accepted")
+	}
+	cfg = good
+	cfg.TailMass = math.NaN()
+	if _, err := Reconstruct([]float64{1}, cfg); err == nil {
+		t.Error("NaN TailMass accepted")
+	}
+	cfg = good
 	cfg.Prior = []float64{1, 2}
 	if _, err := Reconstruct([]float64{1}, cfg); err == nil {
 		t.Error("wrong-length prior accepted")

@@ -136,7 +136,26 @@ type (
 	// Collector accumulates perturbed observations incrementally with
 	// O(intervals) memory and reconstructs on demand.
 	Collector = reconstruct.Collector
+	// WeightCache is a bounded LRU of banded transition matrices; pass one
+	// via ReconstructConfig.Cache to isolate a workload from the shared
+	// cache.
+	WeightCache = reconstruct.WeightCache
+	// WeightCacheStats reports a WeightCache's hit/miss counters and size.
+	WeightCacheStats = reconstruct.CacheStats
 )
+
+// DefaultTailMass is the noise mass the banded reconstruction kernel may
+// discard per transition-matrix row for unbounded noise models when
+// ReconstructConfig.TailMass is zero.
+const DefaultTailMass = reconstruct.DefaultTailMass
+
+// NewWeightCache returns a bounded LRU transition-matrix cache (capacity
+// < 1 uses the package default).
+func NewWeightCache(capacity int) *WeightCache { return reconstruct.NewWeightCache(capacity) }
+
+// SharedWeightCacheStats reports the shared transition-matrix cache's
+// counters.
+func SharedWeightCacheStats() WeightCacheStats { return reconstruct.SharedWeightCacheStats() }
 
 // Classification types.
 type (

@@ -1,0 +1,100 @@
+// Command benchcheck fails (exit 1) when a BENCH_*.json results file does
+// not parse against the repository's shared bench-results schema: a
+// non-empty "description", an "environment" object naming at least the
+// goos/goarch/cpu it was recorded on, and a non-empty "benchmarks" array
+// whose entries carry a benchmark "name", positive "iterations", and
+// positive "ns_per_op". CI runs it over every BENCH_*.json in the
+// repository root (alongside the bench-smoke job that executes every
+// bench_*_test.go at -benchtime 1x) so committed baselines and the bench
+// code that regenerates them cannot rot apart.
+//
+// Usage: go run ./scripts/benchcheck [file...]   (no args: ./BENCH_*.json)
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// results is the shared shape of every committed BENCH_*.json file.
+type results struct {
+	Description string         `json:"description"`
+	Recorded    string         `json:"recorded"`
+	Environment map[string]any `json:"environment"`
+	Benchmarks  []benchmark    `json:"benchmarks"`
+}
+
+// benchmark is one recorded measurement.
+type benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		var err error
+		files, err = filepath.Glob("BENCH_*.json")
+		if err != nil || len(files) == 0 {
+			fmt.Fprintln(os.Stderr, "benchcheck: no BENCH_*.json files found")
+			os.Exit(2)
+		}
+	}
+	bad := 0
+	for _, f := range files {
+		for _, p := range check(f) {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", f, p)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %d schema problems\n", bad)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d files conform\n", len(files))
+}
+
+// check validates one results file and returns its schema problems.
+func check(path string) []string {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	// Unknown keys are allowed (files may carry extra context like "recorded"
+	// or per-benchmark notes); decode loosely, then shape-check.
+	var r results
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return []string{"not valid JSON for the shared schema: " + err.Error()}
+	}
+	var problems []string
+	if r.Description == "" {
+		problems = append(problems, `missing or empty "description"`)
+	}
+	if len(r.Environment) == 0 {
+		problems = append(problems, `missing or empty "environment" object`)
+	} else {
+		for _, key := range []string{"goos", "goarch", "cpu"} {
+			if _, ok := r.Environment[key]; !ok {
+				problems = append(problems, fmt.Sprintf("environment lacks %q", key))
+			}
+		}
+	}
+	if len(r.Benchmarks) == 0 {
+		problems = append(problems, `missing or empty "benchmarks" array`)
+	}
+	for i, b := range r.Benchmarks {
+		if b.Name == "" {
+			problems = append(problems, fmt.Sprintf("benchmarks[%d] has no name", i))
+		}
+		if b.Iterations <= 0 {
+			problems = append(problems, fmt.Sprintf("benchmarks[%d] (%s) has non-positive iterations", i, b.Name))
+		}
+		if b.NsPerOp <= 0 {
+			problems = append(problems, fmt.Sprintf("benchmarks[%d] (%s) has non-positive ns_per_op", i, b.Name))
+		}
+	}
+	return problems
+}
