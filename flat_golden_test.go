@@ -1,0 +1,69 @@
+package ppdm_test
+
+import (
+	"testing"
+
+	"ppdm"
+)
+
+// TestFlatTreeMatchesPointerTreeOnExamples is the flat-layout golden for
+// every example dataset: on each benchmark function F1–F10 the flattened
+// classifier behind Predict/ClassifyBatch must agree with the raw
+// pointer-tree walk on every test record, for both the clean Original mode
+// and the paper's ByClass reconstruction mode.
+func TestFlatTreeMatchesPointerTreeOnExamples(t *testing.T) {
+	fns := []ppdm.Function{ppdm.F1, ppdm.F2, ppdm.F3, ppdm.F4, ppdm.F5, ppdm.F6, ppdm.F7, ppdm.F8, ppdm.F9, ppdm.F10}
+	for i, fn := range fns {
+		train, err := ppdm.Generate(ppdm.GenConfig{Function: fn, N: 4000, Seed: uint64(100 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		test, err := ppdm.Generate(ppdm.GenConfig{Function: fn, N: 1000, Seed: uint64(200 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := ppdm.TrainConfig{Mode: ppdm.Original}
+		tbl := train
+		if i%2 == 1 { // alternate: odd functions run the full perturb+reconstruct pipeline
+			models, err := ppdm.ModelsForAllAttrs(train.Schema(), "gaussian", 0.5, ppdm.DefaultConfidence)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl, err = ppdm.PerturbTable(train, models, uint64(300+i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg = ppdm.TrainConfig{Mode: ppdm.ByClass, Noise: models}
+		}
+		clf, err := ppdm.Train(tbl, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		records := make([][]float64, test.N())
+		for r := range records {
+			records[r] = test.Row(r)
+		}
+		batch, err := clf.ClassifyBatch(records, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bins := make([]int, len(clf.Partitions))
+		for r, rec := range records {
+			for j, v := range rec {
+				bins[j] = clf.Partitions[j].Bin(v)
+			}
+			want, err := clf.Tree.Predict(bins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			single, err := clf.Predict(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if single != want || batch[r] != want {
+				t.Fatalf("%v record %d: pointer tree says %d, Predict %d, ClassifyBatch %d", fn, r, want, single, batch[r])
+			}
+		}
+	}
+}

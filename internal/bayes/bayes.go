@@ -37,6 +37,10 @@ type Config struct {
 	// selects reconstruct.DefaultTailMass, negative disables banding (dense
 	// rows for every model).
 	ReconTailMass float64
+	// ReconFloat32 runs the banded reconstruction kernel on float32 slabs
+	// (see core.Config.ReconFloat32): lower memory traffic, distributions
+	// within a small total-variation tolerance of the float64 kernel.
+	ReconFloat32 bool
 	// Smoothing is the Laplace pseudo-count (default DefaultSmoothing).
 	Smoothing float64
 }
@@ -141,6 +145,7 @@ func Train(train *dataset.Table, cfg Config) (*Classifier, error) {
 					MaxIters:  cfg.ReconMaxIters,
 					Epsilon:   cfg.ReconEpsilon,
 					TailMass:  cfg.ReconTailMass,
+					Float32:   cfg.ReconFloat32,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("bayes: reconstructing attribute %d class %d: %w", j, c, err)
@@ -190,17 +195,49 @@ func (c *Classifier) Predict(rec []float64) (int, error) {
 	if len(rec) != len(c.Partitions) {
 		return 0, fmt.Errorf("bayes: record has %d attributes, classifier expects %d", len(rec), len(c.Partitions))
 	}
+	// Discretize once up front (the old per-class re-binning repeated the
+	// partition lookup k times) into a stack buffer; scores are identical.
+	var buf [64]int
+	bins := buf[:0]
+	if len(rec) > len(buf) {
+		bins = make([]int, 0, len(rec))
+	}
+	for j, v := range rec {
+		bins = append(bins, c.Partitions[j].Bin(v))
+	}
+	return c.predictBins(bins), nil
+}
+
+// PredictBins classifies a record that is already discretized to interval
+// indices (one per attribute, as produced by Partitions[j].Bin). It is the
+// serving fast path — the caller's discretize buffer doubles as its
+// prediction-cache key — and allocates nothing.
+func (c *Classifier) PredictBins(bins []int) (int, error) {
+	if len(bins) != len(c.Partitions) {
+		return 0, fmt.Errorf("bayes: record has %d attributes, classifier expects %d", len(bins), len(c.Partitions))
+	}
+	for j, b := range bins {
+		if b < 0 || b >= c.Partitions[j].K {
+			return 0, fmt.Errorf("bayes: bin %d of attribute %d outside its %d intervals", b, j, c.Partitions[j].K)
+		}
+	}
+	return c.predictBins(bins), nil
+}
+
+// predictBins scores every class on in-range interval indices.
+func (c *Classifier) predictBins(bins []int) int {
 	best, bestScore := 0, math.Inf(-1)
 	for cl := range c.Priors {
 		score := math.Log(c.Priors[cl])
-		for j, v := range rec {
-			score += math.Log(c.Cond[cl][j][c.Partitions[j].Bin(v)])
+		cond := c.Cond[cl]
+		for j, b := range bins {
+			score += math.Log(cond[j][b])
 		}
 		if score > bestScore {
 			best, bestScore = cl, score
 		}
 	}
-	return best, nil
+	return best
 }
 
 // Evaluate classifies every record of the clean test table.

@@ -116,6 +116,7 @@ func TrainStream(src stream.Source, cfg Config) (*Classifier, error) {
 						MaxIters:  cfg.ReconMaxIters,
 						Epsilon:   cfg.ReconEpsilon,
 						TailMass:  cfg.ReconTailMass,
+						Float32:   cfg.ReconFloat32,
 					})
 					if err != nil {
 						return nil, fmt.Errorf("bayes: reconstructing attribute %d class %d: %w", j, c, err)

@@ -34,7 +34,7 @@ import (
 //
 // Usage: ppdm-train -train train.csv -test test.csv [-mode byclass]
 // [-family gaussian] [-privacy 1.0] [-conf 0.95] [-intervals 50]
-// [-algorithm bayes|em] [-recon-tail 0] [-learner tree|nb] [-workers 0]
+// [-algorithm bayes|em] [-recon-tail 0] [-recon-f32] [-learner tree|nb] [-workers 0]
 // [-stream] [-batch 8192] [-print-tree]
 func Train(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ppdm-train", flag.ContinueOnError)
@@ -47,7 +47,8 @@ func Train(args []string, stdout, stderr io.Writer) int {
 	conf := fs.Float64("conf", noise.DefaultConfidence, "confidence level of the privacy guarantee")
 	intervals := fs.Int("intervals", 0, "intervals per attribute (0 = default)")
 	algorithm := fs.String("algorithm", "bayes", "reconstruction algorithm: bayes|em")
-	reconTail := fs.Float64("recon-tail", 0, "noise tail mass the banded reconstruction kernel may discard per matrix row for unbounded noise (0 = default, negative = dense rows)")
+	reconTail := fs.Float64("recon-tail", 0, "noise tail mass the banded reconstruction kernel may discard per matrix row for unbounded noise (0 = default 1e-12, negative = dense rows)")
+	reconF32 := fs.Bool("recon-f32", false, "run the banded reconstruction kernel on float32 slabs (lower memory traffic; distributions within a small total-variation tolerance of float64)")
 	learner := fs.String("learner", "tree", "learner: tree|nb (naive Bayes supports original/randomized/byclass)")
 	workers := fs.Int("workers", 0, "worker goroutines for training (0 = all cores); the trained model is identical for any value")
 	streamMode := fs.Bool("stream", false, "consume -train as a gzipped record-batch stream in bounded memory (tree learner spills columnar attribute lists to disk; all modes except local)")
@@ -85,9 +86,9 @@ func Train(args []string, stdout, stderr io.Writer) int {
 	if *streamMode {
 		switch *learner {
 		case "nb":
-			return trainStreamedNB(*trainPath, *testPath, *savePath, mode, alg, *reconTail, models, *intervals, *batch, stdout, stderr)
+			return trainStreamedNB(*trainPath, *testPath, *savePath, mode, alg, *reconTail, *reconF32, models, *intervals, *batch, stdout, stderr)
 		case "tree":
-			cfg := core.Config{Mode: mode, Intervals: *intervals, ReconAlgorithm: alg, ReconTailMass: *reconTail, Noise: models, Workers: *workers}
+			cfg := core.Config{Mode: mode, Intervals: *intervals, ReconAlgorithm: alg, ReconTailMass: *reconTail, ReconFloat32: *reconF32, Noise: models, Workers: *workers}
 			return trainStreamedTree(*trainPath, *testPath, *savePath, cfg, *batch, *printTree, stdout, stderr)
 		default:
 			return fail(stderr, fmt.Errorf("unknown learner %q (want tree or nb)", *learner))
@@ -108,7 +109,7 @@ func Train(args []string, stdout, stderr io.Writer) int {
 	var save func(w io.Writer) error
 	switch *learner {
 	case "tree":
-		cfg := core.Config{Mode: mode, Intervals: *intervals, ReconAlgorithm: alg, ReconTailMass: *reconTail, Noise: models, Workers: *workers}
+		cfg := core.Config{Mode: mode, Intervals: *intervals, ReconAlgorithm: alg, ReconTailMass: *reconTail, ReconFloat32: *reconF32, Noise: models, Workers: *workers}
 		treeClf, err = core.Train(trainTable, cfg)
 		if err != nil {
 			return fail(stderr, err)
@@ -116,7 +117,7 @@ func Train(args []string, stdout, stderr io.Writer) int {
 		save = treeClf.Save
 		ev, err = treeClf.Evaluate(testTable)
 	case "nb":
-		cfg := bayes.Config{Mode: mode, Intervals: *intervals, ReconAlgorithm: alg, ReconTailMass: *reconTail, Noise: models}
+		cfg := bayes.Config{Mode: mode, Intervals: *intervals, ReconAlgorithm: alg, ReconTailMass: *reconTail, ReconFloat32: *reconF32, Noise: models}
 		var nb *bayes.Classifier
 		nb, err = bayes.Train(trainTable, cfg)
 		if err != nil {
@@ -228,12 +229,12 @@ func trainStreamedTree(trainPath, testPath, savePath string, cfg core.Config, ba
 // stream is consumed batch by batch into sufficient statistics, so only
 // O(batch + classes × attributes × intervals) memory is held at once.
 func trainStreamedNB(trainPath, testPath, savePath string, mode core.Mode, alg reconstruct.Algorithm, reconTail float64,
-	models map[int]noise.Model, intervals, batch int, stdout, stderr io.Writer) int {
+	reconF32 bool, models map[int]noise.Model, intervals, batch int, stdout, stderr io.Writer) int {
 	src, closeTrain, err := openRecordStream(trainPath, batch)
 	if err != nil {
 		return fail(stderr, err)
 	}
-	cfg := bayes.Config{Mode: mode, Intervals: intervals, ReconAlgorithm: alg, ReconTailMass: reconTail, Noise: models}
+	cfg := bayes.Config{Mode: mode, Intervals: intervals, ReconAlgorithm: alg, ReconTailMass: reconTail, ReconFloat32: reconF32, Noise: models}
 	nb, err := bayes.TrainStream(src, cfg)
 	if cerr := closeTrain(); err == nil {
 		err = cerr

@@ -10,16 +10,61 @@ import (
 	"ppdm/internal/stream"
 )
 
+// maxStackBins is the record width up to which prediction discretizes into
+// a stack array instead of allocating; schemas wider than this are rare and
+// merely fall back to one heap slice per call.
+const maxStackBins = 64
+
+// classifyChunk is the record-chunk grid of the batched flat-tree walk. It
+// only shapes scheduling: outputs are index-addressed, so results are
+// identical at every worker count.
+const classifyChunk = 256
+
+// initFlat packs the grown tree into its flattened form for the prediction
+// hot path. Construction sites (Train, TrainStream, Load) call it once;
+// hand-assembled Classifiers may skip it and transparently use the pointer
+// walk instead. A tree that cannot flatten (malformed by manual
+// construction) also falls back to the pointer walk, which fails or
+// succeeds exactly as before.
+func (c *Classifier) initFlat() *Classifier {
+	if f, err := c.Tree.Flatten(); err == nil {
+		c.flat = f
+	}
+	return c
+}
+
 // Predict classifies a record of raw attribute values (clean test data): the
 // record is discretized through the classifier's partitions and routed
-// through the tree.
+// through the flattened tree (or the pointer tree for hand-built models).
+// Steady-state calls on trained models allocate nothing.
 func (c *Classifier) Predict(rec []float64) (int, error) {
 	if len(rec) != len(c.Partitions) {
 		return 0, fmt.Errorf("core: record has %d attributes, classifier expects %d", len(rec), len(c.Partitions))
 	}
-	bins := make([]int, len(rec))
+	var buf [maxStackBins]int
+	bins := buf[:0]
+	if len(rec) > maxStackBins {
+		bins = make([]int, 0, len(rec))
+	}
 	for j, v := range rec {
-		bins[j] = c.Partitions[j].Bin(v)
+		bins = append(bins, c.Partitions[j].Bin(v))
+	}
+	if c.flat != nil {
+		return c.flat.Classify(bins), nil
+	}
+	return c.Tree.Predict(bins)
+}
+
+// PredictBins classifies a record that is already discretized to interval
+// indices (one per attribute). It is the serving fast path: the caller's
+// discretize buffer doubles as the prediction-cache key, so the record is
+// binned exactly once per request. Allocation-free on trained models.
+func (c *Classifier) PredictBins(bins []int) (int, error) {
+	if len(bins) != len(c.Partitions) {
+		return 0, fmt.Errorf("core: record has %d attributes, classifier expects %d", len(bins), len(c.Partitions))
+	}
+	if c.flat != nil {
+		return c.flat.Classify(bins), nil
 	}
 	return c.Tree.Predict(bins)
 }
@@ -29,8 +74,38 @@ func (c *Classifier) Predict(rec []float64) (int, error) {
 // input order. Prediction is read-only on the model, so ClassifyBatch is
 // safe to call from many goroutines at once — it is the serving hot path.
 // On error the smallest-index record's error is returned.
+//
+// Trained models walk the flattened tree in record chunks — the contiguous
+// node array stays cache-resident across the whole chunk — which is what
+// makes batch classification markedly faster than per-record pointer
+// walks (see BENCH_classify.json); results are identical either way.
 func (c *Classifier) ClassifyBatch(records [][]float64, workers int) ([]int, error) {
-	return ClassifyBatchWith(records, workers, c.Predict)
+	if c.flat == nil {
+		return ClassifyBatchWith(records, workers, c.Predict)
+	}
+	for _, rec := range records {
+		if len(rec) != len(c.Partitions) {
+			return nil, fmt.Errorf("core: record has %d attributes, classifier expects %d", len(rec), len(c.Partitions))
+		}
+	}
+	out := make([]int, len(records))
+	parts, flat := c.Partitions, c.flat
+	parallel.ForEachChunk(len(records), classifyChunk, workers, func(_, lo, hi int) {
+		var buf [maxStackBins]int
+		bins := buf[:]
+		if len(parts) > maxStackBins {
+			bins = make([]int, len(parts))
+		}
+		bins = bins[:len(parts)]
+		for i := lo; i < hi; i++ {
+			rec := records[i][:len(parts)] // widths validated above; frees the inner loop of bounds checks
+			for j := range bins {
+				bins[j] = parts[j].Bin(rec[j])
+			}
+			out[i] = flat.Classify(bins)
+		}
+	})
+	return out, nil
 }
 
 // ClassifyBatchWith fans a batch of records across the worker engine through

@@ -161,10 +161,10 @@ func Load(r io.Reader) (*Classifier, error) {
 	if err := checkCuts(doc.Tree.Root); err != nil {
 		return nil, err
 	}
-	return &Classifier{
+	return (&Classifier{
 		Mode:       mode,
 		Tree:       doc.Tree,
 		Schema:     schema,
 		Partitions: doc.Partitions,
-	}, nil
+	}).initFlat(), nil
 }

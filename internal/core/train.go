@@ -53,6 +53,11 @@ type Config struct {
 	// every model (dense rows). When banding is enabled, bounded noise
 	// (uniform) bands at its exact support, discarding zero mass.
 	ReconTailMass float64
+	// ReconFloat32 runs the banded reconstruction kernel on float32 slabs.
+	// Roughly halves kernel memory traffic at the cost of the bit-identical
+	// guarantee: distributions match the float64 kernel only to within a
+	// small total-variation tolerance. Dense (non-banded) rows ignore it.
+	ReconFloat32 bool
 	// Tree configures the decision-tree learner.
 	Tree tree.Config
 	// LocalMinRecords is Local mode's re-reconstruction threshold (default
@@ -88,6 +93,12 @@ type Classifier struct {
 	Tree       *tree.Tree
 	Schema     *dataset.Schema
 	Partitions []reconstruct.Partition
+
+	// flat is the contiguous-array form of Tree that the prediction paths
+	// walk (initFlat builds it at training/loading time). Nil on
+	// hand-assembled Classifiers, which fall back to the pointer tree with
+	// identical predictions.
+	flat *tree.FlatClassifier
 }
 
 // Train builds a classifier from the training table according to cfg.Mode.
@@ -162,7 +173,7 @@ func Train(train *dataset.Table, cfg Config) (*Classifier, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Classifier{Mode: cfg.Mode, Tree: tr, Schema: s, Partitions: parts}, nil
+	return (&Classifier{Mode: cfg.Mode, Tree: tr, Schema: s, Partitions: parts}).initFlat(), nil
 }
 
 // normalized applies defaults and validates the knobs shared by the
@@ -268,6 +279,7 @@ func reconCfg(cfg Config, part reconstruct.Partition, m noise.Model) reconstruct
 		MaxIters:           cfg.ReconMaxIters,
 		Epsilon:            cfg.ReconEpsilon,
 		TailMass:           cfg.ReconTailMass,
+		Float32:            cfg.ReconFloat32,
 		Workers:            1,
 		DisableWeightCache: cfg.DisableWeightCache,
 	}

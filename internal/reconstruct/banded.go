@@ -39,6 +39,22 @@ const DefaultTailMass = 1e-12
 // bitwise-identical matrix regardless of where their domains sit on the real
 // line (weightKey exploits this for per-node sub-partitions in Local-mode
 // training).
+//
+// The matrix is stored twice, in the two orders the two iteration passes
+// stream it: row-major (data, indexed by off) for denomPass's q = A·p, and
+// column-major (tData, indexed by tOff/tLo) for updatePass's p ⊙ Aᵀq. The
+// transposed slab is a gather of the row slab — same bits — with each
+// column's covering rows packed contiguously in increasing s, which is
+// exactly the fold order the update pass owes the determinism goldens.
+// Storing the transpose hoists all of the old inner-loop address math
+// (w.off[s] + t − w.bandLo(s)) into build time and turns both passes into
+// contiguous dot products the unrolled kernels below can stream without
+// bounds checks. Bands are narrow, so the second slab costs little.
+//
+// A float32 matrix (requested via Config.Float32) carries the same geometry
+// with data32/tData32 holding float32-converted entries and the float64
+// slabs released; float32 and float64 matrices are distinct cache entries
+// (weightKey.f32).
 type bandedWeights struct {
 	k      int       // domain intervals (full row width)
 	m      int       // observation rows
@@ -46,6 +62,13 @@ type bandedWeights struct {
 	radius int       // band half-width in intervals
 	off    []int     // len m+1; row s occupies data[off[s]:off[s+1]]
 	data   []float64 // contiguous row slabs
+	tLo    []int     // len k; first observation row covering column t
+	tOff   []int     // len k+1; column t occupies tData[tOff[t]:tOff[t+1]]
+	tData  []float64 // contiguous column slabs (increasing s within a column)
+
+	// float32 variant (only when built with f32; data/tData are then nil)
+	data32  []float32
+	tData32 []float32
 }
 
 // bandLo returns the first in-band domain interval of row s (inclusive).
@@ -74,6 +97,16 @@ func (w *bandedWeights) bandHi(s int) int {
 
 // row returns the packed band of row s.
 func (w *bandedWeights) row(s int) []float64 { return w.data[w.off[s]:w.off[s+1]] }
+
+// nnz returns the stored entry count of the row slab, whichever precision
+// holds it; the iteration passes use it to decide whether parallel fan-out
+// pays for itself.
+func (w *bandedWeights) nnz() int {
+	if w.data32 != nil {
+		return len(w.data32)
+	}
+	return len(w.data)
+}
 
 // denseRadius returns the smallest radius at which every row's band already
 // spans the full [0, k) domain. Radii at or above it are canonicalised to
@@ -120,8 +153,11 @@ func bandRadius(cfg Config, width float64, k, lowIdx, m int) int {
 
 // computeWeights builds the banded matrix for one geometry. The per-row
 // evaluations run in parallel bounded by workers; rows are index-addressed,
-// so the result is bitwise identical at any worker count.
-func computeWeights(m noise.Model, alg Algorithm, width float64, k, lowIdx, nObs, radius, workers int) *bandedWeights {
+// so the result is bitwise identical at any worker count. The transposed
+// column slab is a pure gather of the row slab, so its entries are the same
+// bits in a different order. With f32 set, both slabs are converted to
+// float32 and the float64 slabs released.
+func computeWeights(m noise.Model, alg Algorithm, width float64, k, lowIdx, nObs, radius int, f32 bool, workers int) *bandedWeights {
 	w := &bandedWeights{k: k, m: nObs, lowIdx: lowIdx, radius: radius}
 	w.off = make([]int, nObs+1)
 	for s := 0; s < nObs; s++ {
@@ -142,6 +178,53 @@ func computeWeights(m noise.Model, alg Algorithm, width float64, k, lowIdx, nObs
 		}
 		return nil
 	})
+
+	// Column geometry: row s covers column t exactly when
+	// lowIdx+s−radius ≤ t ≤ lowIdx+s+radius (the band clamps reduce to this
+	// for t ∈ [0,k)), so column t is covered by the contiguous row range
+	// [t−lowIdx−radius, t−lowIdx+radius] clamped to [0, nObs).
+	w.tLo = make([]int, k)
+	w.tOff = make([]int, k+1)
+	for t := 0; t < k; t++ {
+		sLo := t - lowIdx - radius
+		if sLo < 0 {
+			sLo = 0
+		}
+		if sLo > nObs {
+			sLo = nObs // column t starts past the last row: empty column
+		}
+		sHi := t - lowIdx + radius + 1
+		if sHi > nObs {
+			sHi = nObs
+		}
+		if sHi < sLo {
+			sHi = sLo
+		}
+		w.tLo[t] = sLo
+		w.tOff[t+1] = w.tOff[t] + sHi - sLo
+	}
+	w.tData = make([]float64, w.tOff[k])
+	parallel.ForEach(k, workers, func(t int) error {
+		col := w.tData[w.tOff[t]:w.tOff[t+1]]
+		sLo := w.tLo[t]
+		for i := range col {
+			s := sLo + i
+			col[i] = w.data[w.off[s]+t-w.bandLo(s)]
+		}
+		return nil
+	})
+
+	if f32 {
+		w.data32 = make([]float32, len(w.data))
+		for i, v := range w.data {
+			w.data32[i] = float32(v)
+		}
+		w.tData32 = make([]float32, len(w.tData))
+		for i, v := range w.tData {
+			w.tData32[i] = float32(v)
+		}
+		w.data, w.tData = nil, nil
+	}
 	return w
 }
 
@@ -155,6 +238,9 @@ func computeWeights(m noise.Model, alg Algorithm, width float64, k, lowIdx, nObs
 type iterScratch struct {
 	p, next []float64
 	q       []float64
+	// float32 mirrors, sized only when a Float32 reconstruction runs.
+	p32, next32 []float32
+	q32         []float32
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(iterScratch) }}
@@ -170,6 +256,19 @@ func (sc *iterScratch) ensure(k, m int) {
 		sc.q = make([]float64, m)
 	}
 	sc.q = sc.q[:m]
+}
+
+// ensure32 sizes the float32 mirrors for a Float32 reconstruction.
+func (sc *iterScratch) ensure32(k, m int) {
+	if cap(sc.p32) < k {
+		sc.p32 = make([]float32, k)
+		sc.next32 = make([]float32, k)
+	}
+	sc.p32, sc.next32 = sc.p32[:k], sc.next32[:k]
+	if cap(sc.q32) < m {
+		sc.q32 = make([]float32, m)
+	}
+	sc.q32 = sc.q32[:m]
 }
 
 // Fixed chunk grids for the parallel accumulation passes. The grids depend
@@ -192,9 +291,89 @@ func iterWorkers(cfg Config, nnz int) int {
 	return cfg.Workers
 }
 
+// dot64 returns Σ a[i]·b[i] with every product folded left to right into a
+// single accumulator — the exact rounding chain of the plain scalar loop —
+// unrolled 4-wide so the four independent multiplies pipeline while the adds
+// stay strictly ordered. The b re-slice pins len(b) to len(a) (one slice
+// check at entry), and the loop advances both slice headers by 4 so every
+// body index is the constant 0–3 under a len ≥ 4 guard — a shape the
+// compiler provably keeps free of bounds checks (enforced by the
+// ssa/check_bce guard test).
+func dot64(a, b []float64) float64 {
+	b = b[:len(a)]
+	var acc float64
+	for len(a) >= 4 && len(b) >= 4 {
+		acc += a[0] * b[0]
+		acc += a[1] * b[1]
+		acc += a[2] * b[2]
+		acc += a[3] * b[3]
+		a, b = a[4:], b[4:]
+	}
+	for i := 0; i < len(a) && i < len(b); i++ {
+		acc += a[i] * b[i]
+	}
+	return acc
+}
+
+// scaledDot64 returns Σ (a[i]·b[i])·scale, folded left to right into one
+// accumulator like dot64. The per-term scale placement matches the update
+// rule's historical association (q·A)·p — see updatePass.
+func scaledDot64(a, b []float64, scale float64) float64 {
+	b = b[:len(a)]
+	var acc float64
+	for len(a) >= 4 && len(b) >= 4 {
+		acc += a[0] * b[0] * scale
+		acc += a[1] * b[1] * scale
+		acc += a[2] * b[2] * scale
+		acc += a[3] * b[3] * scale
+		a, b = a[4:], b[4:]
+	}
+	for i := 0; i < len(a) && i < len(b); i++ {
+		acc += a[i] * b[i] * scale
+	}
+	return acc
+}
+
+// dot32 is dot64 over the float32 slab.
+func dot32(a, b []float32) float32 {
+	b = b[:len(a)]
+	var acc float32
+	for len(a) >= 4 && len(b) >= 4 {
+		acc += a[0] * b[0]
+		acc += a[1] * b[1]
+		acc += a[2] * b[2]
+		acc += a[3] * b[3]
+		a, b = a[4:], b[4:]
+	}
+	for i := 0; i < len(a) && i < len(b); i++ {
+		acc += a[i] * b[i]
+	}
+	return acc
+}
+
+// scaledDot32 is scaledDot64 over the float32 slab.
+func scaledDot32(a, b []float32, scale float32) float32 {
+	b = b[:len(a)]
+	var acc float32
+	for len(a) >= 4 && len(b) >= 4 {
+		acc += a[0] * b[0] * scale
+		acc += a[1] * b[1] * scale
+		acc += a[2] * b[2] * scale
+		acc += a[3] * b[3] * scale
+		a, b = a[4:], b[4:]
+	}
+	for i := 0; i < len(a) && i < len(b); i++ {
+		acc += a[i] * b[i] * scale
+	}
+	return acc
+}
+
 // denomPass computes q[s] = Σ_t A[s][t]·p[t] for every observation row
 // (the band-limited A·p mat-vec). Rows are independent and index-addressed,
-// so the chunked parallel run is bitwise deterministic.
+// so the chunked parallel run is bitwise deterministic. Each row is a
+// contiguous slab slice dotted against the matching p window by the unrolled
+// kernel; the single-accumulator fold reproduces the scalar loop's rounding
+// bit for bit.
 func denomPass(w *bandedWeights, counts []int, p, q []float64, workers int) {
 	parallel.ForEachChunk(w.m, iterRowChunk, workers, func(_, lo, hi int) {
 		for s := lo; s < hi; s++ {
@@ -202,13 +381,7 @@ func denomPass(w *bandedWeights, counts []int, p, q []float64, workers int) {
 				q[s] = 0
 				continue
 			}
-			row := w.row(s)
-			bLo := w.bandLo(s)
-			var denom float64
-			for i, a := range row {
-				denom += a * p[bLo+i]
-			}
-			q[s] = denom
+			q[s] = dot64(w.data[w.off[s]:w.off[s+1]], p[w.bandLo(s):])
 		}
 	})
 }
@@ -221,27 +394,54 @@ func denomPass(w *bandedWeights, counts []int, p, q []float64, workers int) {
 // being hoisted to next[t] = acc·p[t]: the per-term association reproduces
 // the pre-banding kernel's rounding exactly, keeping every committed golden
 // (example accuracy, streamed-training equality) stable across the rewrite.
+//
+// The pass streams the transposed slab: column t's covering rows sit
+// contiguously in tData in increasing s — the historical fold order — so the
+// old inner-loop address math (w.off[s] + t − w.bandLo(s)) and the repeated
+// q/p indexing collapse into one contiguous scaled dot product. Three
+// rewrites that are all rounding-neutral, and why:
+//   - each unrolled term computes (A·q[s])·p[t] where the old loop computed
+//     (q[s]·A)·p[t]: IEEE-754 multiplication is commutative bit for bit;
+//   - p[t] is hoisted into the kernel's scale operand, but still multiplies
+//     every term individually, preserving the per-term association;
+//   - rows with q[s] == 0 are no longer branch-skipped: their term is
+//     (A·0)·p[t] = +0, and adding +0 to an accumulator of non-negative terms
+//     (weights, coefficients, and estimate entries are all ≥ 0) returns the
+//     accumulator unchanged, so every partial sum matches the skipping loop.
 func updatePass(w *bandedWeights, q []float64, p, next []float64, fallback float64, workers int) {
 	parallel.ForEachChunk(w.k, iterColChunk, workers, func(_, lo, hi int) {
 		for t := lo; t < hi; t++ {
-			sLo := t - w.lowIdx - w.radius
-			if sLo < 0 {
-				sLo = 0
-			}
-			sHi := t - w.lowIdx + w.radius + 1
-			if sHi > w.m {
-				sHi = w.m
-			}
-			var acc float64
-			for s := sLo; s < sHi; s++ {
-				qs := q[s]
-				if qs == 0 {
-					continue
-				}
-				acc += qs * w.data[w.off[s]+t-w.bandLo(s)] * p[t]
-			}
+			pt := p[t]
+			acc := scaledDot64(w.tData[w.tOff[t]:w.tOff[t+1]], q[w.tLo[t]:], pt)
 			if fallback > 0 {
-				acc += fallback * p[t]
+				acc += fallback * pt
+			}
+			next[t] = acc
+		}
+	})
+}
+
+// denomPass32 is denomPass over the float32 slab and estimate.
+func denomPass32(w *bandedWeights, counts []int, p, q []float32, workers int) {
+	parallel.ForEachChunk(w.m, iterRowChunk, workers, func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			if counts[s] == 0 {
+				q[s] = 0
+				continue
+			}
+			q[s] = dot32(w.data32[w.off[s]:w.off[s+1]], p[w.bandLo(s):])
+		}
+	})
+}
+
+// updatePass32 is updatePass over the float32 slab and estimate.
+func updatePass32(w *bandedWeights, q []float32, p, next []float32, fallback float32, workers int) {
+	parallel.ForEachChunk(w.k, iterColChunk, workers, func(_, lo, hi int) {
+		for t := lo; t < hi; t++ {
+			pt := p[t]
+			acc := scaledDot32(w.tData32[w.tOff[t]:w.tOff[t+1]], q[w.tLo[t]:], pt)
+			if fallback > 0 {
+				acc += fallback * pt
 			}
 			next[t] = acc
 		}

@@ -1,0 +1,94 @@
+package reconstruct
+
+import "math"
+
+// This file holds the float32 variant of the fused iteration loop
+// (Config.Float32). The float64 path in reconstructGrid performs all
+// validation and prior handling, then hands the normalized float64 starting
+// estimate to iterate32, which mirrors the loop over the float32 slabs: the
+// same two passes, the same serial index-ordered coefficient fold, the same
+// chunk grids — so the float32 estimate is also bit-identical at every
+// worker count. Only the arithmetic precision differs; normalization runs in
+// float32 (mirroring stats.Normalize) while the convergence distance is
+// accumulated in float64 so the stopping comparison against Epsilon keeps
+// its usual meaning.
+
+// iterate32 runs the Bayes/EM iteration on the float32 slabs of weights,
+// starting from the (already validated and normalized) float64 estimate p0,
+// and returns the reconstructed distribution converted back to float64.
+func iterate32(weights *bandedWeights, obs *observationGrid, sc *iterScratch, p0 []float64, n float64, maxIters int, eps float64, workers int) (Result, error) {
+	k := len(p0)
+	m := len(obs.counts)
+	sc.ensure32(k, m)
+	p, next, q := sc.p32, sc.next32, sc.q32
+	for t, v := range p0 {
+		p[t] = float32(v)
+	}
+
+	n32 := float32(n)
+	res := Result{}
+	for iter := 1; iter <= maxIters; iter++ {
+		denomPass32(weights, obs.counts, p, q, workers)
+		// Serial index-ordered fold, as in the float64 loop: q[s] becomes the
+		// row's update coefficient cnt/(n·denom), rows the estimate cannot
+		// explain pool their mass into the fallback coefficient.
+		var fallback float32
+		for s, cnt := range obs.counts {
+			if cnt == 0 {
+				continue
+			}
+			frac := float32(cnt) / n32
+			if q[s] > 0 {
+				q[s] = frac / q[s]
+			} else {
+				q[s] = 0
+				fallback += frac
+			}
+		}
+		updatePass32(weights, q, p, next, fallback, workers)
+		normalize32(next)
+		delta := totalVariation32(p, next)
+		copy(p, next)
+		res.Iters = iter
+		res.Delta = delta
+		if delta < eps {
+			res.Converged = true
+			break
+		}
+	}
+	res.P = make([]float64, k)
+	for t, v := range p {
+		res.P[t] = float64(v)
+	}
+	return res, nil
+}
+
+// normalize32 mirrors stats.Normalize for a float32 estimate: scale to unit
+// sum, or reset to uniform when the sum is non-positive or non-finite.
+func normalize32(p []float32) {
+	var sum float32
+	for _, v := range p {
+		sum += v
+	}
+	if !(sum > 0) || math.IsInf(float64(sum), 0) {
+		u := 1 / float32(len(p))
+		for i := range p {
+			p[i] = u
+		}
+		return
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+}
+
+// totalVariation32 returns the total-variation distance between two float32
+// estimates, accumulated in float64 so the stopping comparison against the
+// float64 Epsilon is not itself subject to float32 rounding.
+func totalVariation32(p, q []float32) float64 {
+	var sum float64
+	for i := range p {
+		sum += math.Abs(float64(p[i]) - float64(q[i]))
+	}
+	return sum / 2
+}

@@ -1,0 +1,131 @@
+package reconstruct
+
+import (
+	"testing"
+
+	"ppdm/internal/noise"
+	"ppdm/internal/stats"
+)
+
+// float32TVBound is the stated accuracy contract of the Float32 kernel: the
+// float32 reconstruction may differ from the float64 one by at most this
+// much total variation at default convergence settings. Both runs stop when
+// their iteration moves less than Epsilon (default 1e-4) in total variation,
+// so they bracket the same fixed point within a few Epsilon of slack; the
+// observed distances across the models below sit one to two orders of
+// magnitude under this bound.
+const float32TVBound = 1e-3
+
+// TestFloat32MatchesFloat64 runs every noise model family at several tail
+// masses (banded tight, banded loose, dense) in both precisions and checks
+// the TV contract, plus basic result sanity (normalized, convergent).
+func TestFloat32MatchesFloat64(t *testing.T) {
+	gauss, _ := noise.NewGaussian(6)
+	lap, _ := noise.NewLaplace(4)
+	part, _ := NewPartition(0, 100, 60)
+	for _, tc := range []struct {
+		name string
+		m    noise.Model
+	}{
+		{"uniform", noise.Uniform{Alpha: 25}},
+		{"gaussian", gauss},
+		{"laplace", lap},
+	} {
+		vals := bandedPerturbed(20000, tc.m, 99)
+		for _, tail := range []float64{0, 1e-6, -1} {
+			for _, alg := range []Algorithm{Bayes, EM} {
+				cfg := Config{Partition: part, Noise: tc.m, Algorithm: alg, TailMass: tail, DisableWeightCache: true}
+				r64, err := Reconstruct(vals, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Float32 = true
+				r32, err := Reconstruct(vals, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tv, err := stats.TotalVariation(r32.P, r64.P)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tv > float32TVBound {
+					t.Errorf("%s alg=%v tail=%g: TV(float32, float64) = %g exceeds the stated bound %g", tc.name, alg, tail, tv, float32TVBound)
+				}
+				if r32.Converged != r64.Converged {
+					t.Errorf("%s alg=%v tail=%g: float32 converged=%v but float64 converged=%v", tc.name, alg, tail, r32.Converged, r64.Converged)
+				}
+				var sum float64
+				for _, v := range r32.P {
+					if v < 0 {
+						t.Fatalf("%s alg=%v tail=%g: negative probability %g", tc.name, alg, tail, v)
+					}
+					sum += v
+				}
+				if sum < 1-1e-4 || sum > 1+1e-4 {
+					t.Errorf("%s alg=%v tail=%g: float32 estimate sums to %g", tc.name, alg, tail, sum)
+				}
+				t.Logf("%s alg=%v tail=%g: TV = %.3g (%d vs %d iters)", tc.name, alg, tail, tv, r32.Iters, r64.Iters)
+			}
+		}
+	}
+}
+
+// TestFloat32WorkerDeterminism extends the determinism contract to the
+// float32 loop: same chunk grids, same serial fold, so the float32 estimate
+// must also be bitwise identical at every worker count.
+func TestFloat32WorkerDeterminism(t *testing.T) {
+	m, _ := noise.NewGaussian(4)
+	part, _ := NewPartition(0, 100, 300)
+	vals := bandedPerturbed(50000, m, 23)
+	for _, alg := range []Algorithm{Bayes, EM} {
+		var ps [2][]float64
+		for i, workers := range []int{1, 8} {
+			res, err := Reconstruct(vals, Config{
+				Partition: part, Noise: m, Algorithm: alg, Float32: true,
+				Workers: workers, DisableWeightCache: true, MaxIters: 40,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps[i] = res.P
+		}
+		for b := range ps[0] {
+			if ps[0][b] != ps[1][b] {
+				t.Fatalf("alg %v: bin %d differs between Workers=1 and Workers=8 in float32", alg, b)
+			}
+		}
+	}
+}
+
+// TestFloat32CacheSeparation guards the weightKey.f32 discriminator: a
+// float64 reconstruction immediately after a float32 one with the identical
+// geometry must not pick up the float32 slab (which would crash or corrupt
+// the estimate), and vice versa.
+func TestFloat32CacheSeparation(t *testing.T) {
+	m := noise.Uniform{Alpha: 10}
+	part, _ := NewPartition(0, 100, 30)
+	vals := bandedPerturbed(5000, m, 31)
+	cache := NewWeightCache(8)
+	cfg := Config{Partition: part, Noise: m, Cache: cache, Float32: true}
+	if _, err := Reconstruct(vals, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Float32 = false
+	r64, err := Reconstruct(vals, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DisableWeightCache = true
+	want, err := Reconstruct(vals, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range want.P {
+		if r64.P[b] != want.P[b] {
+			t.Fatalf("bin %d: float64 result through a float32-warmed cache differs from the uncached result", b)
+		}
+	}
+	if st := cache.Stats(); st.Entries != 2 {
+		t.Errorf("cache holds %d entries, want 2 (one per precision)", st.Entries)
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -20,6 +21,13 @@ const (
 	DefaultQueueDepth = 256
 )
 
+// serialMissMax is the cache-miss count up to which a flush classifies
+// misses serially through the PredictBins fast path instead of fanning out
+// a ClassifyBatch call. The serial walk is allocation-free and, at
+// micro-batch sizes, faster than paying the worker-engine dispatch; bigger
+// flushes (bulk cold batches) still get the parallel engine.
+const serialMissMax = 128
+
 // ErrQueueFull is returned by Submit when the bounded request queue is at
 // capacity — the server is saturated and the client should back off.
 var ErrQueueFull = errors.New("serve: request queue full")
@@ -27,31 +35,55 @@ var ErrQueueFull = errors.New("serve: request queue full")
 // ErrStopped is returned by Submit when the batcher has been closed.
 var ErrStopped = errors.New("serve: batcher stopped")
 
+// errShortOut flags a Submit caller whose output slice cannot hold one
+// class per record.
+var errShortOut = errors.New("serve: output slice shorter than record count")
+
 // group is one submitted request: all of its records are answered together,
-// from one model snapshot.
+// from one model snapshot. Predictions are written straight into dst, the
+// caller's slice, so the steady-state path moves no per-request slices
+// through the channel. Groups are pooled; every field except out is reset
+// between uses.
 type group struct {
 	records [][]float64
+	dst     []int
+	cached  int
 	out     chan groupResult
 }
 
-// groupResult carries a group's predictions plus the exact model snapshot
-// that produced them (every record of a group is classified by one
-// generation, even across a concurrent hot reload).
+// groupResult signals a group's completion: the cache-hit count and the
+// exact model snapshot that produced the predictions (every record of a
+// group is classified by one generation, even across a concurrent hot
+// reload). The predictions themselves are already in the caller's slice.
 type groupResult struct {
-	classes []int
-	cached  int
-	model   *Model
-	err     error
+	cached int
+	model  *Model
+	err    error
+}
+
+// groupPool recycles groups (and their 1-slot result channels) across
+// submissions, keeping the steady-state Submit path allocation-free.
+var groupPool = sync.Pool{New: func() any { return &group{out: make(chan groupResult, 1)} }}
+
+// missSlot locates one cache-missed record: its group, its index within the
+// group, and its cache key's span inside the dispatcher's keyBuf scratch.
+type missSlot struct {
+	g              *group
+	i              int
+	keyOff, keyLen int
 }
 
 // Batcher coalesces concurrent classification requests into micro-batches:
 // request groups land in a bounded queue, a single dispatcher goroutine
 // collects them until the batch reaches maxBatch records or the flush
-// deadline passes, and each flush classifies the whole batch on the
-// internal/parallel worker engine against one model snapshot. Under load
-// the queue naturally back-fills while a flush is running, so batches grow
-// with pressure (classic adaptive micro-batching); when idle a lone request
-// waits at most the flush delay.
+// deadline passes, and each flush classifies the whole batch against one
+// model snapshot. Under load the queue naturally back-fills while a flush
+// is running, so batches grow with pressure (classic adaptive
+// micro-batching); when idle a lone request waits at most the flush delay.
+//
+// The scratch fields below the counters belong exclusively to the
+// dispatcher goroutine and persist across flushes, so the steady-state
+// flush path allocates nothing.
 type Batcher struct {
 	queue    chan *group
 	maxBatch int
@@ -67,6 +99,15 @@ type Batcher struct {
 	groups  atomic.Int64
 	rejects atomic.Int64
 	largest atomic.Int64
+
+	// Dispatcher-owned flush scratch, reused batch to batch.
+	pending   []*group
+	live      []*group
+	missSlots []missSlot
+	missRecs  [][]float64
+	keyBuf    []byte
+	bins      []int
+	timer     *time.Timer
 }
 
 // NewBatcher starts the dispatcher. model returns the current snapshot
@@ -97,34 +138,52 @@ func NewBatcher(model func() *Model, maxBatch int, delay time.Duration, queueDep
 }
 
 // Submit queues one request group and blocks until its micro-batch is
-// classified, returning the predictions, the number answered from the
-// prediction cache, and the model snapshot that produced them. It fails
-// fast with ErrQueueFull when the bounded queue is at capacity and with
-// ErrStopped when the batcher is shut down.
-func (b *Batcher) Submit(records [][]float64) ([]int, int, *Model, error) {
+// classified. Predictions are written into out (one class index per record,
+// in input order; len(out) must be at least len(records)); the return
+// values are the number of records answered from the prediction cache and
+// the model snapshot that produced the batch. It fails fast with
+// ErrQueueFull when the bounded queue is at capacity and with ErrStopped
+// when the batcher is shut down. The steady-state path allocates nothing.
+func (b *Batcher) Submit(records [][]float64, out []int) (int, *Model, error) {
 	if b.closed.Load() {
-		return nil, 0, nil, ErrStopped
+		return 0, nil, ErrStopped
 	}
-	g := &group{records: records, out: make(chan groupResult, 1)}
+	if len(out) < len(records) {
+		return 0, nil, errShortOut
+	}
+	g := groupPool.Get().(*group)
+	g.records, g.dst, g.cached = records, out[:len(records)], 0
 	select {
 	case b.queue <- g:
 	default:
 		b.rejects.Add(1)
-		return nil, 0, nil, ErrQueueFull
+		g.release()
+		return 0, nil, ErrQueueFull
 	}
 	select {
 	case res := <-g.out:
-		return res.classes, res.cached, res.model, res.err
+		g.release()
+		return res.cached, res.model, res.err
 	case <-b.done:
 		// The dispatcher drained and exited; the group may still have been
 		// answered in the final drain.
 		select {
 		case res := <-g.out:
-			return res.classes, res.cached, res.model, res.err
+			g.release()
+			return res.cached, res.model, res.err
 		default:
-			return nil, 0, nil, ErrStopped
+			// Still sitting unanswered in the queue — the queue channel holds
+			// a reference, so the group must not be pooled. Let the GC take it.
+			return 0, nil, ErrStopped
 		}
 	}
+}
+
+// release drops the group's references to caller memory and returns it to
+// the pool.
+func (g *group) release() {
+	g.records, g.dst, g.cached = nil, nil, 0
+	groupPool.Put(g)
 }
 
 // Close stops accepting work, flushes everything still queued, and waits
@@ -191,6 +250,34 @@ func (b *Batcher) run() {
 	}
 }
 
+// waitDelay parks the dispatcher on the reusable flush timer until a group
+// arrives, the delay passes, or the batcher stops; it returns the group (or
+// nil) with the timer fully quiesced either way.
+func (b *Batcher) waitDelay() *group {
+	if b.timer == nil {
+		b.timer = time.NewTimer(b.delay)
+	} else {
+		b.timer.Reset(b.delay)
+	}
+	fired := false
+	var g *group
+	select {
+	case g = <-b.queue:
+	case <-b.timer.C:
+		fired = true
+	case <-b.stop:
+	}
+	if !fired && !b.timer.Stop() {
+		// Lost the race: the timer fired between the select and Stop. Drain
+		// the channel so the next Reset starts clean.
+		select {
+		case <-b.timer.C:
+		default:
+		}
+	}
+	return g
+}
+
 // collectAndFlush forms one micro-batch behind the first group and
 // classifies it. Collection is greedy: everything already queued joins the
 // batch (up to maxBatch records) without waiting, so under load batches
@@ -200,7 +287,7 @@ func (b *Batcher) run() {
 // before flushing, which bounds the latency a solitary request can pay at
 // delay and costs the saturated path nothing.
 func (b *Batcher) collectAndFlush(first *group) {
-	pending := []*group{first}
+	pending := append(b.pending[:0], first)
 	n := len(first.records)
 	waited := false
 	for n < b.maxBatch {
@@ -215,24 +302,21 @@ func (b *Batcher) collectAndFlush(first *group) {
 			break
 		}
 		waited = true
-		deadline := time.NewTimer(b.delay)
-		select {
-		case g := <-b.queue:
+		if g := b.waitDelay(); g != nil {
 			pending = append(pending, g)
 			n += len(g.records)
-		case <-deadline.C:
-		case <-b.stop:
 		}
-		deadline.Stop()
 	}
 	b.flush(pending, n)
+	clear(pending)
+	b.pending = pending[:0]
 }
 
 // drain flushes every group still in the queue at shutdown, in maxBatch-
 // record batches.
 func (b *Batcher) drain() {
 	for {
-		var pending []*group
+		pending := b.pending[:0]
 		n := 0
 		for n < b.maxBatch {
 			select {
@@ -248,6 +332,8 @@ func (b *Batcher) drain() {
 			return
 		}
 		b.flush(pending, n)
+		clear(pending)
+		b.pending = pending[:0]
 	}
 }
 
@@ -255,8 +341,9 @@ func (b *Batcher) drain() {
 // once, so every group in the batch — and therefore every HTTP response —
 // is answered by a single model generation even while a hot reload swaps
 // the pointer concurrently. Records hitting the snapshot's prediction
-// cache skip classification; the misses of all groups are concatenated and
-// classified in one ClassifyBatch call on the worker engine.
+// cache are answered in place; the misses of all groups are classified
+// together (see classifyMisses). All bookkeeping lives in the dispatcher's
+// reusable scratch, so a steady-state flush allocates nothing.
 func (b *Batcher) flush(pending []*group, n int) {
 	m := b.model()
 	b.batches.Add(1)
@@ -268,64 +355,102 @@ func (b *Batcher) flush(pending []*group, n int) {
 
 	// Validate groups up front so one malformed record fails only its own
 	// request, never the whole batch.
-	live := pending[:0:0]
+	live := b.live[:0]
 	for _, g := range pending {
 		if err := checkGroup(m, g.records); err != nil {
 			g.out <- groupResult{err: err}
 			continue
 		}
+		g.cached = 0
 		live = append(live, g)
 	}
 
-	type slot struct {
-		g   *group
-		i   int
-		key string
-	}
-	var missRecs [][]float64
-	var missSlots []slot
-	results := make(map[*group][]int, len(live))
-	cachedPer := make(map[*group]int, len(live))
+	// Probe the prediction cache record by record. Keys are rendered into
+	// the shared keyBuf and probed without materializing a string; a hit is
+	// answered in place and its key truncated away, a miss keeps its key
+	// span alive for the eventual insert.
+	slots := b.missSlots[:0]
+	b.keyBuf = b.keyBuf[:0]
 	for _, g := range live {
-		classes := make([]int, len(g.records))
-		results[g] = classes
 		for i, rec := range g.records {
 			if m.cache == nil {
-				missRecs = append(missRecs, rec)
-				missSlots = append(missSlots, slot{g: g, i: i})
+				slots = append(slots, missSlot{g: g, i: i})
 				continue
 			}
-			key := m.CacheKey(rec)
-			if class, ok := m.cache.get(key); ok {
-				classes[i] = class
-				cachedPer[g]++
+			off := len(b.keyBuf)
+			b.keyBuf = m.appendKey(b.keyBuf, rec)
+			if class, ok := m.cache.getBytes(b.keyBuf[off:]); ok {
+				g.dst[i] = class
+				g.cached++
+				b.keyBuf = b.keyBuf[:off]
 				continue
 			}
-			missRecs = append(missRecs, rec)
-			missSlots = append(missSlots, slot{g: g, i: i, key: key})
+			slots = append(slots, missSlot{g: g, i: i, keyOff: off, keyLen: len(b.keyBuf) - off})
 		}
 	}
 
-	if len(missRecs) > 0 {
-		preds, err := m.Predictor.ClassifyBatch(missRecs, b.workers)
-		if err != nil {
-			// Widths were validated above, so neither learner can fail here;
-			// if something does, fail every group of the batch honestly.
-			for _, g := range live {
-				g.out <- groupResult{err: err}
-			}
-			return
+	var err error
+	if len(slots) > 0 {
+		err = b.classifyMisses(m, slots)
+	}
+	if err != nil {
+		// Widths were validated above, so neither learner can fail here; if
+		// something does, fail every group of the batch honestly.
+		for _, g := range live {
+			g.out <- groupResult{err: err}
 		}
-		for k, s := range missSlots {
-			results[s.g][s.i] = preds[k]
+	} else {
+		for _, g := range live {
+			g.out <- groupResult{cached: g.cached, model: m}
+		}
+	}
+
+	clear(live)
+	b.live = live[:0]
+	clear(slots)
+	b.missSlots = slots[:0]
+}
+
+// classifyMisses answers every cache-missed slot and inserts the results
+// into the prediction cache. Small miss counts — the steady-state
+// micro-batch regime — walk the model's allocation-free PredictBins path
+// serially, reusing one discretize buffer; larger flushes (or predictors
+// without a discretized fast path) fall back to the parallel ClassifyBatch
+// engine, which allocates but amortizes across the bulk batch.
+func (b *Batcher) classifyMisses(m *Model, slots []missSlot) error {
+	if bp, ok := m.Predictor.(binsPredictor); ok && len(slots) <= serialMissMax {
+		for _, s := range slots {
+			bins := m.appendBins(b.bins[:0], s.g.records[s.i])
+			b.bins = bins[:0]
+			class, err := bp.PredictBins(bins)
+			if err != nil {
+				return err
+			}
+			s.g.dst[s.i] = class
 			if m.cache != nil {
-				m.cache.put(s.key, preds[k])
+				m.cache.putBytes(b.keyBuf[s.keyOff:s.keyOff+s.keyLen], class)
 			}
 		}
+		return nil
 	}
-	for _, g := range live {
-		g.out <- groupResult{classes: results[g], cached: cachedPer[g], model: m}
+
+	recs := b.missRecs[:0]
+	for _, s := range slots {
+		recs = append(recs, s.g.records[s.i])
 	}
+	preds, err := m.Predictor.ClassifyBatch(recs, b.workers)
+	clear(recs)
+	b.missRecs = recs[:0]
+	if err != nil {
+		return err
+	}
+	for k, s := range slots {
+		s.g.dst[s.i] = preds[k]
+		if m.cache != nil {
+			m.cache.putBytes(b.keyBuf[s.keyOff:s.keyOff+s.keyLen], preds[k])
+		}
+	}
+	return nil
 }
 
 // checkGroup validates every record width of one group.

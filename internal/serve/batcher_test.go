@@ -65,7 +65,8 @@ func TestBatcherCoalesces(t *testing.T) {
 	for i := 0; i < groups; i++ {
 		go func(i int) {
 			defer wg.Done()
-			if _, _, _, err := b.Submit([][]float64{record(float64(i))}); err != nil {
+			out := make([]int, 1)
+			if _, _, err := b.Submit([][]float64{record(float64(i))}, out); err != nil {
 				t.Errorf("submit %d: %v", i, err)
 			}
 		}(i)
@@ -106,8 +107,9 @@ func TestBatcherQueueFull(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			out := make([]int, 1)
 			for {
-				if _, _, _, err := b.Submit([][]float64{record(1)}); !errors.Is(err, ErrQueueFull) {
+				if _, _, err := b.Submit([][]float64{record(1)}, out); !errors.Is(err, ErrQueueFull) {
 					return
 				}
 				time.Sleep(time.Millisecond)
@@ -124,7 +126,7 @@ func TestBatcherQueueFull(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if _, _, _, err := b.Submit([][]float64{record(9)}); !errors.Is(err, ErrQueueFull) {
+	if _, _, err := b.Submit([][]float64{record(9)}, make([]int, 1)); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("submit into a full queue: err = %v, want ErrQueueFull", err)
 	}
 	if b.Stats().QueueRejects == 0 {
@@ -143,10 +145,11 @@ func TestBatcherCache(t *testing.T) {
 	defer b.Close()
 
 	rec := record(5)
-	if _, cached, _, err := b.Submit([][]float64{rec}); err != nil || cached != 0 {
+	out := make([]int, 1)
+	if cached, _, err := b.Submit([][]float64{rec}, out); err != nil || cached != 0 {
 		t.Fatalf("first submit: cached=%d err=%v", cached, err)
 	}
-	if _, cached, _, err := b.Submit([][]float64{rec}); err != nil || cached != 1 {
+	if cached, _, err := b.Submit([][]float64{rec}, out); err != nil || cached != 1 {
 		t.Fatalf("second submit: cached=%d err=%v, want a cache hit", cached, err)
 	}
 	if got := p.records.Load(); got != 1 {
@@ -170,11 +173,11 @@ func TestBatcherInvalidGroupFailsAlone(t *testing.T) {
 	var badErr, goodErr error
 	go func() {
 		defer wg.Done()
-		_, _, _, badErr = b.Submit([][]float64{{1, 2}}) // wrong width
+		_, _, badErr = b.Submit([][]float64{{1, 2}}, make([]int, 1)) // wrong width
 	}()
 	go func() {
 		defer wg.Done()
-		_, _, _, goodErr = b.Submit([][]float64{record(1)})
+		_, _, goodErr = b.Submit([][]float64{record(1)}, make([]int, 1))
 	}()
 	wg.Wait()
 	if badErr == nil {

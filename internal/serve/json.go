@@ -1,0 +1,480 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"unsafe"
+)
+
+// Hand-rolled JSON codec for the /classify hot path. The wire format is
+// exactly the one the classifyRequest/classifyResponse structs describe —
+// those structs remain the authoritative schema (and the tests decode
+// responses through them) — but encoding/json allocates per number, per
+// record, and per encoder state, which would dominate a steady-state
+// request. The parser below lands every float in a reusable arena and the
+// renderer appends into a reusable buffer, so a warmed-up request touches
+// the heap zero times. The cold paths (malformed input, exotic strings)
+// fall back to fmt/encoding-json freely.
+
+// recSeg is one parsed record's span inside the classifyScratch value
+// arena; off < 0 marks a JSON null (a nil record).
+type recSeg struct{ off, n int }
+
+// classifyParser is a cursor over one request body.
+type classifyParser struct {
+	data []byte
+	pos  int
+	sc   *classifyScratch
+}
+
+// parseClassifyRequest parses a /classify JSON body of the form
+// {"record": [...], "records": [[...], ...]} into sc.records. Float values
+// land in the sc.values arena and record headers are rebuilt over it after
+// parsing completes (the arena may move while growing), so the steady
+// state allocates nothing. Unknown fields are skipped and, as with
+// encoding/json, the last occurrence of a duplicated field wins. A present
+// "record" becomes records[0], matching the documented prepend semantics.
+func (sc *classifyScratch) parseClassifyRequest(data []byte) error {
+	sc.values = sc.values[:0]
+	sc.segs = sc.segs[:0]
+	sc.records = sc.records[:0]
+	p := classifyParser{data: data, sc: sc}
+	single := recSeg{off: -1}
+
+	p.skipSpace()
+	if !p.consume('{') {
+		return p.syntaxErr("expected a JSON object")
+	}
+	p.skipSpace()
+	if !p.consume('}') {
+		for {
+			p.skipSpace()
+			key, simple, err := p.parseKey()
+			if err != nil {
+				return err
+			}
+			p.skipSpace()
+			if !p.consume(':') {
+				return p.syntaxErr("expected ':' after object key")
+			}
+			p.skipSpace()
+			switch {
+			case simple && string(key) == "record":
+				single, err = p.parseNumberArray()
+			case simple && string(key) == "records":
+				sc.segs = sc.segs[:0]
+				err = p.parseRecords()
+			default:
+				err = p.skipValue()
+			}
+			if err != nil {
+				return err
+			}
+			p.skipSpace()
+			if p.consume(',') {
+				continue
+			}
+			if p.consume('}') {
+				break
+			}
+			return p.syntaxErr("expected ',' or '}' in object")
+		}
+	}
+
+	if single.off >= 0 {
+		sc.records = append(sc.records, sc.values[single.off:single.off+single.n])
+	}
+	for _, s := range sc.segs {
+		if s.off < 0 {
+			sc.records = append(sc.records, nil)
+			continue
+		}
+		sc.records = append(sc.records, sc.values[s.off:s.off+s.n])
+	}
+	return nil
+}
+
+// syntaxErr builds a decode error carrying the byte offset. Error paths
+// only; allocates freely.
+func (p *classifyParser) syntaxErr(msg string) error {
+	return fmt.Errorf("decoding request: %s at offset %d", msg, p.pos)
+}
+
+// skipSpace advances past JSON whitespace.
+func (p *classifyParser) skipSpace() {
+	for p.pos < len(p.data) {
+		switch p.data[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// consume advances past c if it is the next byte.
+func (p *classifyParser) consume(c byte) bool {
+	if p.pos < len(p.data) && p.data[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// consumeLit advances past an exact literal (true/false/null).
+func (p *classifyParser) consumeLit(lit string) bool {
+	if len(p.data)-p.pos >= len(lit) && string(p.data[p.pos:p.pos+len(lit)]) == lit {
+		p.pos += len(lit)
+		return true
+	}
+	return false
+}
+
+// parseKey scans one object key, returning the raw bytes between the
+// quotes and whether they contain no escapes (only then is a direct
+// comparison against a field name sound; escaped spellings of known keys
+// are treated as unknown fields, a corner encoding/json handles but no
+// real client produces).
+func (p *classifyParser) parseKey() ([]byte, bool, error) {
+	if !p.consume('"') {
+		return nil, false, p.syntaxErr("expected a string key")
+	}
+	start := p.pos
+	simple := true
+	for p.pos < len(p.data) {
+		switch p.data[p.pos] {
+		case '\\':
+			simple = false
+			p.pos += 2
+		case '"':
+			key := p.data[start:p.pos]
+			p.pos++
+			return key, simple, nil
+		default:
+			p.pos++
+		}
+	}
+	return nil, false, p.syntaxErr("unterminated string")
+}
+
+// skipString advances past one string value.
+func (p *classifyParser) skipString() error {
+	_, _, err := p.parseKey()
+	return err
+}
+
+// skipValue advances past one JSON value of any type — the unknown-field
+// path.
+func (p *classifyParser) skipValue() error {
+	p.skipSpace()
+	if p.pos >= len(p.data) {
+		return p.syntaxErr("unexpected end of body")
+	}
+	switch p.data[p.pos] {
+	case '"':
+		return p.skipString()
+	case '{':
+		p.pos++
+		p.skipSpace()
+		if p.consume('}') {
+			return nil
+		}
+		for {
+			p.skipSpace()
+			if err := p.skipString(); err != nil {
+				return err
+			}
+			p.skipSpace()
+			if !p.consume(':') {
+				return p.syntaxErr("expected ':' after object key")
+			}
+			if err := p.skipValue(); err != nil {
+				return err
+			}
+			p.skipSpace()
+			if p.consume(',') {
+				continue
+			}
+			if p.consume('}') {
+				return nil
+			}
+			return p.syntaxErr("expected ',' or '}' in object")
+		}
+	case '[':
+		p.pos++
+		p.skipSpace()
+		if p.consume(']') {
+			return nil
+		}
+		for {
+			if err := p.skipValue(); err != nil {
+				return err
+			}
+			p.skipSpace()
+			if p.consume(',') {
+				continue
+			}
+			if p.consume(']') {
+				return nil
+			}
+			return p.syntaxErr("expected ',' or ']' in array")
+		}
+	case 't':
+		if !p.consumeLit("true") {
+			return p.syntaxErr("invalid literal")
+		}
+		return nil
+	case 'f':
+		if !p.consumeLit("false") {
+			return p.syntaxErr("invalid literal")
+		}
+		return nil
+	case 'n':
+		if !p.consumeLit("null") {
+			return p.syntaxErr("invalid literal")
+		}
+		return nil
+	default:
+		_, err := p.parseFloat()
+		return err
+	}
+}
+
+// parseNumberArray parses a [numbers...] value (or null) into the value
+// arena and returns its span.
+func (p *classifyParser) parseNumberArray() (recSeg, error) {
+	if p.consumeLit("null") {
+		return recSeg{off: -1}, nil
+	}
+	if !p.consume('[') {
+		return recSeg{}, p.syntaxErr("expected an array of numbers")
+	}
+	off := len(p.sc.values)
+	p.skipSpace()
+	if p.consume(']') {
+		return recSeg{off: off}, nil
+	}
+	for {
+		p.skipSpace()
+		v, err := p.parseFloat()
+		if err != nil {
+			return recSeg{}, err
+		}
+		p.sc.values = append(p.sc.values, v)
+		p.skipSpace()
+		if p.consume(',') {
+			continue
+		}
+		if p.consume(']') {
+			return recSeg{off: off, n: len(p.sc.values) - off}, nil
+		}
+		return recSeg{}, p.syntaxErr("expected ',' or ']' in array")
+	}
+}
+
+// parseRecords parses the [[numbers...], ...] value (or null) of the
+// "records" field.
+func (p *classifyParser) parseRecords() error {
+	if p.consumeLit("null") {
+		return nil
+	}
+	if !p.consume('[') {
+		return p.syntaxErr("expected an array of records")
+	}
+	p.skipSpace()
+	if p.consume(']') {
+		return nil
+	}
+	for {
+		p.skipSpace()
+		seg, err := p.parseNumberArray()
+		if err != nil {
+			return err
+		}
+		p.sc.segs = append(p.sc.segs, seg)
+		p.skipSpace()
+		if p.consume(',') {
+			continue
+		}
+		if p.consume(']') {
+			return nil
+		}
+		return p.syntaxErr("expected ',' or ']' in array")
+	}
+}
+
+// pow10tab holds the exactly-representable powers of ten (10^0..10^22 have
+// at most 22 factors of 5, so their mantissas fit float64's 53 bits).
+var pow10tab = [23]float64{
+	1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11,
+	1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
+// parseFloat scans one JSON number. The common case — at most 18
+// significant digits with a decimal exponent within ±22 — is resolved with
+// Clinger's fast path: the digits accumulate exactly in a uint64, the
+// power of ten is exactly representable, and one IEEE multiply or divide
+// is then correctly rounded, bit-identical to strconv. Everything else
+// (huge mantissas, extreme exponents) falls back to strconv.ParseFloat
+// over the scanned bytes.
+func (p *classifyParser) parseFloat() (float64, error) {
+	d := p.data
+	start := p.pos
+	neg := false
+	if p.pos < len(d) && d[p.pos] == '-' {
+		neg = true
+		p.pos++
+	}
+	if p.pos >= len(d) || d[p.pos] < '0' || d[p.pos] > '9' {
+		return 0, p.syntaxErr("invalid number")
+	}
+	var mant uint64
+	exact := true // mant holds every significant digit scanned so far
+	exp10 := 0
+	if d[p.pos] == '0' {
+		p.pos++
+		if p.pos < len(d) && d[p.pos] >= '0' && d[p.pos] <= '9' {
+			return 0, p.syntaxErr("invalid number") // JSON forbids leading zeros
+		}
+	} else {
+		for p.pos < len(d) && d[p.pos] >= '0' && d[p.pos] <= '9' {
+			if mant < 1e18 {
+				mant = mant*10 + uint64(d[p.pos]-'0')
+			} else {
+				exact = false
+			}
+			p.pos++
+		}
+	}
+	if p.pos < len(d) && d[p.pos] == '.' {
+		p.pos++
+		if p.pos >= len(d) || d[p.pos] < '0' || d[p.pos] > '9' {
+			return 0, p.syntaxErr("invalid number")
+		}
+		for p.pos < len(d) && d[p.pos] >= '0' && d[p.pos] <= '9' {
+			if mant < 1e18 {
+				mant = mant*10 + uint64(d[p.pos]-'0')
+				exp10--
+			} else {
+				exact = false
+			}
+			p.pos++
+		}
+	}
+	if p.pos < len(d) && (d[p.pos] == 'e' || d[p.pos] == 'E') {
+		p.pos++
+		esign := 1
+		if p.pos < len(d) && (d[p.pos] == '+' || d[p.pos] == '-') {
+			if d[p.pos] == '-' {
+				esign = -1
+			}
+			p.pos++
+		}
+		if p.pos >= len(d) || d[p.pos] < '0' || d[p.pos] > '9' {
+			return 0, p.syntaxErr("invalid number")
+		}
+		ev := 0
+		for p.pos < len(d) && d[p.pos] >= '0' && d[p.pos] <= '9' {
+			if ev < 10000 {
+				ev = ev*10 + int(d[p.pos]-'0')
+			}
+			p.pos++
+		}
+		exp10 += esign * ev
+	}
+
+	if exact && mant <= 1<<53 {
+		var f float64
+		switch {
+		case exp10 == 0:
+			f = float64(mant)
+		case exp10 > 0 && exp10 <= 22:
+			f = float64(mant) * pow10tab[exp10]
+		case exp10 < 0 && exp10 >= -22:
+			f = float64(mant) / pow10tab[-exp10]
+		default:
+			goto slow
+		}
+		if neg {
+			f = -f
+		}
+		return f, nil
+	}
+slow:
+	f, err := strconv.ParseFloat(bytesAsString(d[start:p.pos]), 64)
+	if err != nil {
+		return 0, p.syntaxErr("invalid number")
+	}
+	return f, nil
+}
+
+// bytesAsString views b as a string without copying. It is only handed to
+// strconv.ParseFloat, which does not retain its argument, so aliasing a
+// reusable request buffer is safe.
+func bytesAsString(b []byte) string {
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// jsonContentType is the shared Content-Type header value the hot path
+// installs by direct map assignment — http.Header.Set would allocate a
+// fresh one-element slice per request.
+var jsonContentType = []string{"application/json"}
+
+// appendClassifyResponse renders the /classify answer into buf with the
+// same field set and two-space indentation writeJSON's json.Encoder
+// produces, so clients (and the CI smoke greps) see byte-compatible
+// output; the model block is the snapshot's pre-rendered info document.
+func appendClassifyResponse(buf []byte, m *Model, classes []int, cached int) []byte {
+	buf = append(buf, "{\n  \"n\": "...)
+	buf = strconv.AppendInt(buf, int64(len(classes)), 10)
+	buf = append(buf, ",\n  \"classes\": ["...)
+	names := m.Schema.Classes
+	for i, c := range classes {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, "\n    "...)
+		buf = appendJSONString(buf, names[c])
+	}
+	if len(classes) > 0 {
+		buf = append(buf, "\n  "...)
+	}
+	buf = append(buf, "],\n  \"class_indices\": ["...)
+	for i, c := range classes {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, "\n    "...)
+		buf = strconv.AppendInt(buf, int64(c), 10)
+	}
+	if len(classes) > 0 {
+		buf = append(buf, "\n  "...)
+	}
+	buf = append(buf, "],\n  \"cached\": "...)
+	buf = strconv.AppendInt(buf, int64(cached), 10)
+	buf = append(buf, ",\n  \"model\": "...)
+	buf = append(buf, m.infoBytes()...)
+	buf = append(buf, "\n}\n"...)
+	return buf
+}
+
+// appendJSONString appends s as a JSON string. Plain printable ASCII —
+// every class name in practice — is appended directly; anything needing
+// escapes defers to encoding/json so the escaping (including its HTML
+// rules) cannot drift.
+func appendJSONString(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x80 || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			b, err := json.Marshal(s)
+			if err != nil {
+				return append(buf, `""`...)
+			}
+			return append(buf, b...)
+		}
+	}
+	buf = append(buf, '"')
+	buf = append(buf, s...)
+	return append(buf, '"')
+}

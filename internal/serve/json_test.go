@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"ppdm/internal/prng"
+)
+
+// decodeReference is the encoding/json semantics the hand parser must
+// match: decode the struct, then prepend a non-nil "record".
+func decodeReference(t *testing.T, body []byte) ([][]float64, error) {
+	t.Helper()
+	var req classifyRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	records := req.Records
+	if req.Record != nil {
+		records = append([][]float64{req.Record}, records...)
+	}
+	return records, nil
+}
+
+// checkParserAgainstReference parses body both ways and compares outcomes.
+func checkParserAgainstReference(t *testing.T, sc *classifyScratch, body []byte) bool {
+	t.Helper()
+	want, refErr := decodeReference(t, body)
+	gotErr := sc.parseClassifyRequest(body)
+	if (refErr == nil) != (gotErr == nil) {
+		t.Logf("body %q: reference err %v, parser err %v", body, refErr, gotErr)
+		return false
+	}
+	if refErr != nil {
+		return true
+	}
+	got := sc.records
+	if len(got) != len(want) {
+		t.Logf("body %q: parser found %d records, reference %d", body, len(got), len(want))
+		return false
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if len(w) != len(g) {
+			t.Logf("body %q record %d: width %d vs %d", body, i, len(g), len(w))
+			return false
+		}
+		for j := range w {
+			// Bit-identical, including negative zero; NaN cannot appear in JSON.
+			if math.Float64bits(w[j]) != math.Float64bits(g[j]) {
+				t.Logf("body %q record %d value %d: parser %v (%x), reference %v (%x)",
+					body, i, j, g[j], math.Float64bits(g[j]), w[j], math.Float64bits(w[j]))
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestParseClassifyRequestMatchesEncodingJSON is the parser's differential
+// contract on well-formed bodies: for fuzzed requests round-tripped
+// through json.Marshal — including values whose shortest decimal form
+// exceeds the Clinger fast path — the hand parser must produce
+// bit-identical records to encoding/json.
+func TestParseClassifyRequestMatchesEncodingJSON(t *testing.T) {
+	sc := new(classifyScratch)
+	f := func(seed uint64) bool {
+		r := prng.New(seed)
+		req := map[string]any{}
+		width := 1 + r.Intn(6)
+		randRec := func() []float64 {
+			rec := make([]float64, width)
+			for j := range rec {
+				switch r.Intn(5) {
+				case 0:
+					rec[j] = float64(r.Intn(100)) // integral fast path
+				case 1:
+					rec[j] = r.Float64() * 1e3 // typical data value, 17 digits
+				case 2:
+					rec[j] = -r.Float64() * 1e-8 // negative small
+				case 3:
+					rec[j] = r.Float64() * 1e300 // extreme exponent: slow path
+				default:
+					rec[j] = float64(r.Intn(2000)-1000) / 64 // exact dyadic
+				}
+			}
+			return rec
+		}
+		if r.Intn(2) == 0 {
+			req["record"] = randRec()
+		}
+		if r.Intn(4) > 0 {
+			n := r.Intn(5)
+			recs := make([][]float64, n)
+			for i := range recs {
+				recs[i] = randRec()
+			}
+			req["records"] = recs
+		}
+		if r.Intn(3) == 0 { // unknown fields must be skipped
+			req["metadata"] = map[string]any{"tag": "x", "nested": []any{1.5, "s", nil, true}}
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if !checkParserAgainstReference(t, sc, body) {
+			return false
+		}
+		// Indented spelling of the same document parses identically.
+		var indented bytes.Buffer
+		if err := json.Indent(&indented, body, "", "\t"); err != nil {
+			t.Log(err)
+			return false
+		}
+		return checkParserAgainstReference(t, sc, indented.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseClassifyRequestEdgeCases pins the corner spellings: null and
+// empty fields, duplicate keys (last wins), unknown fields of every JSON
+// type, and a malformed-body sample that must all be rejected.
+func TestParseClassifyRequestEdgeCases(t *testing.T) {
+	sc := new(classifyScratch)
+	valid := []string{
+		`{}`,
+		`{ }`,
+		`{"record": null}`,
+		`{"record": []}`,
+		`{"records": null}`,
+		`{"records": []}`,
+		`{"record": [1, 2.5, -3e2]}`,
+		`{"records": [[1], [2]], "record": [0]}`,
+		`{"records": [[1]], "records": [[2], [3]]}`,
+		`{"x": {"deep": [{"a": "b"}]}, "record": [1e-30], "y": false}`,
+		"{\n\t\"record\": [ 0.1 , 2 ]\n}",
+		`{"record": [1]} trailing ignored like a json.Decoder would`,
+	}
+	for _, body := range valid {
+		if !checkParserAgainstReference(t, sc, []byte(body)) {
+			// Trailing data is the one intentional divergence: Decode reads a
+			// single value, Unmarshal rejects the extra bytes. Check directly.
+			if err := sc.parseClassifyRequest([]byte(body)); err != nil {
+				t.Errorf("body %q: %v", body, err)
+			}
+		}
+	}
+	malformed := []string{
+		``, `[1]`, `"s"`, `{`, `{"record": [1}`, `{"record": [01]}`,
+		`{"record": [1.]}`, `{"record": [.5]}`, `{"record": [+1]}`,
+		`{"record": [1e]}`, `{"record": [NaN]}`, `{"record": 5}`,
+		`{"records": [5]}`, `{"record" [1]}`, `{"record": [1] "x": 2}`,
+		`{"record": ["1"]}`, `{"unterminated": "st`,
+	}
+	for _, body := range malformed {
+		if err := sc.parseClassifyRequest([]byte(body)); err == nil {
+			t.Errorf("body %q parsed without error", body)
+		}
+	}
+}
+
+// TestParseFloatMatchesStrconv hammers the number scanner alone: for
+// random bit patterns rendered at shortest precision and back, the parsed
+// value must be bit-identical to strconv.ParseFloat.
+func TestParseFloatMatchesStrconv(t *testing.T) {
+	r := prng.New(11)
+	sc := new(classifyScratch)
+	for trial := 0; trial < 20000; trial++ {
+		bits := r.Uint64()
+		f := math.Float64frombits(bits)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		text := strconv.FormatFloat(f, 'g', -1, 64)
+		if text[0] == '+' { // JSON numbers carry no plus sign
+			text = text[1:]
+		}
+		p := classifyParser{data: []byte(text), sc: sc}
+		got, err := p.parseFloat()
+		if err != nil {
+			t.Fatalf("%q: %v", text, err)
+		}
+		if p.pos != len(text) {
+			t.Fatalf("%q: consumed %d of %d bytes", text, p.pos, len(text))
+		}
+		if math.Float64bits(got) != math.Float64bits(f) {
+			t.Fatalf("%q: parsed %v (%x), want %v (%x)", text, got, math.Float64bits(got), f, bits)
+		}
+	}
+}
+
+// TestAppendClassifyResponseMatchesEncoder locks the hand-rendered
+// response to the exact bytes writeJSON's json.Encoder would produce for
+// the same document — field order, two-space indentation, trailing
+// newline, everything.
+func TestAppendClassifyResponseMatchesEncoder(t *testing.T) {
+	m := fakeModel(&fakePredictor{}, 0)
+	for _, classes := range [][]int{{0}, {0, 1, 0, 1}} {
+		names := make([]string, len(classes))
+		for i, c := range classes {
+			names[i] = m.Schema.Classes[c]
+		}
+		var want bytes.Buffer
+		enc := json.NewEncoder(&want)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(classifyResponse{
+			N:            len(classes),
+			Classes:      names,
+			ClassIndices: classes,
+			Cached:       1,
+			Model:        info(m),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		got := appendClassifyResponse(nil, m, classes, 1)
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("hand-rendered response differs from json.Encoder:\n got: %q\nwant: %q", got, want.Bytes())
+		}
+		// And it must round-trip through the documented response struct.
+		var back classifyResponse
+		if err := json.Unmarshal(got, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.N != len(classes) || !reflect.DeepEqual(back.ClassIndices, classes) {
+			t.Fatalf("round-trip mismatch: %+v", back)
+		}
+	}
+}

@@ -2,8 +2,10 @@ package serve
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"ppdm/internal/bayes"
@@ -19,6 +21,15 @@ import (
 type Predictor interface {
 	Predict(rec []float64) (int, error)
 	ClassifyBatch(records [][]float64, workers int) ([]int, error)
+}
+
+// binsPredictor is the optional allocation-free fast path a Predictor may
+// offer: classify a record already discretized to interval indices. Both
+// built-in learners implement it; the micro-batcher uses it to answer
+// small cache-miss sets without touching the heap. Predictors without it
+// (e.g. test fakes) ride the ClassifyBatch fallback.
+type binsPredictor interface {
+	PredictBins(bins []int) (int, error)
 }
 
 // Model is one loaded, immutable model snapshot: the predictor plus the
@@ -47,6 +58,9 @@ type Model struct {
 	Generation int64
 
 	cache *lru
+
+	infoOnce sync.Once
+	infoJSON []byte
 }
 
 // CacheKey renders the discretized form of a record — the vector of
@@ -55,11 +69,41 @@ type Model struct {
 // learner's discretized model, which is what makes the prediction cache
 // sound.
 func (m *Model) CacheKey(rec []float64) string {
-	buf := make([]byte, 0, 3*len(rec))
+	return string(m.appendKey(make([]byte, 0, 3*len(rec)), rec))
+}
+
+// appendKey appends the CacheKey encoding of rec to buf and returns the
+// extended slice — the allocation-free form the micro-batcher renders keys
+// with before probing the cache.
+func (m *Model) appendKey(buf []byte, rec []float64) []byte {
 	for j, v := range rec {
 		buf = appendUvarint(buf, uint64(m.Partitions[j].Bin(v)))
 	}
-	return string(buf)
+	return buf
+}
+
+// appendBins appends rec's interval index per attribute to bins, the
+// discretized form PredictBins consumes.
+func (m *Model) appendBins(bins []int, rec []float64) []int {
+	for j, v := range rec {
+		bins = append(bins, m.Partitions[j].Bin(v))
+	}
+	return bins
+}
+
+// infoBytes returns the snapshot's modelInfo pre-rendered as indented JSON
+// (prefix "  ", matching its nesting depth inside the /classify response),
+// computed once per snapshot. A Model is immutable after construction, so
+// the bytes never go stale; sharing one rendering keeps the response hot
+// path free of per-request encoding allocations.
+func (m *Model) infoBytes() []byte {
+	m.infoOnce.Do(func() {
+		b, err := json.MarshalIndent(info(m), "  ", "  ")
+		if err == nil {
+			m.infoJSON = b
+		}
+	})
+	return m.infoJSON
 }
 
 // appendUvarint appends a minimal little-endian base-128 encoding of v.

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -111,7 +112,9 @@ func (s *Server) Reload() (*Model, error) {
 }
 
 // statusWriter records the status code a handler answered with, so the
-// instrumentation middleware can count errors.
+// instrumentation middleware can count errors. Instances are pooled: one
+// is checked out per request and returned after the counters are folded
+// in, so instrumentation itself never allocates.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -123,16 +126,21 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+var statusWriterPool = sync.Pool{New: func() any { return new(statusWriter) }}
+
 // instrument wraps a handler with the per-endpoint latency/throughput
-// counters. Handlers report their record count through the requestRecords
-// pointer smuggled via the wrapper.
+// counters. Handlers report their record count through the wrapper's
+// return value.
 func (s *Server) instrument(name string, h func(w http.ResponseWriter, r *http.Request) int) http.HandlerFunc {
 	em := s.metrics.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sw := statusWriterPool.Get().(*statusWriter)
+		sw.ResponseWriter, sw.status = w, http.StatusOK
 		records := h(sw, r)
 		em.observe(start, records, sw.status >= 400)
+		sw.ResponseWriter = nil
+		statusWriterPool.Put(sw)
 	}
 }
 
@@ -175,18 +183,56 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 // classifyRequest is the JSON body of POST /classify: one record or many.
+// The hot path parses this shape by hand (see json.go); the struct remains
+// the authoritative schema of the wire format.
 type classifyRequest struct {
 	Record  []float64   `json:"record"`
 	Records [][]float64 `json:"records"`
 }
 
-// classifyResponse answers a JSON /classify request.
+// classifyResponse answers a JSON /classify request. As with
+// classifyRequest, the hot path renders this shape by hand with identical
+// field order and indentation.
 type classifyResponse struct {
 	N            int       `json:"n"`
 	Classes      []string  `json:"classes"`
 	ClassIndices []int     `json:"class_indices"`
 	Cached       int       `json:"cached"`
 	Model        modelInfo `json:"model"`
+}
+
+// classifyScratch bundles every per-request buffer of the JSON /classify
+// path: the body bytes, the parsed float arena with its record headers,
+// the prediction output, and the rendered response. Requests check one out
+// of the pool, so a warmed-up server answers /classify without heap
+// allocation (enforced by TestClassifyHandlerAllocs).
+type classifyScratch struct {
+	body    []byte
+	values  []float64
+	segs    []recSeg
+	records [][]float64
+	classes []int
+	resp    []byte
+}
+
+var classifyScratchPool = sync.Pool{New: func() any { return new(classifyScratch) }}
+
+// readBody reads r to EOF into buf, reusing its capacity and growing
+// geometrically (via append) only when the body outgrows it.
+func readBody(r io.Reader, buf []byte) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
 }
 
 // streamClassifyResponse answers a gzipped-CSV /classify request: per-class
@@ -205,55 +251,69 @@ type streamClassifyResponse struct {
 // micro-batcher; a gzipped body (detected by the magic bytes, e.g. a file
 // written by `ppdm-gen -stream`) is decoded as a CSV record stream and
 // classified batch-by-batch in bounded memory against one snapshot.
+//
+// The JSON path is the serving hot loop and is engineered to be
+// allocation-free in the steady state: the body lands in pooled scratch,
+// the hand-rolled parser arenas the floats, predictions are written into a
+// pooled slice by the batcher, and the response is rendered into a pooled
+// buffer (see classifyScratch and json.go).
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) int {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return 0
 	}
-	body, gzipped, err := stream.SniffGzip(r.Body)
-	if err != nil {
+	sc := classifyScratchPool.Get().(*classifyScratch)
+	defer classifyScratchPool.Put(sc)
+
+	// Sniff the gzip magic from the first two body bytes without an
+	// allocating buffered reader; a short (0-1 byte) body sniffs as JSON.
+	if cap(sc.body) < 2 {
+		sc.body = make([]byte, 0, 512)
+	}
+	head := sc.body[:2]
+	n, err := io.ReadFull(r.Body, head)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
 		writeError(w, http.StatusBadRequest, err)
 		return 0
 	}
-	if gzipped {
-		return s.classifyStream(w, body)
+	if n == 2 && head[0] == 0x1f && head[1] == 0x8b {
+		return s.classifyStream(w, io.MultiReader(bytes.NewReader(head), r.Body))
 	}
-	var req classifyRequest
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+
+	body, err := readBody(r.Body, sc.body[:n])
+	sc.body = body[:0] // keep the grown capacity for the next request
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
 		return 0
 	}
-	records := req.Records
-	if req.Record != nil {
-		records = append([][]float64{req.Record}, records...)
+	if err := sc.parseClassifyRequest(body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return 0
 	}
+	records := sc.records
 	if len(records) == 0 {
 		writeError(w, http.StatusBadRequest, errors.New(`body needs "record" or "records"`))
 		return 0
 	}
-	classes, cached, m, err := s.batcher.Submit(records)
+
+	if cap(sc.classes) < len(records) {
+		sc.classes = make([]int, len(records))
+	}
+	classes := sc.classes[:len(records)]
+	cached, m, err := s.batcher.Submit(records, classes)
 	switch {
-	case errors.Is(err, ErrQueueFull):
-		writeError(w, http.StatusServiceUnavailable, err)
-		return len(records)
-	case errors.Is(err, ErrStopped):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrStopped):
 		writeError(w, http.StatusServiceUnavailable, err)
 		return len(records)
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
 		return len(records)
 	}
-	names := make([]string, len(classes))
-	for i, c := range classes {
-		names[i] = m.Schema.Classes[c]
-	}
-	writeJSON(w, http.StatusOK, classifyResponse{
-		N:            len(classes),
-		Classes:      names,
-		ClassIndices: classes,
-		Cached:       cached,
-		Model:        info(m),
-	})
+
+	sc.resp = appendClassifyResponse(sc.resp[:0], m, classes, cached)
+	w.Header()["Content-Type"] = jsonContentType
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(sc.resp)
 	return len(records)
 }
 

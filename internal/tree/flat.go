@@ -1,0 +1,128 @@
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// flatNode is one node of a flattened tree: 16 bytes, so four nodes share a
+// cache line and a root-to-leaf walk touches a handful of lines instead of
+// pointer-chasing heap nodes allocated across the whole growth schedule.
+// Children are index links: the left child of node i is node i+1 (pre-order
+// layout — the hot "go left" direction is a sequential access), the right
+// child is nodes[right].
+type flatNode struct {
+	attr  int32 // split attribute, or flatLeaf for a leaf
+	cut   int32 // records with bins[attr] <= cut go left
+	right int32 // index of the right child (left child is the next node)
+	class int32 // majority class; the answer when the node is a leaf
+}
+
+// flatLeaf marks a leaf in flatNode.attr.
+const flatLeaf = int32(-1)
+
+// FlatClassifier is a decision tree packed into one contiguous node array
+// for cache-friendly classification. It is immutable after Flatten and safe
+// for concurrent use. Predictions are identical to walking the pointer tree
+// it was flattened from: same splits, same tie-breaks, same leaves.
+type FlatClassifier struct {
+	nodes    []flatNode
+	numAttrs int
+}
+
+// Flatten packs the tree into a FlatClassifier. It fails on malformed trees
+// (nil root, a node with exactly one child, split fields outside the int32
+// range or the attribute count) rather than building a classifier that
+// would walk out of bounds.
+func (t *Tree) Flatten() (*FlatClassifier, error) {
+	if t == nil || t.Root == nil {
+		return nil, errors.New("tree: cannot flatten a tree with no root")
+	}
+	nodes, err := appendFlat(make([]flatNode, 0, t.NodeCount()), t.Root, t.NumAttrs)
+	if err != nil {
+		return nil, err
+	}
+	return &FlatClassifier{nodes: nodes, numAttrs: t.NumAttrs}, nil
+}
+
+// appendFlat appends n's subtree in pre-order and returns the grown array.
+func appendFlat(nodes []flatNode, n *Node, numAttrs int) ([]flatNode, error) {
+	idx := len(nodes)
+	if idx >= math.MaxInt32 {
+		return nil, errors.New("tree: too many nodes to flatten")
+	}
+	if n.IsLeaf() {
+		if n.Class < 0 || int64(n.Class) > math.MaxInt32 {
+			return nil, fmt.Errorf("tree: leaf class %d outside the flattenable range", n.Class)
+		}
+		return append(nodes, flatNode{attr: flatLeaf, class: int32(n.Class)}), nil
+	}
+	if n.Left == nil || n.Right == nil {
+		return nil, errors.New("tree: malformed node with exactly one child")
+	}
+	if n.Attr < 0 || n.Attr >= numAttrs {
+		return nil, fmt.Errorf("tree: split attribute %d outside [0, %d)", n.Attr, numAttrs)
+	}
+	if n.Cut < math.MinInt32 || int64(n.Cut) > math.MaxInt32 {
+		return nil, fmt.Errorf("tree: split cut %d outside the flattenable range", n.Cut)
+	}
+	if n.Class < 0 || int64(n.Class) > math.MaxInt32 {
+		return nil, fmt.Errorf("tree: node class %d outside the flattenable range", n.Class)
+	}
+	nodes = append(nodes, flatNode{attr: int32(n.Attr), cut: int32(n.Cut), class: int32(n.Class)})
+	nodes, err := appendFlat(nodes, n.Left, numAttrs)
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) >= math.MaxInt32 {
+		return nil, errors.New("tree: too many nodes to flatten")
+	}
+	nodes[idx].right = int32(len(nodes))
+	return appendFlat(nodes, n.Right, numAttrs)
+}
+
+// NumAttrs returns the attribute count records must be discretized to.
+func (f *FlatClassifier) NumAttrs() int { return f.numAttrs }
+
+// Len returns the number of nodes in the flattened tree.
+func (f *FlatClassifier) Len() int { return len(f.nodes) }
+
+// Classify returns the class of a record given its interval indices. bins
+// must hold at least NumAttrs entries; Classify performs no validation —
+// hot-path callers have already discretized the record against the schema.
+// It allocates nothing.
+func (f *FlatClassifier) Classify(bins []int) int {
+	nodes := f.nodes
+	i := 0
+	for {
+		n := nodes[i]
+		if n.attr < 0 {
+			return int(n.class)
+		}
+		if bins[n.attr] <= int(n.cut) {
+			i++
+		} else {
+			i = int(n.right)
+		}
+	}
+}
+
+// ClassifyBatch classifies every record (interval indices, NumAttrs per
+// record) and returns their classes. It allocates only the result slice.
+func (f *FlatClassifier) ClassifyBatch(records [][]int) []int {
+	out := make([]int, len(records))
+	f.ClassifyBatchInto(records, out)
+	return out
+}
+
+// ClassifyBatchInto classifies every record into out, which must hold
+// len(records) entries. It allocates nothing: the node array stays resident
+// in cache across records, which is what makes batch classification on the
+// flat layout profitable.
+func (f *FlatClassifier) ClassifyBatchInto(records [][]int, out []int) {
+	out = out[:len(records)]
+	for i, rec := range records {
+		out[i] = f.Classify(rec)
+	}
+}

@@ -1,0 +1,178 @@
+package tree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ppdm/internal/prng"
+)
+
+// growRandomTree trains a tree on random discretized data; pruning and
+// depth limits vary with the seed so the fuzz covers deep trees, stubby
+// pruned trees, and pure-data single leaves.
+func growRandomTree(seed uint64) (*Tree, [][]int, int, error) {
+	r := prng.New(seed)
+	n := 20 + r.Intn(400)
+	bins := 2 + r.Intn(10)
+	attrs := 1 + r.Intn(5)
+	classes := 2 + r.Intn(3)
+	pure := r.Intn(8) == 0 // occasionally: one class only → leaf-only tree
+	cols := make([][]int, attrs)
+	for a := range cols {
+		col := make([]int, n)
+		for i := range col {
+			col[i] = r.Intn(bins)
+		}
+		cols[a] = col
+	}
+	labels := make([]int, n)
+	for i := range labels {
+		if !pure {
+			labels[i] = r.Intn(classes)
+		}
+	}
+	binsV := make([]int, attrs)
+	for i := range binsV {
+		binsV[i] = bins
+	}
+	src, err := NewStaticSource(cols, binsV, labels, classes)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	cfg := Config{MinLeaf: 1 + r.Intn(3), DisablePruning: r.Intn(2) == 0, MaxDepth: 1 + r.Intn(12)}
+	tr, err := Grow(src, cfg)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	records := make([][]int, n)
+	for i := range records {
+		rec := make([]int, attrs)
+		for a := range rec {
+			rec[a] = cols[a][i]
+		}
+		records[i] = rec
+	}
+	return tr, records, bins, err
+}
+
+// TestFlattenRoundTripProperty is the flat layout's contract: across fuzzed
+// grown trees — pruned and unpruned, deep and leaf-only — the flattened
+// classifier must agree with the pointer walk on every training record and
+// on adversarial random records (including bin indices outside the trained
+// range, which the walk compares like any other value).
+func TestFlattenRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		tr, records, bins, err := growRandomTree(seed)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		flat, err := tr.Flatten()
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if flat.NumAttrs() != tr.NumAttrs || flat.Len() != tr.NodeCount() {
+			t.Logf("seed %d: flat shape %d attrs / %d nodes, tree %d / %d", seed, flat.NumAttrs(), flat.Len(), tr.NumAttrs, tr.NodeCount())
+			return false
+		}
+		check := func(rec []int) bool {
+			want, err := tr.Predict(rec)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			if got := flat.Classify(rec); got != want {
+				t.Logf("seed %d: flat classifies %v as %d, pointer tree as %d", seed, rec, got, want)
+				return false
+			}
+			return true
+		}
+		for _, rec := range records {
+			if !check(rec) {
+				return false
+			}
+		}
+		r := prng.New(seed ^ 0x9e3779b97f4a7c15)
+		adv := make([]int, tr.NumAttrs)
+		for trial := 0; trial < 50; trial++ {
+			for a := range adv {
+				adv[a] = r.Intn(3*bins) - bins // below, inside, and above the trained range
+			}
+			if !check(adv) {
+				return false
+			}
+		}
+		// Batch path agrees with the single-record path.
+		got := flat.ClassifyBatch(records)
+		for i, rec := range records {
+			if want := flat.Classify(rec); got[i] != want {
+				t.Logf("seed %d: batch class %d differs from single %d at record %d", seed, got[i], want, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlattenLeafOnly pins the smallest tree: a single leaf flattens to a
+// one-node array that answers the majority class for any record.
+func TestFlattenLeafOnly(t *testing.T) {
+	tr := &Tree{Root: &Node{Class: 2}, NumAttrs: 3, NumClasses: 4}
+	flat, err := tr.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Len() != 1 {
+		t.Fatalf("leaf-only tree flattened to %d nodes", flat.Len())
+	}
+	if got := flat.Classify([]int{7, -1, 99}); got != 2 {
+		t.Fatalf("leaf-only tree classified as %d, want 2", got)
+	}
+}
+
+// TestFlattenRejectsMalformed checks that Flatten refuses trees it could
+// not walk safely instead of packing an out-of-bounds classifier.
+func TestFlattenRejectsMalformed(t *testing.T) {
+	if _, err := (*Tree)(nil).Flatten(); err == nil {
+		t.Error("nil tree flattened without error")
+	}
+	if _, err := (&Tree{}).Flatten(); err == nil {
+		t.Error("rootless tree flattened without error")
+	}
+	oneChild := &Tree{NumAttrs: 1, Root: &Node{Attr: 0, Cut: 0, Left: &Node{Class: 1}}}
+	if _, err := oneChild.Flatten(); err == nil {
+		t.Error("one-child node flattened without error")
+	}
+	badAttr := &Tree{NumAttrs: 1, Root: &Node{Attr: 5, Left: &Node{}, Right: &Node{}}}
+	if _, err := badAttr.Flatten(); err == nil {
+		t.Error("out-of-range split attribute flattened without error")
+	}
+}
+
+// TestFlatClassifyAllocs is the allocation contract of the satellite task:
+// ClassifyBatch allocates only its output slice, and the Into/single-record
+// variants allocate nothing at all.
+func TestFlatClassifyAllocs(t *testing.T) {
+	tr, records, _, err := growRandomTree(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := tr.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { flat.ClassifyBatch(records) }); allocs != 1 {
+		t.Errorf("ClassifyBatch: %v allocs per run, want exactly the output slice", allocs)
+	}
+	out := make([]int, len(records))
+	if allocs := testing.AllocsPerRun(100, func() { flat.ClassifyBatchInto(records, out) }); allocs != 0 {
+		t.Errorf("ClassifyBatchInto: %v allocs per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { flat.Classify(records[0]) }); allocs != 0 {
+		t.Errorf("Classify: %v allocs per run, want 0", allocs)
+	}
+}

@@ -3,10 +3,12 @@
 // non-empty "description", an "environment" object naming at least the
 // goos/goarch/cpu it was recorded on, and a non-empty "benchmarks" array
 // whose entries carry a benchmark "name", positive "iterations", and
-// positive "ns_per_op". CI runs it over every BENCH_*.json in the
-// repository root (alongside the bench-smoke job that executes every
-// bench_*_test.go at -benchtime 1x) so committed baselines and the bench
-// code that regenerates them cannot rot apart.
+// positive "ns_per_op". When run without arguments it additionally fails
+// if any file of the required baseline set (requiredFiles) is absent, so a
+// hot path cannot lose its committed baseline silently. CI runs it over
+// every BENCH_*.json in the repository root (alongside the bench-smoke job
+// that executes every bench_*_test.go at -benchtime 1x) so committed
+// baselines and the bench code that regenerates them cannot rot apart.
 //
 // Usage: go run ./scripts/benchcheck [file...]   (no args: ./BENCH_*.json)
 package main
@@ -16,7 +18,19 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 )
+
+// requiredFiles is the baseline set every checkout must carry; the no-args
+// invocation (what CI runs) fails when one goes missing.
+var requiredFiles = []string{
+	"BENCH_classify.json",
+	"BENCH_parallel.json",
+	"BENCH_reconstruct.json",
+	"BENCH_serve.json",
+	"BENCH_stream.json",
+	"BENCH_tree.json",
+}
 
 // results is the shared shape of every committed BENCH_*.json file.
 type results struct {
@@ -35,6 +49,7 @@ type benchmark struct {
 
 func main() {
 	files := os.Args[1:]
+	bad := 0
 	if len(files) == 0 {
 		var err error
 		files, err = filepath.Glob("BENCH_*.json")
@@ -42,8 +57,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchcheck: no BENCH_*.json files found")
 			os.Exit(2)
 		}
+		for _, req := range requiredFiles {
+			if !slices.Contains(files, req) {
+				fmt.Fprintf(os.Stderr, "%s: required baseline file is missing\n", req)
+				bad++
+			}
+		}
 	}
-	bad := 0
 	for _, f := range files {
 		for _, p := range check(f) {
 			fmt.Fprintf(os.Stderr, "%s: %s\n", f, p)
