@@ -1,0 +1,14 @@
+// Command ppdm-eval runs the declarative scenario harness: the E1–E12
+// figure scenarios plus every examples/ workload, gated against committed
+// per-scale baselines.
+package main
+
+import (
+	"os"
+
+	"ppdm/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Eval(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"ppdm"
+	"ppdm/internal/eval"
 )
 
 func detData(t *testing.T, n int, seed uint64, workers int) *ppdm.Table {
@@ -159,6 +160,38 @@ func TestExperimentWorkerDeterminism(t *testing.T) {
 	}
 	if !bytes.Equal(outs[0].Bytes(), outs[1].Bytes()) {
 		t.Error("E5 output differs between Workers=1 and Workers=8")
+	}
+}
+
+// TestEvalWorkerDeterminism runs the full committed scenario matrix at
+// Workers 1 and 8: the deterministic report rendering (timings stripped)
+// must match byte for byte, extending the contract to the eval harness
+// itself.
+func TestEvalWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario matrix in -short mode")
+	}
+	specs, err := eval.LoadDir("eval/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outs [2]bytes.Buffer
+	for i, workers := range []int{1, 8} {
+		rep, err := eval.Run(specs, eval.Config{Scale: 0.05, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, res := range rep.Results {
+			if res.Err != "" {
+				t.Fatalf("workers %d: scenario %s: %s", workers, res.Name, res.Err)
+			}
+		}
+		if err := rep.JSON(&outs[i], false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(outs[0].Bytes(), outs[1].Bytes()) {
+		t.Error("eval report differs between Workers=1 and Workers=8")
 	}
 }
 

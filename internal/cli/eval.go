@@ -1,0 +1,133 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"ppdm/internal/eval"
+)
+
+// Eval runs the declarative scenario harness: load scenarios, execute the
+// matrix at the requested scale, and gate the metrics against the
+// committed baselines (or record new ones with -update).
+//
+// Usage: ppdm-eval [-scenarios eval/scenarios] [-baselines eval/baselines]
+// [-scale 1.0] [-run name,name|all] [-workers 0] [-update] [-json]
+// [-timings=true] [-list]
+func Eval(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ppdm-eval", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scenarioDir := fs.String("scenarios", "eval/scenarios", "directory of scenario *.json files")
+	baselineDir := fs.String("baselines", "eval/baselines", "directory of committed baseline *.json files")
+	scale := fs.Float64("scale", 1.0, "record-count multiplier (subject to per-scenario floors); CI smokes at 0.1")
+	run := fs.String("run", "all", "comma-separated scenario names or \"all\"")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores); metrics are identical for any value")
+	update := fs.Bool("update", false, "record this run's metrics as the baselines for -scale instead of gating")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
+	timings := fs.Bool("timings", true, "include measured throughput; false yields the deterministic rendering")
+	list := fs.Bool("list", false, "list scenarios and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *scale <= 0 {
+		fmt.Fprintf(stderr, "error: -scale %v must be positive\n", *scale)
+		return 2
+	}
+	if *workers < 0 {
+		fmt.Fprintf(stderr, "error: -workers %d must not be negative (0 = all cores)\n", *workers)
+		return 2
+	}
+
+	specs, err := eval.LoadDir(*scenarioDir)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if *list {
+		for _, s := range specs {
+			fmt.Fprintf(stdout, "%-28s %-11s %s\n", s.Name, s.EffectiveKind(), s.Description)
+		}
+		return 0
+	}
+	if *run != "all" {
+		specs, err = selectSpecs(specs, *run)
+		if err != nil {
+			return fail(stderr, err)
+		}
+	}
+
+	baselines, err := eval.LoadBaselines(*baselineDir)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	report, err := eval.Run(specs, eval.Config{
+		Scale: *scale, Workers: *workers, Baselines: baselines,
+	})
+	if err != nil {
+		return fail(stderr, err)
+	}
+
+	if *update {
+		if err := eval.UpdateBaselines(*baselineDir, report); err != nil {
+			return fail(stderr, err)
+		}
+		for _, res := range report.Results {
+			if res.Err != "" {
+				fmt.Fprintf(stderr, "error: scenario %s: %s\n", res.Name, res.Err)
+			}
+		}
+		fmt.Fprintf(stdout, "recorded baselines for scale %s in %s\n", eval.ScaleKey(*scale), *baselineDir)
+		if !allRan(report) {
+			return 1
+		}
+		return 0
+	}
+
+	if *jsonOut {
+		err = report.JSON(stdout, *timings)
+	} else {
+		err = report.Render(stdout, *timings)
+	}
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if !report.Passed() {
+		return 1
+	}
+	return 0
+}
+
+// selectSpecs filters the loaded scenarios to a comma-separated name list.
+func selectSpecs(specs []*eval.Spec, run string) ([]*eval.Spec, error) {
+	byName := make(map[string]*eval.Spec, len(specs))
+	for _, s := range specs {
+		byName[s.Name] = s
+	}
+	var out []*eval.Spec
+	for _, name := range strings.Split(run, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		s, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown scenario %q (see -list)", name)
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-run %q selects no scenarios", run)
+	}
+	return out, nil
+}
+
+// allRan reports whether every scenario executed without error.
+func allRan(r *eval.Report) bool {
+	for _, res := range r.Results {
+		if res.Err != "" {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,170 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"ppdm/internal/core"
+)
+
+// Baseline is one scenario's committed reference values, keyed by scale so
+// reduced-size CI smokes and full-size local runs gate independently.
+type Baseline struct {
+	// Scenario is the scenario name; it must match the baseline file's
+	// base name.
+	Scenario string `json:"scenario"`
+	// Scales maps ScaleKey(scale) -> the reference point recorded at that
+	// scale.
+	Scales map[string]BaselinePoint `json:"scales"`
+}
+
+// BaselinePoint is the reference recorded at one scale.
+type BaselinePoint struct {
+	// Metrics holds the deterministic metric values.
+	Metrics map[string]float64 `json:"metrics"`
+	// Throughput is the records-per-second reference for min_ratio gates
+	// (0 = not recorded).
+	Throughput float64 `json:"throughput_rps,omitempty"`
+}
+
+// ScaleKey renders a scale as a baseline map key ("0.1", "1").
+func ScaleKey(scale float64) string {
+	return strconv.FormatFloat(scale, 'g', -1, 64)
+}
+
+// LoadBaselines reads every *.json baseline in dir. A missing directory is
+// an empty set (every gate then reports no-baseline), a malformed file is
+// an error.
+func LoadBaselines(dir string) (map[string]*Baseline, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return map[string]*Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]*Baseline{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		b, err := loadBaseline(path)
+		if err != nil {
+			return nil, err
+		}
+		if want := strings.TrimSuffix(e.Name(), ".json"); b.Scenario != want {
+			return nil, fmt.Errorf("%s: baseline scenario %q must match the file name (%q)", path, b.Scenario, want)
+		}
+		out[b.Scenario] = b
+	}
+	return out, nil
+}
+
+// loadBaseline strictly parses one baseline file.
+func loadBaseline(path string) (*Baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var b Baseline
+	if err := dec.Decode(&b); err != nil {
+		return nil, posError(path, raw, decodeOffset(dec, err), err)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Validate checks a baseline for structural errors: a kebab-case scenario
+// name, at least one scale with parseable keys, and known, finite metric
+// values (scripts/evalcheck runs this against the committed files).
+func (b *Baseline) Validate() error {
+	if b.Scenario == "" {
+		return errors.New("eval: baseline has no scenario name")
+	}
+	if !nameRE.MatchString(b.Scenario) {
+		return fmt.Errorf("eval: baseline scenario %q must be lowercase kebab-case", b.Scenario)
+	}
+	if len(b.Scales) == 0 {
+		return fmt.Errorf("eval: baseline %q has no scales", b.Scenario)
+	}
+	known := map[string]bool{}
+	for _, m := range KnownMetrics() {
+		known[m] = true
+	}
+	for key, pt := range b.Scales {
+		scale, err := strconv.ParseFloat(key, 64)
+		if err != nil || scale <= 0 {
+			return fmt.Errorf("eval: baseline %q scale key %q is not a positive number", b.Scenario, key)
+		}
+		if key != ScaleKey(scale) {
+			return fmt.Errorf("eval: baseline %q scale key %q is not canonical (want %q)", b.Scenario, key, ScaleKey(scale))
+		}
+		if len(pt.Metrics) == 0 {
+			return fmt.Errorf("eval: baseline %q scale %s has no metrics", b.Scenario, key)
+		}
+		for metric, v := range pt.Metrics {
+			if !known[metric] || metric == MetricThroughput {
+				return fmt.Errorf("eval: baseline %q scale %s has unknown metric %q", b.Scenario, key, metric)
+			}
+			if !finite(v) {
+				return fmt.Errorf("eval: baseline %q scale %s metric %q value %v is not finite", b.Scenario, key, metric, v)
+			}
+		}
+		if !finite(pt.Throughput) || pt.Throughput < 0 {
+			return fmt.Errorf("eval: baseline %q scale %s throughput %v must be finite and non-negative", b.Scenario, key, pt.Throughput)
+		}
+	}
+	return nil
+}
+
+func finite(v float64) bool { return v == v && v-v == 0 }
+
+// UpdateBaselines records a report's metrics as the baselines for its
+// scale, merging into any existing per-scale points and writing each file
+// atomically. Scenarios that errored are skipped (their baselines are left
+// untouched).
+func UpdateBaselines(dir string, r *Report) error {
+	existing, err := LoadBaselines(dir)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	key := ScaleKey(r.Scale)
+	for _, res := range r.Results {
+		if res.Err != "" {
+			continue
+		}
+		b := existing[res.Name]
+		if b == nil {
+			b = &Baseline{Scenario: res.Name, Scales: map[string]BaselinePoint{}}
+		}
+		metrics := make(map[string]float64, len(res.Metrics))
+		for m, v := range res.Metrics {
+			metrics[m] = v
+		}
+		b.Scales[key] = BaselinePoint{Metrics: metrics, Throughput: res.Throughput}
+		path := filepath.Join(dir, res.Name+".json")
+		if err := core.WriteFileAtomic(path, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(b)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

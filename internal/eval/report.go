@@ -1,0 +1,237 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Gate statuses.
+const (
+	// StatusPass means the metric stayed inside its gate.
+	StatusPass = "pass"
+	// StatusFail means the metric moved outside its gate.
+	StatusFail = "fail"
+	// StatusNoBaseline means no committed baseline covers this scenario at
+	// the run's scale; the gate fails until one is recorded.
+	StatusNoBaseline = "no-baseline"
+)
+
+// Report is the outcome of one Run: every scenario's metrics and gate
+// verdicts at one scale.
+type Report struct {
+	// Scale is the record-count multiplier the matrix ran at.
+	Scale float64 `json:"scale"`
+	// Results holds one entry per scenario, in scenario order.
+	Results []Result `json:"results"`
+}
+
+// Result is one scenario's outcome.
+type Result struct {
+	// Name and Kind identify the scenario.
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Metrics holds the deterministic metric values.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Throughput is records per second through the scenario's dominant
+	// stage — measured, so excluded from deterministic renderings.
+	Throughput float64 `json:"throughput_rps,omitempty"`
+	// Gates holds one verdict per gated metric, sorted by metric name.
+	Gates []GateResult `json:"gates,omitempty"`
+	// Err is set when the scenario failed to execute.
+	Err string `json:"error,omitempty"`
+}
+
+// GateResult is one metric's verdict against its baseline.
+type GateResult struct {
+	Metric string `json:"metric"`
+	// Value is the measured metric; Baseline the committed reference.
+	Value    float64 `json:"value"`
+	Baseline float64 `json:"baseline,omitempty"`
+	// Tolerance (two-sided absolute) or MinRatio (one-sided relative
+	// floor) is the bound that applied.
+	Tolerance *float64 `json:"tolerance,omitempty"`
+	MinRatio  *float64 `json:"min_ratio,omitempty"`
+	// Status is StatusPass, StatusFail, or StatusNoBaseline.
+	Status string `json:"status"`
+	// Detail explains a non-pass status.
+	Detail string `json:"detail,omitempty"`
+}
+
+// evaluateGates builds the gate verdicts for one scenario result: every
+// deterministic metric gates (defaulting to DefaultTolerance), throughput
+// only when the scenario asks via min_ratio.
+func evaluateGates(s *Spec, res *Result, cfg Config) []GateResult {
+	metrics := s.Metrics()
+	if g, ok := s.Gates[MetricThroughput]; ok && g.MinRatio != nil {
+		metrics = append(append([]string{}, metrics...), MetricThroughput)
+	}
+	sort.Strings(metrics)
+
+	var point *BaselinePoint
+	if b := cfg.Baselines[s.Name]; b != nil {
+		if p, ok := b.Scales[ScaleKey(cfg.Scale)]; ok {
+			point = &p
+		}
+	}
+
+	gates := make([]GateResult, 0, len(metrics))
+	for _, metric := range metrics {
+		value := res.Metrics[metric]
+		if metric == MetricThroughput {
+			value = res.Throughput
+		}
+		gr := GateResult{Metric: metric, Value: value}
+		if point == nil {
+			gr.Status = StatusNoBaseline
+			gr.Detail = fmt.Sprintf("no baseline for scale %s; run ppdm-eval -update -scale %s and commit the result",
+				ScaleKey(cfg.Scale), ScaleKey(cfg.Scale))
+			gates = append(gates, gr)
+			continue
+		}
+		if metric == MetricThroughput {
+			ratio := *s.Gates[metric].MinRatio
+			gr.MinRatio = &ratio
+			gr.Baseline = point.Throughput
+			switch {
+			case point.Throughput <= 0:
+				gr.Status = StatusNoBaseline
+				gr.Detail = "baseline has no throughput; rerun ppdm-eval -update"
+			case value >= ratio*point.Throughput:
+				gr.Status = StatusPass
+			default:
+				gr.Status = StatusFail
+				gr.Detail = fmt.Sprintf("got %.1f rec/s, below %.3g x baseline %.1f", value, ratio, point.Throughput)
+			}
+			gates = append(gates, gr)
+			continue
+		}
+		base, ok := point.Metrics[metric]
+		if !ok {
+			gr.Status = StatusNoBaseline
+			gr.Detail = fmt.Sprintf("baseline has no %s value; rerun ppdm-eval -update", metric)
+			gates = append(gates, gr)
+			continue
+		}
+		tol := DefaultTolerance
+		if g, set := s.Gates[metric]; set && g.Tolerance != nil {
+			tol = *g.Tolerance
+		}
+		gr.Tolerance = &tol
+		gr.Baseline = base
+		if diff := math.Abs(value - base); diff <= tol {
+			gr.Status = StatusPass
+		} else {
+			gr.Status = StatusFail
+			gr.Detail = fmt.Sprintf("got %.6g baseline %.6g (|diff| %.6g > tolerance %.6g)", value, base, diff, tol)
+		}
+		gates = append(gates, gr)
+	}
+	return gates
+}
+
+// Passed reports whether every scenario executed and every gate passed.
+func (r *Report) Passed() bool {
+	for _, res := range r.Results {
+		if res.Err != "" {
+			return false
+		}
+		for _, g := range res.Gates {
+			if g.Status != StatusPass {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// stripped returns a deep copy of the report with every measured
+// (machine-dependent) field removed: throughput values and throughput gate
+// verdicts. What remains is a pure function of the scenario specs, their
+// seeds, and the scale — the artifact the determinism contract covers.
+func (r *Report) stripped() *Report {
+	out := &Report{Scale: r.Scale, Results: make([]Result, len(r.Results))}
+	for i, res := range r.Results {
+		c := res
+		c.Throughput = 0
+		c.Gates = nil
+		for _, g := range res.Gates {
+			if g.Metric == MetricThroughput {
+				continue
+			}
+			c.Gates = append(c.Gates, g)
+		}
+		out.Results[i] = c
+	}
+	return out
+}
+
+// JSON writes the report as indented JSON. With timings false, throughput
+// values and gates are stripped so the bytes are identical at every worker
+// count and on every machine.
+func (r *Report) JSON(w io.Writer, timings bool) error {
+	rep := r
+	if !timings {
+		rep = r.stripped()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Render writes the human-readable report: one line per scenario metric,
+// failures expanded with their per-metric diff. With timings false,
+// throughput is omitted (the deterministic rendering).
+func (r *Report) Render(w io.Writer, timings bool) error {
+	rep := r
+	if !timings {
+		rep = r.stripped()
+	}
+	if _, err := fmt.Fprintf(w, "eval matrix at scale %g: %d scenarios\n", rep.Scale, len(rep.Results)); err != nil {
+		return err
+	}
+	failures := 0
+	for _, res := range rep.Results {
+		if res.Err != "" {
+			failures++
+			if _, err := fmt.Fprintf(w, "ERROR %s: %s\n", res.Name, res.Err); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, g := range res.Gates {
+			switch g.Status {
+			case StatusPass:
+				bound := ""
+				switch {
+				case g.Tolerance != nil:
+					bound = fmt.Sprintf(", tol %g", *g.Tolerance)
+				case g.MinRatio != nil:
+					bound = fmt.Sprintf(", min %g x", *g.MinRatio)
+				}
+				if _, err := fmt.Fprintf(w, "PASS %s %s: %.6g (baseline %.6g%s)\n",
+					res.Name, g.Metric, g.Value, g.Baseline, bound); err != nil {
+					return err
+				}
+			default:
+				failures++
+				if _, err := fmt.Fprintf(w, "FAIL %s %s: %s\n", res.Name, g.Metric, g.Detail); err != nil {
+					return err
+				}
+			}
+		}
+		if timings && res.Throughput > 0 {
+			if _, err := fmt.Fprintf(w, "     %s throughput: %.1f rec/s\n", res.Name, res.Throughput); err != nil {
+				return err
+			}
+		}
+	}
+	verdict := "PASS"
+	if failures > 0 {
+		verdict = fmt.Sprintf("FAIL (%d gate failures)", failures)
+	}
+	_, err := fmt.Fprintf(w, "result: %s\n", verdict)
+	return err
+}

@@ -10,8 +10,9 @@ import (
 	"ppdm/internal/stats"
 )
 
-// The two synthetic shapes the paper uses to demonstrate reconstruction:
-// a plateau and a double-triangle, both on [0, 100].
+// The synthetic shapes used to demonstrate reconstruction: the paper's
+// plateau and double-triangle, plus a bimodal mixture (the online-survey
+// age distribution), all on [0, 100].
 
 func plateauSamples(n int, r *prng.Source) []float64 {
 	// 10% background uniform over the whole domain, 90% flat plateau on
@@ -37,6 +38,44 @@ func triangleSamples(n int, r *prng.Source) []float64 {
 		}
 	}
 	return out
+}
+
+func bimodalSamples(n int, r *prng.Source) []float64 {
+	// Two gaussian clusters (young respondents around 30, retirees around
+	// 70), clamped to the domain.
+	out := make([]float64, n)
+	for i := range out {
+		var v float64
+		if r.Bernoulli(0.6) {
+			v = r.Gaussian(30, 8)
+		} else {
+			v = r.Gaussian(70, 8)
+		}
+		if v < 0 {
+			v = 0
+		} else if v > 100 {
+			v = 100
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// ReconShapes lists the synthetic sample shapes RunReconSeries accepts.
+func ReconShapes() []string { return []string{"plateau", "triangles", "bimodal"} }
+
+// reconShapeSampler resolves a shape name to its sampling function.
+func reconShapeSampler(shape string) (func(int, *prng.Source) []float64, error) {
+	switch shape {
+	case "plateau":
+		return plateauSamples, nil
+	case "triangles":
+		return triangleSamples, nil
+	case "bimodal":
+		return bimodalSamples, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown reconstruction shape %q (want plateau, triangles, or bimodal)", shape)
+	}
 }
 
 func init() {
@@ -66,18 +105,141 @@ func init() {
 	})
 }
 
+// ReconSeriesConfig parameterizes RunReconSeries.
+type ReconSeriesConfig struct {
+	// Shape names the synthetic sample distribution (see ReconShapes).
+	Shape string
+	// Family is the noise family ("uniform", "gaussian", "laplace").
+	Family string
+	// Levels are the privacy levels of the series, run in order.
+	Levels []float64
+	// N is the sample count.
+	N int
+	// Intervals partitions [0, 100]; 0 means 20, the figures' grid.
+	Intervals int
+	// Seed drives sampling and perturbation.
+	Seed uint64
+	// Workers bounds the reconstruction-kernel parallelism (0 = all
+	// cores); every point is bit-identical for every worker count.
+	Workers int
+	// WarmStart chains each point's prior from the previous level's
+	// estimate (the E1/E2 figures' configuration). The chaining order is
+	// fixed, so results stay independent of the worker count.
+	WarmStart bool
+	// Algorithm selects the reconstruction update rule (default Bayes).
+	Algorithm reconstruct.Algorithm
+}
+
+// ReconPoint is one privacy level of a reconstruction series: the three
+// per-interval distributions and the summary statistics of the figure.
+type ReconPoint struct {
+	// Level is the privacy level of this point.
+	Level float64
+	// Original, Randomized, and Reconstructed are the per-interval
+	// distributions (length Intervals).
+	Original, Randomized, Reconstructed []float64
+	// L1Raw and L1Recon are L1 distances of the randomized and the
+	// reconstructed distribution to the original.
+	L1Raw, L1Recon float64
+	// TVRecon is the total-variation distance of the reconstructed
+	// distribution to the original (the eval harness's fidelity metric).
+	TVRecon float64
+	// Iters is the iteration count the reconstruction needed (with
+	// WarmStart, points after the first converge in a fraction of the
+	// cold-start count).
+	Iters int
+}
+
+// RunReconSeries reconstructs one synthetic shape at successive privacy
+// levels — the computation behind the E1/E2 figures, shared with the
+// ppdm-eval scenario harness. Results are a pure function of the config's
+// seed and parameters, never of Workers.
+func RunReconSeries(cfg ReconSeriesConfig) ([]ReconPoint, error) {
+	samples, err := reconShapeSampler(cfg.Shape)
+	if err != nil {
+		return nil, err
+	}
+	k := cfg.Intervals
+	if k == 0 {
+		k = 20
+	}
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("experiments: reconstruction series needs a positive sample count, got %d", cfg.N)
+	}
+	if len(cfg.Levels) == 0 {
+		return nil, fmt.Errorf("experiments: reconstruction series needs at least one privacy level")
+	}
+	r := prng.New(cfg.Seed + 1)
+	original := samples(cfg.N, r)
+	part, err := reconstruct.NewPartition(0, 100, k)
+	if err != nil {
+		return nil, err
+	}
+	truth := part.Histogram(original)
+
+	// With WarmStart, series points run in privacy-level order so each one
+	// can warm-start from the previous level's estimate: neighbouring
+	// levels reconstruct nearly the same distribution, so the chained
+	// prior converges in a fraction of the cold-start iterations. The
+	// chaining order is fixed, so the series is identical at every worker
+	// count (only the inner kernel parallelism scales with Workers).
+	var prior []float64
+	points := make([]ReconPoint, 0, len(cfg.Levels))
+	for _, level := range cfg.Levels {
+		m, err := noise.ForPrivacy(cfg.Family, level, 100, noise.DefaultConfidence)
+		if err != nil {
+			return nil, err
+		}
+		nr := prng.New(cfg.Seed + 2)
+		perturbed := make([]float64, cfg.N)
+		for i, v := range original {
+			perturbed[i] = v + m.Sample(nr)
+		}
+		res, err := reconstruct.Reconstruct(perturbed, reconstruct.Config{
+			Partition: part, Noise: m, Algorithm: cfg.Algorithm,
+			Epsilon: 1e-3, Prior: prior, Workers: cfg.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.WarmStart {
+			// The iterative update is multiplicative, so an exactly-zero
+			// prior entry could never regain mass at later levels; floor
+			// the chained prior with a sliver of uniform mass (Reconstruct
+			// re-normalizes).
+			prior = make([]float64, len(res.P))
+			for b, p := range res.P {
+				prior[b] = p + 1e-6/float64(k)
+			}
+		}
+		raw := part.Histogram(perturbed)
+		l1raw, _ := stats.L1(truth, raw)
+		l1rec, _ := stats.L1(truth, res.P)
+		tvrec, _ := stats.TotalVariation(truth, res.P)
+		points = append(points, ReconPoint{
+			Level: level, Original: truth, Randomized: raw, Reconstructed: res.P,
+			L1Raw: l1raw, L1Recon: l1rec, TVRecon: tvrec, Iters: res.Iters,
+		})
+	}
+	return points, nil
+}
+
 // reconSeries builds the original/randomized/reconstructed distribution
 // table for one shape and noise model, at the given privacy levels.
-func reconSeries(title string, samples func(int, *prng.Source) []float64, family string, levels []float64, cfg Config) ([]Table, []string, error) {
+func reconSeries(title, shape, family string, levels []float64, cfg Config) ([]Table, []string, error) {
 	const k = 20
 	n := cfg.scaled(100000, 2000)
-	r := prng.New(cfg.Seed + 1)
-	original := samples(n, r)
+	points, err := RunReconSeries(ReconSeriesConfig{
+		Shape: shape, Family: family, Levels: levels,
+		N: n, Intervals: k, Seed: cfg.Seed, Workers: cfg.Workers, WarmStart: true,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	part, err := reconstruct.NewPartition(0, 100, k)
 	if err != nil {
 		return nil, nil, err
 	}
-	truth := part.Histogram(original)
 
 	notes := []string{
 		fmt.Sprintf("n = %d samples, %d intervals on [0,100]", n, k),
@@ -87,52 +249,20 @@ func reconSeries(title string, samples func(int, *prng.Source) []float64, family
 		Title:   "reconstruction quality (L1 distance to original distribution)",
 		Columns: []string{"privacy", "L1(randomized)", "L1(reconstructed)", "iterations"},
 	}
-	// Series points run in privacy-level order so each one can warm-start
-	// from the previous level's estimate: neighbouring levels reconstruct
-	// nearly the same distribution, so the chained prior converges in a
-	// fraction of the cold-start iterations. The chaining order is fixed,
-	// so the table is identical at every worker count (only the inner
-	// kernel parallelism scales with Workers).
-	var prior []float64
 	tables := make([]Table, 0, len(levels)+1)
-	for _, level := range levels {
-		m, err := noise.ForPrivacy(family, level, 100, noise.DefaultConfidence)
-		if err != nil {
-			return nil, nil, err
-		}
-		nr := prng.New(cfg.Seed + 2)
-		perturbed := make([]float64, n)
-		for i, v := range original {
-			perturbed[i] = v + m.Sample(nr)
-		}
-		res, err := reconstruct.Reconstruct(perturbed, reconstruct.Config{
-			Partition: part, Noise: m, Epsilon: 1e-3, Prior: prior, Workers: cfg.Workers,
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		// The iterative update is multiplicative, so an exactly-zero prior
-		// entry could never regain mass at later levels; floor the chained
-		// prior with a sliver of uniform mass (Reconstruct re-normalizes).
-		prior = make([]float64, len(res.P))
-		for b, p := range res.P {
-			prior[b] = p + 1e-6/float64(k)
-		}
-		raw := part.Histogram(perturbed)
+	for _, pt := range points {
 		tb := Table{
-			Title:   fmt.Sprintf("%s, %s noise, privacy %.0f%%", title, family, level*100),
+			Title:   fmt.Sprintf("%s, %s noise, privacy %.0f%%", title, family, pt.Level*100),
 			Columns: []string{"midpoint", "original", "randomized", "reconstructed"},
 		}
 		for b := 0; b < k; b++ {
 			tb.Rows = append(tb.Rows, []string{
-				f2(part.Midpoint(b)), f4(truth[b]), f4(raw[b]), f4(res.P[b]),
+				f2(part.Midpoint(b)), f4(pt.Original[b]), f4(pt.Randomized[b]), f4(pt.Reconstructed[b]),
 			})
 		}
-		l1raw, _ := stats.L1(truth, raw)
-		l1rec, _ := stats.L1(truth, res.P)
 		tables = append(tables, tb)
 		summary.Rows = append(summary.Rows, []string{
-			pct(level), f4(l1raw), f4(l1rec), fmt.Sprint(res.Iters),
+			pct(pt.Level), f4(pt.L1Raw), f4(pt.L1Recon), fmt.Sprint(pt.Iters),
 		})
 	}
 	tables = append(tables, summary)
@@ -140,7 +270,7 @@ func reconSeries(title string, samples func(int, *prng.Source) []float64, family
 }
 
 func runE1(cfg Config) (*Result, error) {
-	tables, notes, err := reconSeries("plateau", plateauSamples, "uniform", []float64{0.5, 1.0}, cfg)
+	tables, notes, err := reconSeries("plateau", "plateau", "uniform", []float64{0.5, 1.0}, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +284,7 @@ func runE1(cfg Config) (*Result, error) {
 }
 
 func runE2(cfg Config) (*Result, error) {
-	tables, notes, err := reconSeries("triangles", triangleSamples, "gaussian", []float64{0.5, 1.0}, cfg)
+	tables, notes, err := reconSeries("triangles", "triangles", "gaussian", []float64{0.5, 1.0}, cfg)
 	if err != nil {
 		return nil, err
 	}

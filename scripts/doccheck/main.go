@@ -1,10 +1,11 @@
 // Command doccheck fails (exit 1) when a Go package directory contains
 // exported identifiers without doc comments, or lacks a package comment.
 // CI runs it over internal/stream, internal/tree, internal/parallel,
-// internal/core, internal/serve, internal/reconstruct, and internal/noise
-// (and any other directory passed as an argument) so the streaming,
-// tree-learner, worker-pool, training, serving, reconstruction-kernel, and
-// noise-model API surfaces stay fully documented.
+// internal/core, internal/serve, internal/reconstruct, internal/noise,
+// internal/bayes, and internal/eval (and any other directory passed as an
+// argument) so the streaming, tree-learner, worker-pool, training, serving,
+// reconstruction-kernel, noise-model, naive-Bayes, and eval-harness API
+// surfaces stay fully documented.
 //
 // Usage: go run ./scripts/doccheck <pkgdir> [pkgdir...]
 package main

@@ -1,0 +1,86 @@
+// Command evalcheck fails (exit 1) when the committed eval corpus is
+// inconsistent: a scenario under eval/scenarios without a baseline file, a
+// baseline without a scenario, a baseline that does not parse against the
+// shared schema (eval.LoadBaselines is strict: kebab-case scenario names,
+// canonical positive scale keys, known finite metrics), or a baseline
+// missing the scale-0.1 point the CI eval-smoke job gates on. It reuses the
+// same loaders ppdm-eval runs on, so the check and the harness cannot drift
+// apart. Run it after `ppdm-eval -update` to verify the recorded corpus
+// before committing.
+//
+// Usage: go run ./scripts/evalcheck [scenariodir baselinedir]
+// (no args: eval/scenarios eval/baselines)
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ppdm/internal/eval"
+)
+
+// smokeScale is the reduced scale CI runs the full matrix at; every
+// committed baseline must carry a point for it or the eval-smoke job would
+// fail on a missing baseline rather than on a genuine regression.
+const smokeScale = 0.1
+
+func main() {
+	scenarioDir, baselineDir := "eval/scenarios", "eval/baselines"
+	switch len(os.Args) {
+	case 1:
+	case 3:
+		scenarioDir, baselineDir = os.Args[1], os.Args[2]
+	default:
+		fmt.Fprintln(os.Stderr, "usage: evalcheck [scenariodir baselinedir]")
+		os.Exit(2)
+	}
+
+	specs, err := eval.LoadDir(scenarioDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "evalcheck: %v\n", err)
+		os.Exit(1)
+	}
+	baselines, err := eval.LoadBaselines(baselineDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "evalcheck: %v\n", err)
+		os.Exit(1)
+	}
+
+	bad := 0
+	key := eval.ScaleKey(smokeScale)
+	known := map[string]bool{}
+	for _, s := range specs {
+		known[s.Name] = true
+		b, ok := baselines[s.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "%s: scenario has no baseline file (run ppdm-eval -update -scale %s)\n", s.Name, key)
+			bad++
+			continue
+		}
+		if _, ok := b.Scales[key]; !ok {
+			fmt.Fprintf(os.Stderr, "%s: baseline lacks the CI smoke scale %s (run ppdm-eval -update -scale %s)\n", s.Name, key, key)
+			bad++
+		}
+		// Every metric the scenario produces must be pinned at every
+		// recorded scale — a partial point would silently skip gates.
+		for scale, point := range b.Scales {
+			for _, metric := range s.Metrics() {
+				if _, ok := point.Metrics[metric]; !ok {
+					fmt.Fprintf(os.Stderr, "%s: baseline scale %s lacks metric %q\n", s.Name, scale, metric)
+					bad++
+				}
+			}
+		}
+	}
+	for name := range baselines {
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "%s: baseline has no matching scenario in %s\n", name, scenarioDir)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "evalcheck: %d problems\n", bad)
+		os.Exit(1)
+	}
+	fmt.Printf("evalcheck: %d scenarios and %d baselines conform (smoke scale %s pinned)\n", len(specs), len(baselines), key)
+}
