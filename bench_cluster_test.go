@@ -1,0 +1,197 @@
+package ppdm_test
+
+// Sharded-training and gateway fan-out throughput (internal/cluster,
+// internal/cluster/gateway). The training benchmarks deal one perturbed
+// record stream across 1/2/4/8 in-process shards and merge the shard
+// statistics back into a single model (byte-identical to single-node
+// training; TestShardMergeGolden enforces that separately) — ns_per_op is
+// the full deal + shard-train + merge wall time. The gateway benchmarks
+// fan gzipped bulk /classify bodies across latency-bound stub replicas:
+// each stub models a network-attached ppdm-serve whose bulk service time
+// (4ms, the measured cost of a ~2000-record gzipped stream body on this
+// hardware, see BENCH_serve.json) dominates, which is the regime where
+// replica fan-out pays. Recorded numbers live in BENCH_cluster.json.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"ppdm"
+	"ppdm/internal/bayes"
+	"ppdm/internal/cluster"
+	"ppdm/internal/cluster/gateway"
+	"ppdm/internal/core"
+	"ppdm/internal/dataset"
+	"ppdm/internal/noise"
+	"ppdm/internal/stream"
+)
+
+// clusterBenchN spans ten deal units (UnitLen = 8192 records), so even the
+// eight-shard configuration keeps every shard busy.
+const clusterBenchN = 80000
+
+// clusterBenchData builds the perturbed training table and noise models
+// shared by the training benchmarks.
+func clusterBenchData(b *testing.B) (*dataset.Table, map[int]noise.Model) {
+	b.Helper()
+	models, err := ppdm.ModelsForAllAttrs(ppdm.BenchmarkSchema(), "gaussian", 1.0, ppdm.DefaultConfidence)
+	if err != nil {
+		b.Fatal(err)
+	}
+	table, err := ppdm.Generate(ppdm.GenConfig{Function: ppdm.F2, N: clusterBenchN, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	perturbed, err := ppdm.PerturbTable(table, models, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return perturbed, models
+}
+
+// BenchmarkClusterTrainNB times sharded naïve-Bayes training (deal, per-
+// shard statistic accumulation, merge, finalize) at 1/2/4/8 shards over
+// 80000 perturbed records. On multi-core hardware the shard goroutines
+// overlap; on one core the spread between shard counts is pure dealing and
+// merge overhead.
+func BenchmarkClusterTrainNB(b *testing.B) {
+	perturbed, models := clusterBenchData(b)
+	cfg := bayes.Config{Mode: core.ByClass, Noise: models}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.TrainNaiveBayes(stream.FromTable(perturbed, 0), cfg, cluster.Options{Shards: shards}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(clusterBenchN), "records/op")
+		})
+	}
+}
+
+// BenchmarkClusterTrainTree times sharded tree training (deal, per-shard
+// columnar spill, spill interleave, reconstruct + grow) at 1/2/4/8 shards
+// over the same 80000 perturbed records.
+func BenchmarkClusterTrainTree(b *testing.B) {
+	perturbed, models := clusterBenchData(b)
+	cfg := core.Config{Mode: core.ByClass, Noise: models}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.TrainTree(stream.FromTable(perturbed, 0), cfg, cluster.Options{Shards: shards}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(clusterBenchN), "records/op")
+		})
+	}
+}
+
+// gatewayStubLatency is each stub replica's bulk service time — the
+// measured cost of a ~2000-record gzipped /classify body on this hardware
+// (BENCH_serve.json: 2.1us/record).
+const gatewayStubLatency = 4 * time.Millisecond
+
+// gatewayBulkRecords is the notional record count each bulk request
+// carries.
+const gatewayBulkRecords = 2000
+
+// newLatencyReplica boots one stub replica: it consumes the bulk body,
+// holds the replica for the service time, and answers like a backend. The
+// service section is serialized per replica — a single-core ppdm-serve
+// classifies one bulk body at a time, so each replica is a
+// throughput-capped unit (1/gatewayStubLatency bodies per second) and
+// added replicas are the only way to absorb more load, exactly the
+// resource the gateway fans out over.
+func newLatencyReplica(b *testing.B) *httptest.Server {
+	b.Helper()
+	var busy sync.Mutex
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"status":"ok","model":{"generation":1}}`)
+	})
+	mux.HandleFunc("/classify", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		busy.Lock()
+		time.Sleep(gatewayStubLatency)
+		busy.Unlock()
+		fmt.Fprintf(w, `{"n":%d}`, gatewayBulkRecords)
+	})
+	ts := httptest.NewServer(mux)
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+// BenchmarkGatewayBulk measures bulk fan-out: concurrent clients post
+// ~2000-record gzipped stream bodies through the gateway to 1/2/4
+// latency-bound replicas. One op is one bulk request; throughput scales
+// with the replica count because independent replicas absorb the service
+// time concurrently — divide the replicas-1 ns_per_op by the replicas-N
+// one for the fan-out factor.
+func BenchmarkGatewayBulk(b *testing.B) {
+	table, err := ppdm.Generate(ppdm.GenConfig{Function: ppdm.F2, N: gatewayBulkRecords, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var gz bytes.Buffer
+	w, err := ppdm.NewStreamWriter(&gz, table.Schema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ppdm.CopyStream(w, ppdm.StreamTable(table, 0)); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	body := gz.Bytes()
+
+	for _, replicas := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas-%d", replicas), func(b *testing.B) {
+			urls := make([]string, replicas)
+			for i := range urls {
+				urls[i] = newLatencyReplica(b).URL
+			}
+			g, err := gateway.New(gateway.Config{Backends: urls})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(g.Close)
+			gw := httptest.NewServer(g.Handler())
+			b.Cleanup(gw.Close)
+
+			t := http.DefaultTransport.(*http.Transport).Clone()
+			t.MaxIdleConns = 64
+			t.MaxIdleConnsPerHost = 64
+			client := &http.Client{Transport: t, Timeout: 30 * time.Second}
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					resp, err := client.Post(gw.URL+"/classify", "application/gzip", bytes.NewReader(body))
+					if err != nil {
+						b.Fatal(err)
+					}
+					var out struct {
+						N int `json:"n"`
+					}
+					if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+						b.Fatal(err)
+					}
+					resp.Body.Close()
+					if out.N != gatewayBulkRecords {
+						b.Fatalf("bulk classify: n = %d, want %d", out.N, gatewayBulkRecords)
+					}
+				}
+			})
+			b.ReportMetric(float64(gatewayBulkRecords), "records/op")
+		})
+	}
+}

@@ -1,0 +1,15 @@
+// Command ppdm-gateway fans inference traffic across a static replica set
+// of ppdm-serve backends: health-checked routing with ejection and
+// re-admission, per-replica bounded in-flight limits with least-loaded
+// pick-2 balancing, and rolling hot reload (POST /reload drains and reloads
+// one replica at a time, so every response comes from exactly one model
+// generation).
+package main
+
+import (
+	"os"
+
+	"ppdm/internal/cli"
+)
+
+func main() { os.Exit(cli.Gateway(os.Args[1:], os.Stdout, os.Stderr)) }

@@ -1,12 +1,9 @@
 package bayes
 
 import (
-	"errors"
-	"fmt"
 	"io"
 
 	"ppdm/internal/core"
-	"ppdm/internal/reconstruct"
 	"ppdm/internal/stream"
 )
 
@@ -16,51 +13,14 @@ import (
 // records flow through. The resulting classifier is identical to Train on
 // the materialized table (the learner needs nothing beyond those counts;
 // ByClass reconstruction runs on reconstruct.Collector statistics, which
-// reproduce the batch reconstruction exactly).
+// reproduce the batch reconstruction exactly). It is the one-shard special
+// case of the TrainStats accumulate/merge/finalize pipeline that
+// internal/cluster distributes.
 func TrainStream(src stream.Source, cfg Config) (*Classifier, error) {
-	cfg, err := cfg.withDefaults()
+	stats, err := NewTrainStats(src.Schema(), cfg)
 	if err != nil {
 		return nil, err
 	}
-	s := src.Schema()
-	parts, err := partitions(s, cfg.Intervals)
-	if err != nil {
-		return nil, err
-	}
-	k := s.NumClasses()
-	nAttrs := s.NumAttrs()
-
-	// ByClass-reconstructed attributes accumulate Collector statistics on
-	// the perturbed-value grid; all other (attribute, class) cells bin
-	// directly on the domain partition, as countDistribution would.
-	useRecon := make([]bool, nAttrs)
-	reconParts := make(map[int]reconstruct.Partition)
-	if cfg.Mode == core.ByClass {
-		for j := range parts {
-			if _, ok := cfg.Noise[j]; ok {
-				useRecon[j] = true
-				reconParts[j] = parts[j]
-			}
-		}
-	}
-	var stats *reconstruct.StreamStats
-	if len(reconParts) > 0 {
-		stats, err = reconstruct.NewStreamStats(s, reconParts)
-		if err != nil {
-			return nil, err
-		}
-	}
-	hist := make([][][]float64, k)
-	for c := 0; c < k; c++ {
-		hist[c] = make([][]float64, nAttrs)
-		for j := 0; j < nAttrs; j++ {
-			if !useRecon[j] {
-				hist[c][j] = make([]float64, parts[j].K)
-			}
-		}
-	}
-	classCounts := make([]int, k)
-	n := 0
 	for {
 		b, err := src.Next()
 		if err == io.EOF {
@@ -69,69 +29,11 @@ func TrainStream(src stream.Source, cfg Config) (*Classifier, error) {
 		if err != nil {
 			return nil, err
 		}
-		// AddBatch runs the same validation internally; don't scan twice.
-		if stats != nil {
-			if err := stats.AddBatch(b); err != nil {
-				return nil, err
-			}
-		} else if err := stream.CheckBatch(s, b); err != nil {
+		if err := stats.AddBatch(b); err != nil {
 			return nil, err
 		}
-		for i := 0; i < b.N(); i++ {
-			row := b.Row(i)
-			label := b.Labels[i]
-			classCounts[label]++
-			for j := 0; j < nAttrs; j++ {
-				if !useRecon[j] {
-					hist[label][j][parts[j].Bin(row[j])]++
-				}
-			}
-		}
-		n += b.N()
 	}
-	if n == 0 {
-		return nil, errors.New("bayes: empty training stream")
-	}
-
-	clf := &Classifier{
-		Mode:       cfg.Mode,
-		Schema:     s,
-		Priors:     make([]float64, k),
-		Cond:       make([][][]float64, k),
-		Partitions: parts,
-	}
-	for c := 0; c < k; c++ {
-		clf.Priors[c] = (float64(classCounts[c]) + cfg.Smoothing) / (float64(n) + cfg.Smoothing*float64(k))
-		clf.Cond[c] = make([][]float64, nAttrs)
-	}
-	for j := 0; j < nAttrs; j++ {
-		for c := 0; c < k; c++ {
-			var dist []float64
-			if useRecon[j] {
-				col := stats.ClassCollector(j, c)
-				if col.N() > 0 {
-					res, err := col.Reconstruct(reconstruct.Config{
-						Noise:     cfg.Noise[j],
-						Algorithm: cfg.ReconAlgorithm,
-						MaxIters:  cfg.ReconMaxIters,
-						Epsilon:   cfg.ReconEpsilon,
-						TailMass:  cfg.ReconTailMass,
-						Float32:   cfg.ReconFloat32,
-					})
-					if err != nil {
-						return nil, fmt.Errorf("bayes: reconstructing attribute %d class %d: %w", j, c, err)
-					}
-					dist = smooth(res.P, float64(col.N()), cfg.Smoothing)
-				} else {
-					dist = countDistribution(nil, parts[j], cfg.Smoothing)
-				}
-			} else {
-				dist = distFromCounts(hist[c][j], float64(classCounts[c]), cfg.Smoothing)
-			}
-			clf.Cond[c][j] = dist
-		}
-	}
-	return clf, nil
+	return stats.Finalize()
 }
 
 // EvaluateStream classifies every record of a streamed clean test set,

@@ -1,0 +1,77 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ppdm/internal/cluster/gateway"
+)
+
+// Gateway runs the serving gateway: it fans /classify and /perturb traffic
+// out across a static replica set of ppdm-serve backends with health-checked
+// routing (ejection + re-admission), per-replica bounded in-flight limits
+// with least-loaded pick-2 balancing, and rolling hot reload (POST /reload
+// drains and reloads one replica at a time).
+//
+// Usage: ppdm-gateway -backends url,url [-addr 127.0.0.1:8090]
+// [-probe 500ms] [-probe-timeout 2s] [-inflight 64] [-drain-timeout 30s]
+func Gateway(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ppdm-gateway", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	backends := fs.String("backends", "", "comma-separated ppdm-serve base URLs (e.g. http://127.0.0.1:8081,http://127.0.0.1:8082)")
+	addr := fs.String("addr", "127.0.0.1:8090", "listen address")
+	probe := fs.Duration("probe", 0, fmt.Sprintf("health-probe interval (0 = %v)", gateway.DefaultProbeInterval))
+	probeTimeout := fs.Duration("probe-timeout", 0, fmt.Sprintf("health-probe and backend-reload timeout (0 = %v)", gateway.DefaultProbeTimeout))
+	inflight := fs.Int("inflight", 0, fmt.Sprintf("max in-flight requests per replica (0 = %d); beyond it requests answer 503", gateway.DefaultMaxInFlight))
+	drainTimeout := fs.Duration("drain-timeout", 0, fmt.Sprintf("max wait for one replica to drain during a rolling reload (0 = %v)", gateway.DefaultDrainTimeout))
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	urls := splitURLs(*backends)
+	if len(urls) == 0 {
+		return fail(stderr, fmt.Errorf("-backends is required (comma-separated ppdm-serve URLs)"))
+	}
+
+	g, err := gateway.New(gateway.Config{
+		Backends:      urls,
+		ProbeInterval: *probe,
+		ProbeTimeout:  *probeTimeout,
+		MaxInFlight:   *inflight,
+		DrainTimeout:  *drainTimeout,
+	})
+	if err != nil {
+		return fail(stderr, err)
+	}
+	defer g.Close()
+	fmt.Fprintf(stdout, "gateway over %d replicas on http://%s\n", len(urls), *addr)
+
+	httpServer := &http.Server{Addr: *addr, Handler: g.Handler()}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		if err != nil && err != http.ErrServerClosed {
+			return fail(stderr, err)
+		}
+		return 0
+	case sig := <-sigs:
+		fmt.Fprintf(stdout, "shutting down (%v)\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := httpServer.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			return fail(stderr, err)
+		}
+		return 0
+	}
+}

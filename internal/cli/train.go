@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"ppdm/internal/bayes"
+	"ppdm/internal/cluster"
 	"ppdm/internal/core"
 	"ppdm/internal/dataset"
 	"ppdm/internal/noise"
@@ -32,10 +33,21 @@ import (
 // table). A -test file ending in .gz is streamed too; otherwise it is read
 // as plain CSV.
 //
+// With -shards N the streamed training input is dealt across N logical
+// shards (cluster.UnitLen record units, round-robin), trained per shard in
+// parallel, and merged — the model is byte-identical to single-node
+// training at any shard count. Naive-Bayes shards can run on remote worker
+// processes (-shard-workers, comma-separated base URLs of ppdm-train
+// -shard-worker instances); tree shards always run in process, spilling
+// columns to local disk.
+//
 // Usage: ppdm-train -train train.csv -test test.csv [-mode byclass]
 // [-family gaussian] [-privacy 1.0] [-conf 0.95] [-intervals 50]
 // [-algorithm bayes|em] [-recon-tail 0] [-recon-f32] [-learner tree|nb] [-workers 0]
-// [-stream] [-batch 8192] [-print-tree]
+// [-stream] [-batch 8192] [-shards 0] [-shard-workers url,url] [-print-tree]
+//
+// Worker mode: ppdm-train -shard-worker [-addr 127.0.0.1:9090] serves the
+// gzipped-JSON shard-training protocol over HTTP until interrupted.
 func Train(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ppdm-train", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -55,8 +67,15 @@ func Train(args []string, stdout, stderr io.Writer) int {
 	batch := fs.Int("batch", 0, fmt.Sprintf("records per streamed batch (0 = %d)", stream.DefaultBatchSize))
 	printTree := fs.Bool("print-tree", false, "print the trained decision tree")
 	savePath := fs.String("save", "", "write the trained model (tree or naive Bayes) as JSON to this file, crash-safely (temp file + rename)")
+	shards := fs.Int("shards", 0, "deal the training stream across this many logical shards and merge (0 = single-node; requires -stream; the model is byte-identical at any shard count)")
+	shardWorkers := fs.String("shard-workers", "", "comma-separated base URLs of remote shard workers (ppdm-train -shard-worker) for naive-Bayes shards")
+	shardWorker := fs.Bool("shard-worker", false, "run as a shard-training worker: serve the shard protocol on -addr instead of training locally")
+	addr := fs.String("addr", "127.0.0.1:9090", "listen address for -shard-worker mode")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *shardWorker {
+		return runShardWorker(*addr, stdout, stderr)
 	}
 	if *trainPath == "" || *testPath == "" {
 		return fail(stderr, fmt.Errorf("both -train and -test are required"))
@@ -83,13 +102,33 @@ func Train(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	workerURLs := splitURLs(*shardWorkers)
+	nShards := *shards
+	if nShards == 0 && len(workerURLs) > 0 {
+		nShards = len(workerURLs)
+	}
+	if nShards > 0 && !*streamMode {
+		return fail(stderr, fmt.Errorf("-shards requires -stream (shards are dealt from the record stream)"))
+	}
+
 	if *streamMode {
 		switch *learner {
 		case "nb":
-			return trainStreamedNB(*trainPath, *testPath, *savePath, mode, alg, *reconTail, *reconF32, models, *intervals, *batch, stdout, stderr)
+			var opts *cluster.Options
+			if nShards > 0 {
+				opts = &cluster.Options{
+					Shards:      nShards,
+					WorkerURLs:  workerURLs,
+					WorkerQuery: shardQuery(*modeName, *family, *level, *conf, *intervals, *algorithm, *reconTail, *reconF32),
+				}
+			}
+			return trainStreamedNB(*trainPath, *testPath, *savePath, mode, alg, *reconTail, *reconF32, models, *intervals, *batch, opts, stdout, stderr)
 		case "tree":
+			if len(workerURLs) > 0 {
+				return fail(stderr, fmt.Errorf("-shard-workers applies to the nb learner only (tree shards spill columns to local disk)"))
+			}
 			cfg := core.Config{Mode: mode, Intervals: *intervals, ReconAlgorithm: alg, ReconTailMass: *reconTail, ReconFloat32: *reconF32, Noise: models, Workers: *workers}
-			return trainStreamedTree(*trainPath, *testPath, *savePath, cfg, *batch, *printTree, stdout, stderr)
+			return trainStreamedTree(*trainPath, *testPath, *savePath, cfg, *batch, nShards, *printTree, stdout, stderr)
 		default:
 			return fail(stderr, fmt.Errorf("unknown learner %q (want tree or nb)", *learner))
 		}
@@ -197,13 +236,20 @@ func saveModel(path string, save func(w io.Writer) error, stderr io.Writer) erro
 // tree grows from them through a bounded segment cache, so the table is
 // never materialized and the model matches the in-memory path byte for
 // byte.
-func trainStreamedTree(trainPath, testPath, savePath string, cfg core.Config, batch int,
+func trainStreamedTree(trainPath, testPath, savePath string, cfg core.Config, batch, shards int,
 	printTree bool, stdout, stderr io.Writer) int {
 	src, closeTrain, err := openRecordStream(trainPath, batch)
 	if err != nil {
 		return fail(stderr, err)
 	}
-	clf, err := core.TrainStream(src, cfg)
+	label := "tree (streamed)"
+	var clf *core.Classifier
+	if shards > 0 {
+		label = fmt.Sprintf("tree (streamed, %d shards)", shards)
+		clf, err = cluster.TrainTree(src, cfg, cluster.Options{Shards: shards})
+	} else {
+		clf, err = core.TrainStream(src, cfg)
+	}
 	if cerr := closeTrain(); err == nil {
 		err = cerr
 	}
@@ -216,7 +262,7 @@ func trainStreamedTree(trainPath, testPath, savePath string, cfg core.Config, ba
 	if err != nil {
 		return fail(stderr, err)
 	}
-	printEvaluation(stdout, "tree (streamed)", cfg.Mode, synth.Schema(), trainN, testN, trainPath, testPath, ev, clf, printTree)
+	printEvaluation(stdout, label, cfg.Mode, synth.Schema(), trainN, testN, trainPath, testPath, ev, clf, printTree)
 	if savePath != "" {
 		if err := saveModel(savePath, clf.Save, stderr); err != nil {
 			return fail(stderr, err)
@@ -229,13 +275,24 @@ func trainStreamedTree(trainPath, testPath, savePath string, cfg core.Config, ba
 // stream is consumed batch by batch into sufficient statistics, so only
 // O(batch + classes × attributes × intervals) memory is held at once.
 func trainStreamedNB(trainPath, testPath, savePath string, mode core.Mode, alg reconstruct.Algorithm, reconTail float64,
-	reconF32 bool, models map[int]noise.Model, intervals, batch int, stdout, stderr io.Writer) int {
+	reconF32 bool, models map[int]noise.Model, intervals, batch int, opts *cluster.Options, stdout, stderr io.Writer) int {
 	src, closeTrain, err := openRecordStream(trainPath, batch)
 	if err != nil {
 		return fail(stderr, err)
 	}
 	cfg := bayes.Config{Mode: mode, Intervals: intervals, ReconAlgorithm: alg, ReconTailMass: reconTail, ReconFloat32: reconF32, Noise: models}
-	nb, err := bayes.TrainStream(src, cfg)
+	label := "nb (streamed)"
+	var nb *bayes.Classifier
+	if opts != nil {
+		if len(opts.WorkerURLs) > 0 {
+			label = fmt.Sprintf("nb (streamed, %d shards on %d workers)", opts.Shards, len(opts.WorkerURLs))
+		} else {
+			label = fmt.Sprintf("nb (streamed, %d shards)", opts.Shards)
+		}
+		nb, err = cluster.TrainNaiveBayes(src, cfg, *opts)
+	} else {
+		nb, err = bayes.TrainStream(src, cfg)
+	}
 	if cerr := closeTrain(); err == nil {
 		err = cerr
 	}
@@ -248,7 +305,7 @@ func trainStreamedNB(trainPath, testPath, savePath string, mode core.Mode, alg r
 	if err != nil {
 		return fail(stderr, err)
 	}
-	printEvaluation(stdout, "nb (streamed)", mode, synth.Schema(), trainN, testN, trainPath, testPath, ev, nil, false)
+	printEvaluation(stdout, label, mode, synth.Schema(), trainN, testN, trainPath, testPath, ev, nil, false)
 	if savePath != "" {
 		if err := saveModel(savePath, nb.Save, stderr); err != nil {
 			return fail(stderr, err)

@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+
+	"ppdm/internal/bayes"
+	"ppdm/internal/core"
+	"ppdm/internal/dataset"
+	"ppdm/internal/stream"
+)
+
+// Options configure distributed training.
+type Options struct {
+	// Shards is the number of logical shards the record stream is dealt
+	// across (values < 1 mean 1). The trained model is byte-identical at
+	// any value; shards only change where the work runs.
+	Shards int
+	// WorkerURLs, when non-empty, sends each naïve-Bayes shard to a remote
+	// worker process (ppdm-train -shard-worker) instead of an in-process
+	// goroutine: shard i goes to WorkerURLs[i%len(WorkerURLs)]. Tree
+	// training ignores it — tree shards spill columns to local disk.
+	WorkerURLs []string
+	// WorkerQuery carries the training configuration to remote workers as
+	// query parameters; the worker's configure callback (see
+	// NewWorkerHandler) must resolve them to the same config the
+	// coordinator trains with.
+	WorkerQuery url.Values
+	// Client performs worker requests (nil = http.DefaultClient).
+	Client *http.Client
+}
+
+// shardCount resolves the shard count.
+func (o Options) shardCount() int {
+	if o.Shards < 1 {
+		return 1
+	}
+	return o.Shards
+}
+
+// client resolves the HTTP client.
+func (o Options) client() *http.Client {
+	if o.Client != nil {
+		return o.Client
+	}
+	return http.DefaultClient
+}
+
+// TrainNaiveBayes trains a naïve-Bayes classifier across shards: the record
+// stream is dealt on the UnitLen grid, each shard accumulates
+// bayes.TrainStats (in process, or on a remote worker when WorkerURLs is
+// set), and the statistics are merged in shard order and finalized once —
+// the merged count tables and reconstruction collectors are exactly those
+// of the whole stream, so the classifier is byte-identical to single-node
+// bayes.TrainStream at any shard count.
+func TrainNaiveBayes(src stream.Source, cfg bayes.Config, opt Options) (*bayes.Classifier, error) {
+	n := opt.shardCount()
+	s := src.Schema()
+	chans := make([]chan *stream.Batch, n)
+	stats := make([]*bayes.TrainStats, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range chans {
+		chans[i] = make(chan *stream.Batch, dealDepth)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if len(opt.WorkerURLs) > 0 {
+				stats[i], errs[i] = trainShardRemote(opt.WorkerURLs[i%len(opt.WorkerURLs)], s, cfg, opt.WorkerQuery, chans[i], opt.client())
+			} else {
+				stats[i], errs[i] = trainShardLocal(s, cfg, chans[i])
+			}
+		}(i)
+	}
+	dealErr := dealTo(src, chans)
+	wg.Wait()
+	if dealErr != nil {
+		return nil, dealErr
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+	}
+	merged := stats[0]
+	for _, st := range stats[1:] {
+		if err := merged.Merge(st); err != nil {
+			return nil, err
+		}
+	}
+	return merged.Finalize()
+}
+
+// trainShardLocal accumulates one shard's statistics in process.
+func trainShardLocal(s *dataset.Schema, cfg bayes.Config, ch <-chan *stream.Batch) (*bayes.TrainStats, error) {
+	stats, err := bayes.NewTrainStats(s, cfg)
+	if err != nil {
+		drain(ch)
+		return nil, err
+	}
+	for b := range ch {
+		if err := stats.AddBatch(b); err != nil {
+			drain(ch)
+			return nil, err
+		}
+	}
+	return stats, nil
+}
+
+// TrainTree trains a decision tree across shards: the record stream is
+// dealt on the UnitLen grid, each shard runs the columnar spill pass
+// (core.SpillShard) in parallel, and core.MergeShardSpills interleaves the
+// shard spills back into global record order — because the deal grid equals
+// the spill-segment grid, the merged column store is the single-node column
+// store, and the grown tree is byte-identical to core.TrainStream at any
+// shard count. Tree shards always run in process: their working state is
+// spilled columns on local disk, not a compact statistic worth shipping.
+func TrainTree(src stream.Source, cfg core.Config, opt Options) (*core.Classifier, error) {
+	n := opt.shardCount()
+	s := src.Schema()
+	chans := make([]chan *stream.Batch, n)
+	spills := make([]*core.ShardSpill, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range chans {
+		chans[i] = make(chan *stream.Batch, dealDepth)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			spills[i], errs[i] = core.SpillShard(&chanSource{schema: s, ch: chans[i]}, cfg)
+			// Whatever happened, leave the dealer unblocked.
+			drain(chans[i])
+		}(i)
+	}
+	dealErr := dealTo(src, chans)
+	wg.Wait()
+	defer func() {
+		for _, sp := range spills {
+			if sp != nil {
+				sp.Close()
+			}
+		}
+	}()
+	if dealErr != nil {
+		return nil, dealErr
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+	}
+	return core.MergeShardSpills(spills, cfg)
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+
+	"ppdm/internal/dataset"
+	"ppdm/internal/stream"
+	"ppdm/internal/tree"
+)
+
+// UnitLen is the record-dealing grid: shards receive whole units of this
+// many consecutive records, round-robin (unit u goes to shard u%N). It
+// equals tree.SegLen, so each dealt unit is exactly one spill segment of the
+// columnar tree store — the merged column store interleaves shard segments
+// without re-chunking — and a whole multiple of the generation/perturbation
+// chunk grids, so per-chunk PRNG substreams never straddle shards.
+const UnitLen = tree.SegLen
+
+// dealDepth bounds each shard's queue of in-flight units, providing
+// backpressure: the dealer stalls when a shard falls this far behind.
+const dealDepth = 2
+
+// dealTo drains src, re-chunks it into UnitLen record units, and sends unit
+// u to sinks[u%len(sinks)] with shard-local Start offsets (only the final
+// unit of the stream may be short). All sinks are closed before it returns,
+// whatever the outcome; shard consumers must keep draining their channel
+// after a local failure so the dealer never blocks on a dead shard.
+func dealTo(src stream.Source, sinks []chan *stream.Batch) (err error) {
+	defer func() {
+		for _, ch := range sinks {
+			close(ch)
+		}
+	}()
+	s := src.Schema()
+	na := s.NumAttrs()
+	counts := make([]int, len(sinks)) // records dealt per shard
+	unit := 0
+	emit := func(vals []float64, labels []int) {
+		sh := unit % len(sinks)
+		sinks[sh] <- &stream.Batch{Start: counts[sh], Values: vals, Labels: labels}
+		counts[sh] += len(labels)
+		unit++
+	}
+	// pend accumulates a partial unit across batch boundaries; full units
+	// are sent as slices of the incoming batch without copying.
+	var pendVals []float64
+	var pendLabels []int
+	pos := 0
+	for {
+		b, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if b.Start != pos {
+			return fmt.Errorf("cluster: training batch starts at %d, expected %d", b.Start, pos)
+		}
+		if err := stream.CheckBatch(s, b); err != nil {
+			return err
+		}
+		pos += b.N()
+		i := 0
+		if len(pendLabels) > 0 {
+			take := UnitLen - len(pendLabels)
+			if take > b.N() {
+				take = b.N()
+			}
+			pendVals = append(pendVals, b.Values[:take*na]...)
+			pendLabels = append(pendLabels, b.Labels[:take]...)
+			i = take
+			if len(pendLabels) == UnitLen {
+				emit(pendVals, pendLabels)
+				pendVals, pendLabels = nil, nil
+			}
+		}
+		for ; i+UnitLen <= b.N(); i += UnitLen {
+			emit(b.Values[i*na:(i+UnitLen)*na], b.Labels[i:i+UnitLen])
+		}
+		if i < b.N() {
+			pendVals = append(pendVals, b.Values[i*na:]...)
+			pendLabels = append(pendLabels, b.Labels[i:]...)
+		}
+	}
+	if len(pendLabels) > 0 {
+		emit(pendVals, pendLabels)
+	}
+	return nil
+}
+
+// chanSource adapts one shard's dealt-unit channel to stream.Source.
+type chanSource struct {
+	schema *dataset.Schema
+	ch     <-chan *stream.Batch
+}
+
+// Schema implements stream.Source.
+func (c *chanSource) Schema() *dataset.Schema { return c.schema }
+
+// Next implements stream.Source: it returns the next dealt unit, or io.EOF
+// once the dealer has closed the channel.
+func (c *chanSource) Next() (*stream.Batch, error) {
+	b, ok := <-c.ch
+	if !ok {
+		return nil, io.EOF
+	}
+	return b, nil
+}
+
+// drain discards the rest of a shard channel so the dealer never blocks
+// sending to a shard that already failed.
+func drain(ch <-chan *stream.Batch) {
+	for range ch {
+	}
+}

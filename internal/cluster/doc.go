@@ -1,0 +1,26 @@
+// Package cluster is the multi-node layer: distributed training by
+// sufficient-statistic merge and (in the gateway subpackage) fan-out
+// serving.
+//
+// Training distributes by dealing the record stream into fixed UnitLen
+// record units, round-robin across N logical shards (unit u goes to shard
+// u%N). The grid is purely positional — aligned with the stream.ChunkCursor
+// chunk grid the generation and perturbation stages already use — so the
+// records a shard sees are a pure function of the shard count, never of
+// timing, and every per-chunk PRNG substream lands on the same records
+// regardless of sharding. Each shard accumulates sufficient statistics
+// (naïve Bayes: bayes.TrainStats count tables; tree: core.ShardSpill
+// columnar spill files), which merge exactly: counts are sums over records,
+// and the spill grid equals the deal grid, so the merged column store is the
+// single-node column store. The merged model is therefore byte-identical to
+// single-node TrainStream at any shard count — the determinism contract
+// survives distribution (enforced by TestShardMergeGolden).
+//
+// Naïve-Bayes shards can also run out of process: a worker
+// (ppdm-train -shard-worker) serves the shard protocol over HTTP — the
+// coordinator streams the shard's record units as a gzipped-CSV body and
+// receives the accumulated statistics back as gzipped JSON. Only aggregated
+// interval counts ever leave a worker, never raw values beyond the already
+// privacy-perturbed records, matching the distributed-environment
+// perturbation framing of Kamakshi & Vinaya Babu (arXiv:1004.4477).
+package cluster

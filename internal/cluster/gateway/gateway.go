@@ -1,0 +1,489 @@
+// Package gateway fans inference traffic across a static replica set of
+// ppdm-serve backends: health-checked routing with ejection and
+// re-admission, per-replica bounded in-flight limits with least-loaded
+// pick-2 balancing, and rolling hot reload that drains one replica at a
+// time. Every request is proxied whole to exactly one backend, and each
+// backend answers from exactly one model snapshot, so no response — bulk or
+// single — ever mixes model generations.
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultProbeInterval = 500 * time.Millisecond
+	DefaultProbeTimeout  = 2 * time.Second
+	DefaultMaxInFlight   = 64
+	DefaultDrainTimeout  = 30 * time.Second
+)
+
+// Error codes carried by the gateway's typed JSON error responses.
+const (
+	// CodeNoBackend: no healthy, non-draining replica is available.
+	CodeNoBackend = "no_backend"
+	// CodeSaturated: every routable replica is at its in-flight limit.
+	CodeSaturated = "saturated"
+	// CodeBackendFailed: the chosen backend failed mid-request; it has
+	// been ejected and subsequent requests route around it.
+	CodeBackendFailed = "backend_failed"
+)
+
+// Config parameterizes New.
+type Config struct {
+	// Backends lists the replica base URLs (e.g. http://127.0.0.1:8081).
+	// A bare host:port is given the http scheme.
+	Backends []string
+	// ProbeInterval is the health-probe period (0 = DefaultProbeInterval).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each probe and each backend /reload call
+	// (0 = DefaultProbeTimeout).
+	ProbeTimeout time.Duration
+	// MaxInFlight bounds concurrently proxied requests per replica
+	// (0 = DefaultMaxInFlight).
+	MaxInFlight int
+	// DrainTimeout bounds how long a rolling reload waits for one
+	// replica's in-flight requests to finish (0 = DefaultDrainTimeout).
+	DrainTimeout time.Duration
+	// Client performs proxied requests (nil = http.DefaultClient).
+	Client *http.Client
+}
+
+// replica is one backend's routing state.
+type replica struct {
+	url        string
+	healthy    atomic.Bool
+	draining   atomic.Bool
+	inflight   atomic.Int64
+	requests   atomic.Int64
+	errors     atomic.Int64
+	ejections  atomic.Int64
+	generation atomic.Int64
+}
+
+// routable reports whether the replica accepts new traffic (saturation is
+// checked separately at acquire time).
+func (r *replica) routable() bool { return r.healthy.Load() && !r.draining.Load() }
+
+// Gateway is the fan-out proxy. Create it with New, expose Handler over any
+// http.Server, and Close it when done.
+type Gateway struct {
+	cfg      Config
+	replicas []*replica
+	mux      *http.ServeMux
+	start    time.Time
+
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	reloadMu sync.Mutex // serializes rolling reloads
+}
+
+// New builds the gateway and synchronously probes every backend once, so a
+// gateway over live replicas routes immediately; backends that are down
+// start ejected and re-admit at the next successful probe.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("gateway: no backends")
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = DefaultProbeTimeout
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	g := &Gateway{cfg: cfg, start: time.Now(), stop: make(chan struct{})}
+	for _, b := range cfg.Backends {
+		u := strings.TrimSuffix(strings.TrimSpace(b), "/")
+		if u == "" {
+			return nil, fmt.Errorf("gateway: empty backend URL in %q", cfg.Backends)
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		g.replicas = append(g.replicas, &replica{url: u})
+	}
+	g.mux = http.NewServeMux()
+	g.mux.HandleFunc("/classify", func(w http.ResponseWriter, r *http.Request) { g.proxy(w, r, "/classify") })
+	g.mux.HandleFunc("/perturb", func(w http.ResponseWriter, r *http.Request) { g.proxy(w, r, "/perturb") })
+	g.mux.HandleFunc("/healthz", g.handleHealthz)
+	g.mux.HandleFunc("/stats", g.handleStats)
+	g.mux.HandleFunc("/reload", g.handleReload)
+	g.probeAll()
+	g.wg.Add(1)
+	go g.probeLoop()
+	return g, nil
+}
+
+// Handler returns the HTTP surface of the gateway.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Close stops the health prober. In-flight proxied requests finish.
+func (g *Gateway) Close() {
+	close(g.stop)
+	g.wg.Wait()
+}
+
+// gatewayError is the typed JSON error document.
+type gatewayError struct {
+	Error   string `json:"error"`
+	Code    string `json:"code"`
+	Replica string `json:"replica,omitempty"`
+}
+
+// writeJSON encodes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// acquire reserves one in-flight slot on r, failing when r is saturated.
+// Draining is re-checked after the increment: the reloader stores draining
+// before reading the in-flight count, so either it sees our reservation and
+// keeps waiting, or we see its flag and roll back — a request can never slip
+// onto a replica that a rolling reload has already observed as drained.
+func (g *Gateway) acquire(r *replica) bool {
+	if r.inflight.Add(1) > int64(g.cfg.MaxInFlight) || r.draining.Load() {
+		r.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+// pick chooses a replica by least-loaded pick-2: two distinct routable
+// replicas at random, lower in-flight count wins. It reserves the winner's
+// in-flight slot; the caller must release it. The error reports whether the
+// fleet was saturated or empty.
+func (g *Gateway) pick() (*replica, string) {
+	var cands []*replica
+	for _, r := range g.replicas {
+		if r.routable() {
+			cands = append(cands, r)
+		}
+	}
+	if len(cands) == 0 {
+		return nil, CodeNoBackend
+	}
+	if len(cands) == 1 {
+		if g.acquire(cands[0]) {
+			return cands[0], ""
+		}
+		return nil, CodeSaturated
+	}
+	i := rand.IntN(len(cands))
+	j := rand.IntN(len(cands) - 1)
+	if j >= i {
+		j++
+	}
+	a, b := cands[i], cands[j]
+	if b.inflight.Load() < a.inflight.Load() {
+		a, b = b, a
+	}
+	if g.acquire(a) {
+		return a, ""
+	}
+	if g.acquire(b) {
+		return b, ""
+	}
+	return nil, CodeSaturated
+}
+
+// eject marks a replica unhealthy after a request failure; the prober
+// re-admits it at the next successful /healthz.
+func (g *Gateway) eject(r *replica) {
+	if r.healthy.Swap(false) {
+		r.ejections.Add(1)
+	}
+}
+
+// proxy forwards one request body to a chosen replica and streams the
+// response back, tagging it with X-Ppdm-Replica. A transport failure ejects
+// the replica and answers a typed 502 immediately — the client fails fast
+// and the next request routes around the dead backend.
+func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, path string) {
+	rep, code := g.pick()
+	if rep == nil {
+		msg := "no healthy backend available"
+		if code == CodeSaturated {
+			msg = "all backends at their in-flight limit"
+		}
+		writeJSON(w, http.StatusServiceUnavailable, gatewayError{Error: msg, Code: code})
+		return
+	}
+	defer rep.inflight.Add(-1)
+	rep.requests.Add(1)
+
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, rep.url+path, r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, gatewayError{Error: err.Error(), Code: CodeBackendFailed, Replica: rep.url})
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	req.ContentLength = r.ContentLength
+	resp, err := g.cfg.Client.Do(req)
+	if err != nil {
+		rep.errors.Add(1)
+		g.eject(rep)
+		writeJSON(w, http.StatusBadGateway, gatewayError{
+			Error:   fmt.Sprintf("backend failed: %v", err),
+			Code:    CodeBackendFailed,
+			Replica: rep.url,
+		})
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.Header().Set("X-Ppdm-Replica", rep.url)
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		// The response is already committed; all we can do is eject so the
+		// next request routes around the dying backend.
+		rep.errors.Add(1)
+		g.eject(rep)
+	}
+}
+
+// backendModel is the slice of a backend /healthz or /reload response the
+// gateway cares about.
+type backendModel struct {
+	Model struct {
+		Generation int64 `json:"generation"`
+	} `json:"model"`
+}
+
+// probeLoop re-probes every replica at the configured interval until Close.
+func (g *Gateway) probeLoop() {
+	defer g.wg.Done()
+	t := time.NewTicker(g.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.probeAll()
+		}
+	}
+}
+
+// probeAll probes every replica concurrently and waits for the round.
+func (g *Gateway) probeAll() {
+	var wg sync.WaitGroup
+	for _, rep := range g.replicas {
+		wg.Add(1)
+		go func(rep *replica) {
+			defer wg.Done()
+			g.probe(rep)
+		}(rep)
+	}
+	wg.Wait()
+}
+
+// probe checks one replica's /healthz: success re-admits it (recording the
+// model generation it reports), failure ejects it.
+func (g *Gateway) probe(rep *replica) {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+"/healthz", nil)
+	if err != nil {
+		g.eject(rep)
+		return
+	}
+	resp, err := g.cfg.Client.Do(req)
+	if err != nil {
+		g.eject(rep)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		g.eject(rep)
+		return
+	}
+	var bm backendModel
+	if err := json.NewDecoder(resp.Body).Decode(&bm); err == nil && bm.Model.Generation > 0 {
+		rep.generation.Store(bm.Model.Generation)
+	}
+	rep.healthy.Store(true)
+}
+
+// replicaStatus is one backend's entry in /healthz and /stats responses.
+type replicaStatus struct {
+	URL        string `json:"url"`
+	Healthy    bool   `json:"healthy"`
+	Draining   bool   `json:"draining"`
+	InFlight   int64  `json:"in_flight"`
+	Requests   int64  `json:"requests"`
+	Errors     int64  `json:"errors"`
+	Ejections  int64  `json:"ejections"`
+	Generation int64  `json:"generation"`
+}
+
+// status snapshots one replica.
+func (r *replica) status() replicaStatus {
+	return replicaStatus{
+		URL:        r.url,
+		Healthy:    r.healthy.Load(),
+		Draining:   r.draining.Load(),
+		InFlight:   r.inflight.Load(),
+		Requests:   r.requests.Load(),
+		Errors:     r.errors.Load(),
+		Ejections:  r.ejections.Load(),
+		Generation: r.generation.Load(),
+	}
+}
+
+// statuses snapshots the fleet and counts routable replicas.
+func (g *Gateway) statuses() ([]replicaStatus, int) {
+	out := make([]replicaStatus, len(g.replicas))
+	routable := 0
+	for i, r := range g.replicas {
+		out[i] = r.status()
+		if r.routable() {
+			routable++
+		}
+	}
+	return out, routable
+}
+
+// handleHealthz answers GET /healthz: ok (200) while at least one replica is
+// routable, degraded (503) otherwise.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	reps, routable := g.statuses()
+	status, code := "ok", http.StatusOK
+	if routable == 0 {
+		status, code = "degraded", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   status,
+		"routable": routable,
+		"replicas": reps,
+	})
+}
+
+// handleStats answers GET /stats with the fleet's routing counters.
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	reps, routable := g.statuses()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_ms":     float64(time.Since(g.start).Nanoseconds()) / 1e6,
+		"max_in_flight": g.cfg.MaxInFlight,
+		"routable":      routable,
+		"replicas":      reps,
+	})
+}
+
+// reloadResult reports one replica's rolling-reload outcome.
+type reloadResult struct {
+	URL        string `json:"url"`
+	Generation int64  `json:"generation,omitempty"`
+	Skipped    bool   `json:"skipped,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// waitDrained polls until the replica has no in-flight requests or the
+// drain timeout passes.
+func (g *Gateway) waitDrained(rep *replica) bool {
+	deadline := time.Now().Add(g.cfg.DrainTimeout)
+	for rep.inflight.Load() > 0 {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return true
+}
+
+// handleReload answers POST /reload with a rolling restart of the model:
+// one replica at a time is taken out of routing, drained of in-flight
+// requests, told to /reload, and put back. At every instant the rest of the
+// fleet keeps serving, and since each request is answered whole by one
+// backend from one model snapshot, no response mixes generations.
+func (g *Gateway) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, gatewayError{Error: "POST required", Code: "method"})
+		return
+	}
+	g.reloadMu.Lock()
+	defer g.reloadMu.Unlock()
+	results := make([]reloadResult, 0, len(g.replicas))
+	failed := 0
+	for _, rep := range g.replicas {
+		if !rep.healthy.Load() {
+			results = append(results, reloadResult{URL: rep.url, Skipped: true})
+			continue
+		}
+		rep.draining.Store(true)
+		res := g.reloadReplica(rep)
+		rep.draining.Store(false)
+		if res.Error != "" {
+			failed++
+		}
+		results = append(results, res)
+	}
+	status, code := "reloaded", http.StatusOK
+	if failed > 0 {
+		status, code = "partial", http.StatusBadGateway
+	}
+	writeJSON(w, code, map[string]any{"status": status, "replicas": results})
+}
+
+// reloadReplica drains one replica and reloads its model; the caller has
+// already marked it draining.
+func (g *Gateway) reloadReplica(rep *replica) reloadResult {
+	res := reloadResult{URL: rep.url}
+	if !g.waitDrained(rep) {
+		res.Error = fmt.Sprintf("drain timed out after %v with %d requests in flight", g.cfg.DrainTimeout, rep.inflight.Load())
+		return res
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.url+"/reload", nil)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	resp, err := g.cfg.Client.Do(req)
+	if err != nil {
+		g.eject(rep)
+		res.Error = err.Error()
+		return res
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		res.Error = fmt.Sprintf("backend answered %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		return res
+	}
+	var bm backendModel
+	if err := json.NewDecoder(resp.Body).Decode(&bm); err == nil && bm.Model.Generation > 0 {
+		rep.generation.Store(bm.Model.Generation)
+		res.Generation = bm.Model.Generation
+	}
+	return res
+}

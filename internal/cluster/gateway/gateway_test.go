@@ -1,0 +1,346 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubBackend emulates one ppdm-serve replica: /healthz and /reload speak
+// the backend protocol (a model generation starting at 1, bumped by
+// /reload), and /classify echoes the generation it served from. The
+// generation is sampled at handler entry and exit; if a reload lands while
+// a request is mid-flight — which a correct rolling drain makes impossible —
+// the handler answers 500 and counts a mixed-generation violation.
+type stubBackend struct {
+	gen   atomic.Int64
+	down  atomic.Bool
+	mixed atomic.Int64
+	hits  atomic.Int64
+	delay time.Duration
+	block chan struct{} // non-nil: /classify parks here before answering
+	srv   *httptest.Server
+}
+
+func newStubBackend(t *testing.T, delay time.Duration) *stubBackend {
+	t.Helper()
+	b := &stubBackend{delay: delay}
+	b.gen.Store(1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if b.down.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, `{"status":"ok","model":{"generation":%d}}`, b.gen.Load())
+	})
+	mux.HandleFunc("/reload", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"status":"reloaded","model":{"generation":%d}}`, b.gen.Add(1))
+	})
+	mux.HandleFunc("/classify", func(w http.ResponseWriter, r *http.Request) {
+		if b.down.Load() {
+			// Swallow part of the request, then kill the connection: the
+			// gateway's proxied call fails mid-stream with no response.
+			io.CopyN(io.Discard, r.Body, 64)
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+				}
+			}
+			return
+		}
+		b.hits.Add(1)
+		before := b.gen.Load()
+		io.Copy(io.Discard, r.Body)
+		if b.block != nil {
+			<-b.block
+		}
+		time.Sleep(b.delay)
+		if after := b.gen.Load(); after != before {
+			b.mixed.Add(1)
+			http.Error(w, "generation changed mid-request", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, `{"generation":%d}`, before)
+	})
+	b.srv = httptest.NewServer(mux)
+	t.Cleanup(b.srv.Close)
+	return b
+}
+
+// newTestGateway builds a gateway over the stubs with a fast probe cycle.
+func newTestGateway(t *testing.T, cfg Config, backends ...*stubBackend) *Gateway {
+	t.Helper()
+	for _, b := range backends {
+		cfg.Backends = append(cfg.Backends, b.srv.URL)
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 10 * time.Millisecond
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	return g
+}
+
+// classifyVia posts one request through the gateway and decodes the
+// generation (for 200s) or the typed error (otherwise).
+func classifyVia(t *testing.T, gwURL string) (status int, gen int64, gerr gatewayError, replica string) {
+	t.Helper()
+	resp, err := http.Post(gwURL+"/classify", "application/json", strings.NewReader(`{"record":[1,2,3]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	replica = resp.Header.Get("X-Ppdm-Replica")
+	if resp.StatusCode == http.StatusOK {
+		var doc struct {
+			Generation int64 `json:"generation"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, doc.Generation, gatewayError{}, replica
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&gerr); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, 0, gerr, replica
+}
+
+// TestGatewayBalances checks fan-out: with two healthy replicas, a burst of
+// requests reaches both, every response is tagged with the replica that
+// answered it, and the totals add up.
+func TestGatewayBalances(t *testing.T) {
+	b1 := newStubBackend(t, 0)
+	b2 := newStubBackend(t, 0)
+	g := newTestGateway(t, Config{}, b1, b2)
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+
+	seen := map[string]int{}
+	for i := 0; i < 60; i++ {
+		status, gen, _, replica := classifyVia(t, gw.URL)
+		if status != http.StatusOK {
+			t.Fatalf("request %d answered %d", i, status)
+		}
+		if gen != 1 {
+			t.Fatalf("request %d served from generation %d, want 1", i, gen)
+		}
+		if replica == "" {
+			t.Fatal("response missing X-Ppdm-Replica")
+		}
+		seen[replica]++
+	}
+	if len(seen) != 2 {
+		t.Errorf("60 requests reached %d replicas, want 2 (%v)", len(seen), seen)
+	}
+	if got := b1.hits.Load() + b2.hits.Load(); got != 60 {
+		t.Errorf("backends served %d requests, want 60", got)
+	}
+}
+
+// TestGatewayFaultInjection kills a backend mid-bulk-stream and checks the
+// three promised behaviors: the in-flight request fails fast with a typed
+// backend_failed error, the dead replica is ejected so subsequent requests
+// route around it, and a recovered backend is re-admitted by the prober.
+func TestGatewayFaultInjection(t *testing.T) {
+	b1 := newStubBackend(t, 0)
+	b2 := newStubBackend(t, 0)
+	g := newTestGateway(t, Config{ProbeInterval: time.Hour}, b1, b2) // manual probing only
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+
+	// Kill b1 and hammer until a request lands on it: that request must be
+	// a typed 502 naming the dead replica, never a hang or a bare error.
+	b1.down.Store(true)
+	ejected := false
+	for i := 0; i < 50 && !ejected; i++ {
+		status, _, gerr, _ := classifyVia(t, gw.URL)
+		switch status {
+		case http.StatusOK:
+		case http.StatusBadGateway:
+			if gerr.Code != CodeBackendFailed {
+				t.Fatalf("dead backend produced code %q, want %q", gerr.Code, CodeBackendFailed)
+			}
+			if gerr.Replica != b1.srv.URL {
+				t.Fatalf("502 names replica %q, want %q", gerr.Replica, b1.srv.URL)
+			}
+			ejected = true
+		default:
+			t.Fatalf("unexpected status %d", status)
+		}
+	}
+	if !ejected {
+		t.Fatal("50 requests never landed on the dead replica")
+	}
+
+	// Routed around: every subsequent request succeeds via b2.
+	before := b2.hits.Load()
+	for i := 0; i < 20; i++ {
+		status, _, _, replica := classifyVia(t, gw.URL)
+		if status != http.StatusOK {
+			t.Fatalf("post-ejection request %d answered %d", i, status)
+		}
+		if replica != b2.srv.URL {
+			t.Fatalf("post-ejection request served by %q, want %q", replica, b2.srv.URL)
+		}
+	}
+	if b2.hits.Load() != before+20 {
+		t.Errorf("surviving replica served %d of 20 post-ejection requests", b2.hits.Load()-before)
+	}
+
+	// Recovery: bring b1 back, probe, and watch it serve again.
+	b1.down.Store(false)
+	g.probeAll()
+	beforeB1 := b1.hits.Load()
+	for i := 0; i < 50 && b1.hits.Load() == beforeB1; i++ {
+		if status, _, _, _ := classifyVia(t, gw.URL); status != http.StatusOK {
+			t.Fatalf("post-recovery request answered %d", status)
+		}
+	}
+	if b1.hits.Load() == beforeB1 {
+		t.Error("re-admitted replica never served again")
+	}
+}
+
+// TestGatewayNoBackend checks the typed 503 when the whole fleet is down.
+func TestGatewayNoBackend(t *testing.T) {
+	b := newStubBackend(t, 0)
+	b.down.Store(true)
+	g := newTestGateway(t, Config{ProbeInterval: time.Hour}, b)
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+
+	status, _, gerr, _ := classifyVia(t, gw.URL)
+	if status != http.StatusServiceUnavailable || gerr.Code != CodeNoBackend {
+		t.Errorf("empty fleet answered %d/%q, want 503/%q", status, gerr.Code, CodeNoBackend)
+	}
+	resp, err := http.Get(gw.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("gateway healthz answered %d with no routable replicas, want 503", resp.StatusCode)
+	}
+}
+
+// TestGatewaySaturated checks the per-replica in-flight bound: with
+// MaxInFlight 1 and one request parked on the only replica, the next
+// request is refused with the typed saturated error instead of queueing.
+func TestGatewaySaturated(t *testing.T) {
+	b := newStubBackend(t, 0)
+	b.block = make(chan struct{})
+	g := newTestGateway(t, Config{MaxInFlight: 1, ProbeInterval: time.Hour}, b)
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+
+	first := make(chan int, 1)
+	go func() {
+		status, _, _, _ := classifyVia(t, gw.URL)
+		first <- status
+	}()
+	for b.hits.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	status, _, gerr, _ := classifyVia(t, gw.URL)
+	if status != http.StatusServiceUnavailable || gerr.Code != CodeSaturated {
+		t.Errorf("second request answered %d/%q, want 503/%q", status, gerr.Code, CodeSaturated)
+	}
+	close(b.block)
+	if status := <-first; status != http.StatusOK {
+		t.Errorf("parked request answered %d, want 200", status)
+	}
+}
+
+// TestRollingReloadRace drives concurrent client traffic across a rolling
+// reload cycle and checks the mixed-generation guarantee: every response
+// comes from exactly one generation (the stubs 500 on any generation change
+// observed mid-request), no client ever sees an unavailable fleet, and the
+// reload lands generation 2 on every replica.
+func TestRollingReloadRace(t *testing.T) {
+	b1 := newStubBackend(t, 2*time.Millisecond)
+	b2 := newStubBackend(t, 2*time.Millisecond)
+	g := newTestGateway(t, Config{}, b1, b2)
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+
+	const clients = 6
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var oldGen, newGen, failures atomic.Int64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				status, gen, gerr, _ := classifyVia(t, gw.URL)
+				switch {
+				case status == http.StatusOK && gen == 1:
+					oldGen.Add(1)
+				case status == http.StatusOK && gen == 2:
+					newGen.Add(1)
+				default:
+					failures.Add(1)
+					t.Errorf("client saw %d (code %q, generation %d)", status, gerr.Code, gen)
+					return
+				}
+			}
+		}()
+	}
+
+	time.Sleep(30 * time.Millisecond) // let traffic hit generation 1 first
+	resp, err := http.Post(gw.URL+"/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Status   string `json:"status"`
+		Replicas []struct {
+			URL        string `json:"url"`
+			Generation int64  `json:"generation"`
+		} `json:"replicas"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || doc.Status != "reloaded" {
+		t.Fatalf("reload answered %d %q", resp.StatusCode, doc.Status)
+	}
+	for _, r := range doc.Replicas {
+		if r.Generation != 2 {
+			t.Errorf("replica %s reloaded to generation %d, want 2", r.URL, r.Generation)
+		}
+	}
+
+	time.Sleep(30 * time.Millisecond) // post-reload traffic on generation 2
+	close(stop)
+	wg.Wait()
+
+	if mixed := b1.mixed.Load() + b2.mixed.Load(); mixed != 0 {
+		t.Errorf("%d requests observed a generation change mid-flight", mixed)
+	}
+	if failures.Load() != 0 {
+		t.Errorf("%d client requests failed across the reload", failures.Load())
+	}
+	if oldGen.Load() == 0 || newGen.Load() == 0 {
+		t.Errorf("traffic did not span the reload: %d old-generation, %d new-generation responses",
+			oldGen.Load(), newGen.Load())
+	}
+}

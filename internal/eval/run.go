@@ -11,6 +11,7 @@ import (
 
 	"ppdm/internal/assoc"
 	"ppdm/internal/bayes"
+	"ppdm/internal/cluster"
 	"ppdm/internal/core"
 	"ppdm/internal/dataset"
 	"ppdm/internal/experiments"
@@ -202,9 +203,12 @@ func runClassify(c *ClassifySpec, cfg Config, workers int) (measured, error) {
 			ReconAlgorithm: alg, ReconTailMass: tailMass, ReconFloat32: float32s,
 		}
 		var model *bayes.Classifier
-		if c.Stream {
+		switch {
+		case c.Shards > 0:
+			model, err = cluster.TrainNaiveBayes(stream.FromTable(train, c.Batch), bcfg, cluster.Options{Shards: c.Shards})
+		case c.Stream:
 			model, err = bayes.TrainStream(stream.FromTable(train, c.Batch), bcfg)
-		} else {
+		default:
 			model, err = bayes.Train(train, bcfg)
 		}
 		if err != nil {
@@ -218,9 +222,12 @@ func runClassify(c *ClassifySpec, cfg Config, workers int) (measured, error) {
 			Workers: workers, ColumnCacheSegments: c.SpillCacheSegments,
 		}
 		var model *core.Classifier
-		if c.Stream {
+		switch {
+		case c.Shards > 0:
+			model, err = cluster.TrainTree(stream.FromTable(train, c.Batch), ccfg, cluster.Options{Shards: c.Shards})
+		case c.Stream:
 			model, err = core.TrainStream(stream.FromTable(train, c.Batch), ccfg)
-		} else {
+		default:
 			model, err = core.Train(train, ccfg)
 		}
 		if err != nil {

@@ -149,6 +149,11 @@ type ClassifySpec struct {
 	Stream bool `json:"stream,omitempty"`
 	// Batch is the streamed batch size (0 = the stream default).
 	Batch int `json:"batch,omitempty"`
+	// Shards trains through the sharded merge path (cluster.TrainNaiveBayes
+	// / cluster.TrainTree) with this many in-process shards; the merged
+	// model is byte-identical to single-node training, which the
+	// cluster-merge scenario pins. Requires Stream; 0 trains single-node.
+	Shards int `json:"shards,omitempty"`
 	// SpillCacheSegments bounds the streamed tree path's column-segment
 	// cache (0 = default).
 	SpillCacheSegments int `json:"spill_cache_segments,omitempty"`
@@ -539,6 +544,12 @@ func (c *ClassifySpec) validate() error {
 	}
 	if c.Batch < 0 {
 		return fmt.Errorf("batch %d must not be negative", c.Batch)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("shards %d must not be negative (0 trains single-node)", c.Shards)
+	}
+	if c.Shards > 0 && !c.Stream {
+		return errors.New("shards requires stream (the deal grid rides the record stream)")
 	}
 	if !c.Stream && (c.Batch != 0 || c.SpillCacheSegments != 0) {
 		return errors.New("batch/spill_cache_segments apply only with stream")

@@ -100,6 +100,11 @@ type Batcher struct {
 	rejects atomic.Int64
 	largest atomic.Int64
 
+	// Live gauges: work accepted but not yet answered, and batches mid-flush.
+	inflightGroups  atomic.Int64
+	inflightRecords atomic.Int64
+	flushing        atomic.Int64
+
 	// Dispatcher-owned flush scratch, reused batch to batch.
 	pending   []*group
 	live      []*group
@@ -160,6 +165,12 @@ func (b *Batcher) Submit(records [][]float64, out []int) (int, *Model, error) {
 		g.release()
 		return 0, nil, ErrQueueFull
 	}
+	b.inflightGroups.Add(1)
+	b.inflightRecords.Add(int64(len(records)))
+	defer func() {
+		b.inflightGroups.Add(-1)
+		b.inflightRecords.Add(-int64(len(records)))
+	}()
 	select {
 	case res := <-g.out:
 		g.release()
@@ -213,6 +224,14 @@ type Stats struct {
 	QueueDepth int `json:"queue_depth"`
 	// QueueCap is the bounded queue's capacity in groups.
 	QueueCap int `json:"queue_cap"`
+	// InFlightGroups is the number of request groups accepted but not yet
+	// answered (queued or mid-flush).
+	InFlightGroups int64 `json:"in_flight_groups"`
+	// InFlightRecords is the record count across in-flight groups.
+	InFlightRecords int64 `json:"in_flight_records"`
+	// InFlightBatches is the number of micro-batches currently being
+	// classified (0 or 1: the dispatcher flushes one batch at a time).
+	InFlightBatches int64 `json:"in_flight_batches"`
 }
 
 // Stats returns the current counters.
@@ -225,6 +244,10 @@ func (b *Batcher) Stats() Stats {
 		QueueRejects: b.rejects.Load(),
 		QueueDepth:   len(b.queue),
 		QueueCap:     cap(b.queue),
+
+		InFlightGroups:  b.inflightGroups.Load(),
+		InFlightRecords: b.inflightRecords.Load(),
+		InFlightBatches: b.flushing.Load(),
 	}
 }
 
@@ -345,6 +368,8 @@ func (b *Batcher) drain() {
 // together (see classifyMisses). All bookkeeping lives in the dispatcher's
 // reusable scratch, so a steady-state flush allocates nothing.
 func (b *Batcher) flush(pending []*group, n int) {
+	b.flushing.Add(1)
+	defer b.flushing.Add(-1)
 	m := b.model()
 	b.batches.Add(1)
 	b.records.Add(int64(n))

@@ -456,13 +456,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
 	return 0
 }
 
-// statsResponse answers GET /stats.
+// statsResponse answers GET /stats. Generation mirrors the snapshot's
+// model.generation as a stable top-level integer so pollers (the gateway
+// among them) can track reload progress without digging into the nested
+// model object.
 type statsResponse struct {
-	Endpoints map[string]EndpointStats `json:"endpoints"`
-	Batcher   Stats                    `json:"batcher"`
-	Cache     cacheStats               `json:"cache"`
-	Reloads   int64                    `json:"reloads"`
-	Model     modelInfo                `json:"model"`
+	Generation int64                    `json:"generation"`
+	Endpoints  map[string]EndpointStats `json:"endpoints"`
+	Batcher    Stats                    `json:"batcher"`
+	Cache      cacheStats               `json:"cache"`
+	Reloads    int64                    `json:"reloads"`
+	Model      modelInfo                `json:"model"`
 }
 
 // cacheStats reports the live snapshot's prediction cache.
@@ -484,11 +488,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) int {
 		cs.Capacity = m.cache.cap
 	}
 	writeJSON(w, http.StatusOK, statsResponse{
-		Endpoints: s.metrics.snapshot(),
-		Batcher:   s.batcher.Stats(),
-		Cache:     cs,
-		Reloads:   s.reloads.Load(),
-		Model:     info(m),
+		Generation: m.Generation,
+		Endpoints:  s.metrics.snapshot(),
+		Batcher:    s.batcher.Stats(),
+		Cache:      cs,
+		Reloads:    s.reloads.Load(),
+		Model:      info(m),
 	})
 	return 0
 }

@@ -1,0 +1,70 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// NewConcatReaderAt presents several ReaderAts as one logical byte space:
+// part i covers [starts[i], starts[i]+sizes[i]) where starts are the
+// cumulative sizes. It is how the cluster merge layer serves the segments of
+// per-shard spill files through one SegmentReader — each shard's segment
+// index is shifted by its part's base offset and interleaved into a merged
+// index, and every segment read lands entirely inside one part. Reads are
+// stateless and safe for concurrent use when the parts are (an *os.File is).
+func NewConcatReaderAt(parts []io.ReaderAt, sizes []int64) (io.ReaderAt, error) {
+	if len(parts) != len(sizes) {
+		return nil, fmt.Errorf("stream: %d parts with %d sizes", len(parts), len(sizes))
+	}
+	c := &concatReaderAt{parts: parts, sizes: sizes, starts: make([]int64, len(parts))}
+	for i, sz := range sizes {
+		if sz < 0 {
+			return nil, fmt.Errorf("stream: part %d has negative size %d", i, sz)
+		}
+		c.starts[i] = c.size
+		c.size += sz
+	}
+	return c, nil
+}
+
+// concatReaderAt is the io.ReaderAt behind NewConcatReaderAt.
+type concatReaderAt struct {
+	parts  []io.ReaderAt
+	sizes  []int64
+	starts []int64
+	size   int64
+}
+
+// ReadAt implements io.ReaderAt over the concatenated byte space, crossing
+// part boundaries as needed.
+func (c *concatReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("stream: negative read offset")
+	}
+	total := 0
+	for total < len(p) {
+		if off >= c.size {
+			return total, io.EOF
+		}
+		// The part containing off: the last part whose start is <= off.
+		i := sort.Search(len(c.starts), func(i int) bool { return c.starts[i] > off }) - 1
+		local := off - c.starts[i]
+		want := int64(len(p) - total)
+		if rem := c.sizes[i] - local; rem < want {
+			want = rem
+		}
+		n, err := c.parts[i].ReadAt(p[total:total+int(want)], local)
+		total += n
+		off += int64(n)
+		if err != nil && err != io.EOF {
+			return total, err
+		}
+		if int64(n) < want {
+			// The part is shorter than its declared size.
+			return total, io.ErrUnexpectedEOF
+		}
+	}
+	return total, nil
+}

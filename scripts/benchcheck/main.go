@@ -25,6 +25,7 @@ import (
 // invocation (what CI runs) fails when one goes missing.
 var requiredFiles = []string{
 	"BENCH_classify.json",
+	"BENCH_cluster.json",
 	"BENCH_parallel.json",
 	"BENCH_reconstruct.json",
 	"BENCH_serve.json",
