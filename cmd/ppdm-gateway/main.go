@@ -3,7 +3,11 @@
 // re-admission, per-replica bounded in-flight limits with least-loaded
 // pick-2 balancing, and rolling hot reload (POST /reload drains and reloads
 // one replica at a time, so every response comes from exactly one model
-// generation).
+// generation). Backend pushback (a 503 shed or 429 throttle) is retried
+// once on a sibling replica and otherwise propagated as a typed error
+// with Retry-After; it counts against the replica's routing score without
+// ejecting it. The gateway also serves Prometheus /metrics and optional
+// per-client edge rate limiting (-rate, -burst).
 package main
 
 import (

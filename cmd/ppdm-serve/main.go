@@ -1,8 +1,13 @@
 // Command ppdm-serve is the online inference daemon: it loads a model saved
 // by ppdm-train -save (decision tree or naive Bayes) and serves
-// micro-batched classification, server-side perturbation, health, and stats
-// endpoints over HTTP/JSON. SIGHUP (or POST /reload) hot-reloads the model
-// file atomically; in-flight requests finish on the old model.
+// micro-batched classification, server-side perturbation, health, stats,
+// and Prometheus /metrics endpoints over HTTP/JSON. SIGHUP (or POST
+// /reload) hot-reloads the model file atomically; in-flight requests
+// finish on the old model. A traffic-hardening middleware chain guards
+// the work endpoints: per-client token-bucket rate limiting (-rate,
+// -burst), load shedding with Retry-After when the micro-batch queue
+// saturates (-max-queue), and deadline propagation through the batcher
+// (X-Ppdm-Deadline, -default-deadline).
 package main
 
 import (

@@ -22,6 +22,7 @@ import (
 //
 // Usage: ppdm-gateway -backends url,url [-addr 127.0.0.1:8090]
 // [-probe 500ms] [-probe-timeout 2s] [-inflight 64] [-drain-timeout 30s]
+// [-rate 0] [-burst 0]
 func Gateway(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ppdm-gateway", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -31,6 +32,8 @@ func Gateway(args []string, stdout, stderr io.Writer) int {
 	probeTimeout := fs.Duration("probe-timeout", 0, fmt.Sprintf("health-probe and backend-reload timeout (0 = %v)", gateway.DefaultProbeTimeout))
 	inflight := fs.Int("inflight", 0, fmt.Sprintf("max in-flight requests per replica (0 = %d); beyond it requests answer 503", gateway.DefaultMaxInFlight))
 	drainTimeout := fs.Duration("drain-timeout", 0, fmt.Sprintf("max wait for one replica to drain during a rolling reload (0 = %v)", gateway.DefaultDrainTimeout))
+	rate := fs.Float64("rate", 0, "per-client rate limit at the gateway edge in requests/sec (0 disables); over-budget clients answer 429")
+	burst := fs.Int("burst", 0, "per-client token-bucket burst (0 = max(1, 2*rate))")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -45,6 +48,8 @@ func Gateway(args []string, stdout, stderr io.Writer) int {
 		ProbeTimeout:  *probeTimeout,
 		MaxInFlight:   *inflight,
 		DrainTimeout:  *drainTimeout,
+		Rate:          *rate,
+		Burst:         *burst,
 	})
 	if err != nil {
 		return fail(stderr, err)

@@ -22,6 +22,7 @@ import (
 //
 // Usage: ppdm-serve -model model.json [-addr 127.0.0.1:8080] [-workers 0]
 // [-microbatch 64] [-flush 2ms] [-queue 256] [-cache 4096] [-batch 8192]
+// [-rate 0] [-burst 0] [-max-queue 0] [-default-deadline 0]
 func Serve(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ppdm-serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -33,6 +34,10 @@ func Serve(args []string, stdout, stderr io.Writer) int {
 	queue := fs.Int("queue", 0, fmt.Sprintf("bounded request-queue depth in groups (0 = %d); beyond it /classify answers 503", serve.DefaultQueueDepth))
 	cache := fs.Int("cache", 0, fmt.Sprintf("prediction-cache entries per model snapshot (0 = %d, negative disables)", serve.DefaultCacheSize))
 	batch := fs.Int("batch", 0, fmt.Sprintf("records per batch for gzipped-CSV request bodies (0 = %d)", stream.DefaultBatchSize))
+	rate := fs.Float64("rate", 0, "per-client rate limit on /classify and /perturb in requests/sec (0 disables); over-budget clients answer 429")
+	burst := fs.Int("burst", 0, "per-client token-bucket burst (0 = max(1, 2*rate))")
+	maxQueue := fs.Int("max-queue", 0, "queued-group threshold at which new work is shed with 503 before parsing (0 = shed at full queue, negative disables)")
+	defaultDeadline := fs.Duration("default-deadline", 0, "deadline applied to requests without an X-Ppdm-Deadline header (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -48,6 +53,11 @@ func Serve(args []string, stdout, stderr io.Writer) int {
 		QueueDepth:  *queue,
 		CacheSize:   *cache,
 		StreamBatch: *batch,
+
+		Rate:            *rate,
+		Burst:           *burst,
+		MaxQueue:        *maxQueue,
+		DefaultDeadline: *defaultDeadline,
 	})
 	if err != nil {
 		return fail(stderr, err)

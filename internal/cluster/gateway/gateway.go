@@ -8,6 +8,7 @@
 package gateway
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -19,6 +20,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ppdm/internal/serve/middleware"
 )
 
 // Defaults for Config's zero values.
@@ -38,7 +41,20 @@ const (
 	// CodeBackendFailed: the chosen backend failed mid-request; it has
 	// been ejected and subsequent requests route around it.
 	CodeBackendFailed = "backend_failed"
+	// CodeReplicaShed: the chosen backend shed the request (503) and no
+	// sibling replica could take it. The replica stays healthy — shedding
+	// is correct overload behavior — but its shed score counts against it
+	// in routing until the prober decays it.
+	CodeReplicaShed = "replica_shed"
+	// CodeReplicaThrottled: the backend rate-limited this client (429)
+	// and no sibling replica could take the request.
+	CodeReplicaThrottled = "replica_throttled"
 )
+
+// retryBufLimit is the largest request body the gateway buffers so a
+// shed/throttled response can be retried on a sibling replica; larger
+// bodies stream to the first replica and forgo the retry.
+const retryBufLimit = 1 << 20
 
 // Config parameterizes New.
 type Config struct {
@@ -58,6 +74,12 @@ type Config struct {
 	DrainTimeout time.Duration
 	// Client performs proxied requests (nil = http.DefaultClient).
 	Client *http.Client
+	// Rate is the per-client token-bucket limit in requests/second
+	// applied at the gateway edge on /classify and /perturb (0 disables
+	// edge rate limiting; backends may still throttle on their own).
+	Rate float64
+	// Burst is the edge token-bucket burst capacity (0 = max(1, 2*Rate)).
+	Burst int
 }
 
 // replica is one backend's routing state.
@@ -69,6 +91,9 @@ type replica struct {
 	requests   atomic.Int64
 	errors     atomic.Int64
 	ejections  atomic.Int64
+	sheds      atomic.Int64
+	throttles  atomic.Int64
+	shedScore  atomic.Int64
 	generation atomic.Int64
 }
 
@@ -76,12 +101,19 @@ type replica struct {
 // checked separately at acquire time).
 func (r *replica) routable() bool { return r.healthy.Load() && !r.draining.Load() }
 
+// load is the pick-2 comparison weight: the in-flight count plus the
+// replica's recent shed/throttle pushback, so a backend signalling
+// overload sees less new traffic without being ejected.
+func (r *replica) load() int64 { return r.inflight.Load() + r.shedScore.Load() }
+
 // Gateway is the fan-out proxy. Create it with New, expose Handler over any
 // http.Server, and Close it when done.
 type Gateway struct {
 	cfg      Config
 	replicas []*replica
 	mux      *http.ServeMux
+	prom     *middleware.Metrics
+	limiter  *middleware.RateLimiter
 	start    time.Time
 
 	stop     chan struct{}
@@ -122,12 +154,24 @@ func New(cfg Config) (*Gateway, error) {
 		}
 		g.replicas = append(g.replicas, &replica{url: u})
 	}
+	// The same traffic-hardening chain as ppdm-serve, minus shedding and
+	// deadlines (both belong to the backends, which own the batcher
+	// queue): Prometheus metrics on every endpoint, edge rate limiting on
+	// the proxied work endpoints only.
+	g.prom = middleware.NewMetrics(middleware.MetricsConfig{Namespace: "ppdm_gateway"})
+	g.limiter = middleware.NewRateLimiter(cfg.Rate, cfg.Burst)
+	g.registerGauges()
+	work := func(name, path string) http.Handler {
+		h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { g.proxy(w, r, path) })
+		return g.prom.Wrap(name, middleware.Chain(h, g.limiter.Middleware))
+	}
 	g.mux = http.NewServeMux()
-	g.mux.HandleFunc("/classify", func(w http.ResponseWriter, r *http.Request) { g.proxy(w, r, "/classify") })
-	g.mux.HandleFunc("/perturb", func(w http.ResponseWriter, r *http.Request) { g.proxy(w, r, "/perturb") })
-	g.mux.HandleFunc("/healthz", g.handleHealthz)
-	g.mux.HandleFunc("/stats", g.handleStats)
-	g.mux.HandleFunc("/reload", g.handleReload)
+	g.mux.Handle("/classify", work("classify", "/classify"))
+	g.mux.Handle("/perturb", work("perturb", "/perturb"))
+	g.mux.Handle("/healthz", g.prom.Wrap("healthz", http.HandlerFunc(g.handleHealthz)))
+	g.mux.Handle("/stats", g.prom.Wrap("stats", http.HandlerFunc(g.handleStats)))
+	g.mux.Handle("/reload", g.prom.Wrap("reload", http.HandlerFunc(g.handleReload)))
+	g.mux.Handle("/metrics", g.prom.Wrap("metrics", g.prom.Handler()))
 	g.probeAll()
 	g.wg.Add(1)
 	go g.probeLoop()
@@ -141,6 +185,41 @@ func (g *Gateway) Handler() http.Handler { return g.mux }
 func (g *Gateway) Close() {
 	close(g.stop)
 	g.wg.Wait()
+}
+
+// registerGauges exposes fleet routing state on /metrics, sampled at
+// scrape time only.
+func (g *Gateway) registerGauges() {
+	g.prom.Gauge("routable_replicas", "Replicas currently healthy and not draining.",
+		func() float64 { _, routable := g.statuses(); return float64(routable) })
+	g.prom.Gauge("replicas", "Configured replica count.",
+		func() float64 { return float64(len(g.replicas)) })
+	g.prom.Gauge("inflight_requests", "Requests currently proxied across all replicas.",
+		func() float64 {
+			var n int64
+			for _, r := range g.replicas {
+				n += r.inflight.Load()
+			}
+			return float64(n)
+		})
+	g.prom.Counter("backend_sheds_total", "503 shed responses received from backends.",
+		func() float64 {
+			var n int64
+			for _, r := range g.replicas {
+				n += r.sheds.Load()
+			}
+			return float64(n)
+		})
+	g.prom.Counter("backend_throttles_total", "429 throttle responses received from backends.",
+		func() float64 {
+			var n int64
+			for _, r := range g.replicas {
+				n += r.throttles.Load()
+			}
+			return float64(n)
+		})
+	g.prom.Counter("throttled_total", "Requests rejected with 429 at the gateway edge.",
+		func() float64 { return float64(g.limiter.Throttled()) })
 }
 
 // gatewayError is the typed JSON error document.
@@ -173,13 +252,15 @@ func (g *Gateway) acquire(r *replica) bool {
 }
 
 // pick chooses a replica by least-loaded pick-2: two distinct routable
-// replicas at random, lower in-flight count wins. It reserves the winner's
-// in-flight slot; the caller must release it. The error reports whether the
-// fleet was saturated or empty.
-func (g *Gateway) pick() (*replica, string) {
+// replicas at random, lower load (in-flight plus decaying shed score)
+// wins. It reserves the winner's in-flight slot; the caller must release
+// it. exclude removes one replica from consideration, so a shed retry
+// never lands back on the replica that just pushed back. The error
+// reports whether the fleet was saturated or empty.
+func (g *Gateway) pick(exclude *replica) (*replica, string) {
 	var cands []*replica
 	for _, r := range g.replicas {
-		if r.routable() {
+		if r != exclude && r.routable() {
 			cands = append(cands, r)
 		}
 	}
@@ -198,7 +279,7 @@ func (g *Gateway) pick() (*replica, string) {
 		j++
 	}
 	a, b := cands[i], cands[j]
-	if b.inflight.Load() < a.inflight.Load() {
+	if b.load() < a.load() {
 		a, b = b, a
 	}
 	if g.acquire(a) {
@@ -210,6 +291,16 @@ func (g *Gateway) pick() (*replica, string) {
 	return nil, CodeSaturated
 }
 
+// otherRoutable reports whether any replica besides rep can take traffic.
+func (g *Gateway) otherRoutable(rep *replica) bool {
+	for _, r := range g.replicas {
+		if r != rep && r.routable() {
+			return true
+		}
+	}
+	return false
+}
+
 // eject marks a replica unhealthy after a request failure; the prober
 // re-admits it at the next successful /healthz.
 func (g *Gateway) eject(r *replica) {
@@ -218,32 +309,81 @@ func (g *Gateway) eject(r *replica) {
 	}
 }
 
-// proxy forwards one request body to a chosen replica and streams the
-// response back, tagging it with X-Ppdm-Replica. A transport failure ejects
-// the replica and answers a typed 502 immediately — the client fails fast
-// and the next request routes around the dead backend.
+// proxy forwards one request to a chosen replica. Bodies up to
+// retryBufLimit are buffered so that backend pushback — a 503 shed or a
+// 429 throttle — can be retried once on a sibling replica (route-around)
+// before the pushback propagates to the client as a typed error. A
+// transport failure still ejects the replica and answers a typed 502
+// immediately; pushback never ejects, because shedding is correct
+// overload behavior and ejecting for it would make the fleet flap.
 func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, path string) {
-	rep, code := g.pick()
-	if rep == nil {
-		msg := "no healthy backend available"
-		if code == CodeSaturated {
-			msg = "all backends at their in-flight limit"
-		}
-		writeJSON(w, http.StatusServiceUnavailable, gatewayError{Error: msg, Code: code})
+	buf, err := io.ReadAll(io.LimitReader(r.Body, retryBufLimit+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, gatewayError{Error: fmt.Sprintf("reading request: %v", err), Code: CodeBackendFailed})
 		return
 	}
+	retryable := len(buf) <= retryBufLimit
+	var exclude *replica
+	for attempt := 0; ; attempt++ {
+		rep, code := g.pick(exclude)
+		if rep == nil {
+			msg := "no healthy backend available"
+			if code == CodeSaturated {
+				msg = "all backends at their in-flight limit"
+			}
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, gatewayError{Error: msg, Code: code})
+			return
+		}
+		var body io.Reader = bytes.NewReader(buf)
+		length := int64(len(buf))
+		if !retryable {
+			body = io.MultiReader(bytes.NewReader(buf), r.Body)
+			length = r.ContentLength
+		}
+		canRetry := retryable && attempt == 0
+		if g.forward(w, r, path, rep, body, length, canRetry) == verdictRetry {
+			exclude = rep
+			continue
+		}
+		return
+	}
+}
+
+// verdict is forward's outcome: the response was written, or the chosen
+// replica pushed back and the caller should retry on a sibling.
+type verdict int
+
+const (
+	verdictDone verdict = iota
+	verdictRetry
+)
+
+// forward sends one attempt to rep and writes the response (or a typed
+// error) unless it returns verdictRetry, which it does only when
+// canRetry is set, the replica answered 503/429, and a sibling replica
+// is routable.
+func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, path string, rep *replica, body io.Reader, length int64, canRetry bool) verdict {
 	defer rep.inflight.Add(-1)
 	rep.requests.Add(1)
 
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, rep.url+path, r.Body)
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, rep.url+path, body)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, gatewayError{Error: err.Error(), Code: CodeBackendFailed, Replica: rep.url})
-		return
+		return verdictDone
 	}
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		req.Header.Set("Content-Type", ct)
 	}
-	req.ContentLength = r.ContentLength
+	// The backends run the same middleware chain; hand them the caller's
+	// rate-limit identity and deadline budget.
+	if c := r.Header.Get(middleware.ClientHeader); c != "" {
+		req.Header.Set(middleware.ClientHeader, c)
+	}
+	if d := r.Header.Get(middleware.DeadlineHeader); d != "" {
+		req.Header.Set(middleware.DeadlineHeader, d)
+	}
+	req.ContentLength = length
 	resp, err := g.cfg.Client.Do(req)
 	if err != nil {
 		rep.errors.Add(1)
@@ -253,9 +393,35 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, path string) {
 			Code:    CodeBackendFailed,
 			Replica: rep.url,
 		})
-		return
+		return verdictDone
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests {
+		code := CodeReplicaShed
+		if resp.StatusCode == http.StatusTooManyRequests {
+			rep.throttles.Add(1)
+			code = CodeReplicaThrottled
+		} else {
+			rep.sheds.Add(1)
+		}
+		rep.shedScore.Add(1)
+		if canRetry && g.otherRoutable(rep) {
+			io.Copy(io.Discard, resp.Body)
+			return verdictRetry
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		ra := resp.Header.Get("Retry-After")
+		if ra == "" {
+			ra = "1"
+		}
+		w.Header().Set("Retry-After", ra)
+		writeJSON(w, resp.StatusCode, gatewayError{
+			Error:   strings.TrimSpace(string(msg)),
+			Code:    code,
+			Replica: rep.url,
+		})
+		return verdictDone
+	}
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
@@ -267,6 +433,7 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, path string) {
 		rep.errors.Add(1)
 		g.eject(rep)
 	}
+	return verdictDone
 }
 
 // backendModel is the slice of a backend /healthz or /reload response the
@@ -330,6 +497,12 @@ func (g *Gateway) probe(rep *replica) {
 	if err := json.NewDecoder(resp.Body).Decode(&bm); err == nil && bm.Model.Generation > 0 {
 		rep.generation.Store(bm.Model.Generation)
 	}
+	// A healthy probe halves the shed score so a replica that pushed back
+	// under a load spike works its way back to full traffic share instead
+	// of being penalized forever.
+	if s := rep.shedScore.Load(); s > 0 {
+		rep.shedScore.Store(s / 2)
+	}
 	rep.healthy.Store(true)
 }
 
@@ -342,6 +515,9 @@ type replicaStatus struct {
 	Requests   int64  `json:"requests"`
 	Errors     int64  `json:"errors"`
 	Ejections  int64  `json:"ejections"`
+	Sheds      int64  `json:"sheds"`
+	Throttles  int64  `json:"throttles"`
+	ShedScore  int64  `json:"shed_score"`
 	Generation int64  `json:"generation"`
 }
 
@@ -355,6 +531,9 @@ func (r *replica) status() replicaStatus {
 		Requests:   r.requests.Load(),
 		Errors:     r.errors.Load(),
 		Ejections:  r.ejections.Load(),
+		Sheds:      r.sheds.Load(),
+		Throttles:  r.throttles.Load(),
+		ShedScore:  r.shedScore.Load(),
 		Generation: r.generation.Load(),
 	}
 }

@@ -11,6 +11,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"ppdm/internal/serve/middleware"
 )
 
 // stubBackend emulates one ppdm-serve replica: /healthz and /reload speak
@@ -20,13 +22,15 @@ import (
 // a request is mid-flight — which a correct rolling drain makes impossible —
 // the handler answers 500 and counts a mixed-generation violation.
 type stubBackend struct {
-	gen   atomic.Int64
-	down  atomic.Bool
-	mixed atomic.Int64
-	hits  atomic.Int64
-	delay time.Duration
-	block chan struct{} // non-nil: /classify parks here before answering
-	srv   *httptest.Server
+	gen      atomic.Int64
+	down     atomic.Bool
+	shed     atomic.Bool // /classify answers 503 + Retry-After (queue full)
+	throttle atomic.Bool // /classify answers 429 + Retry-After (rate limited)
+	mixed    atomic.Int64
+	hits     atomic.Int64
+	delay    time.Duration
+	block    chan struct{} // non-nil: /classify parks here before answering
+	srv      *httptest.Server
 }
 
 func newStubBackend(t *testing.T, delay time.Duration) *stubBackend {
@@ -54,6 +58,16 @@ func newStubBackend(t *testing.T, delay time.Duration) *stubBackend {
 					conn.Close()
 				}
 			}
+			return
+		}
+		if b.shed.Load() {
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, `{"error":"queue full","code":"shed"}`, http.StatusServiceUnavailable)
+			return
+		}
+		if b.throttle.Load() {
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, `{"error":"rate limited","code":"throttled"}`, http.StatusTooManyRequests)
 			return
 		}
 		b.hits.Add(1)
@@ -271,7 +285,7 @@ func TestGatewaySaturated(t *testing.T) {
 func TestRollingReloadRace(t *testing.T) {
 	b1 := newStubBackend(t, 2*time.Millisecond)
 	b2 := newStubBackend(t, 2*time.Millisecond)
-	g := newTestGateway(t, Config{}, b1, b2)
+	g := newTestGateway(t, Config{Rate: 10000, Burst: 20000}, b1, b2)
 	gw := httptest.NewServer(g.Handler())
 	defer gw.Close()
 
@@ -342,5 +356,167 @@ func TestRollingReloadRace(t *testing.T) {
 	if oldGen.Load() == 0 || newGen.Load() == 0 {
 		t.Errorf("traffic did not span the reload: %d old-generation, %d new-generation responses",
 			oldGen.Load(), newGen.Load())
+	}
+
+	// With the hardening chain active for the whole run (the limiter above
+	// was configured but never binding), the gateway's own exposition must
+	// be valid and account for the traffic.
+	mresp, err := http.Get(gw.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := middleware.CheckExposition(exposition); err != nil {
+		t.Fatalf("gateway exposition invalid: %v\n%s", err, exposition)
+	}
+	if !strings.Contains(string(exposition), `ppdm_gateway_http_requests_total{endpoint="classify",code="200"}`) {
+		t.Fatalf("gateway exposition missing classify counter:\n%s", exposition)
+	}
+}
+
+// fleetStats decodes /stats into per-replica entries keyed by URL.
+func fleetStats(t *testing.T, gwURL string) map[string]replicaStatus {
+	t.Helper()
+	resp, err := http.Get(gwURL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Replicas []replicaStatus `json:"replicas"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]replicaStatus, len(doc.Replicas))
+	for _, r := range doc.Replicas {
+		out[r.URL] = r
+	}
+	return out
+}
+
+// TestGatewayShedRouteAround puts one replica into shed mode (503 +
+// Retry-After on every /classify) and checks the pushback contract:
+// every client request still succeeds via the sibling, the shedding
+// replica is NOT ejected (no health flapping — it is overloaded, not
+// broken), and its pushback is counted so the picker deprioritizes it.
+func TestGatewayShedRouteAround(t *testing.T) {
+	b1 := newStubBackend(t, 0)
+	b2 := newStubBackend(t, 0)
+	g := newTestGateway(t, Config{ProbeInterval: time.Hour}, b1, b2)
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+
+	b1.shed.Store(true)
+	for i := 0; i < 40; i++ {
+		status, gen, gerr, replica := classifyVia(t, gw.URL)
+		if status != http.StatusOK || gen != 1 {
+			t.Fatalf("request %d answered %d/%q — shed was not routed around", i, status, gerr.Code)
+		}
+		if replica != b2.srv.URL {
+			t.Fatalf("request %d served by %q, want the non-shedding replica", i, replica)
+		}
+	}
+	stats := fleetStats(t, gw.URL)
+	s1 := stats[b1.srv.URL]
+	if !s1.Healthy || s1.Ejections != 0 {
+		t.Fatalf("shedding replica flapped: healthy=%v ejections=%d, want healthy with 0 ejections",
+			s1.Healthy, s1.Ejections)
+	}
+	if s1.Sheds == 0 {
+		t.Fatal("replica sheds were not counted")
+	}
+	if b2.hits.Load() != 40 {
+		t.Fatalf("sibling served %d of 40 requests", b2.hits.Load())
+	}
+
+	// Whole fleet shedding: the pushback propagates as a typed 503 with
+	// the backend's Retry-After, not a bare error or an ejection storm.
+	b2.shed.Store(true)
+	resp, err := http.Post(gw.URL+"/classify", "application/json", strings.NewReader(`{"record":[1,2,3]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gerr gatewayError
+	if err := json.NewDecoder(resp.Body).Decode(&gerr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || gerr.Code != CodeReplicaShed {
+		t.Fatalf("fleet-wide shed answered %d/%q, want 503/%q", resp.StatusCode, gerr.Code, CodeReplicaShed)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("fleet-wide shed Retry-After = %q, want the backend's %q", ra, "2")
+	}
+	stats = fleetStats(t, gw.URL)
+	for url, s := range stats {
+		if !s.Healthy || s.Ejections != 0 {
+			t.Fatalf("replica %s flapped under fleet-wide shed: healthy=%v ejections=%d", url, s.Healthy, s.Ejections)
+		}
+	}
+}
+
+// TestGatewayThrottleRouteAround mirrors the shed test for 429 pushback:
+// per-replica rate limiting routes around, and a fleet-wide 429
+// propagates as replica_throttled.
+func TestGatewayThrottleRouteAround(t *testing.T) {
+	b1 := newStubBackend(t, 0)
+	b2 := newStubBackend(t, 0)
+	g := newTestGateway(t, Config{ProbeInterval: time.Hour}, b1, b2)
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+
+	b1.throttle.Store(true)
+	for i := 0; i < 20; i++ {
+		if status, _, gerr, _ := classifyVia(t, gw.URL); status != http.StatusOK {
+			t.Fatalf("request %d answered %d/%q — throttle was not routed around", i, status, gerr.Code)
+		}
+	}
+	s1 := fleetStats(t, gw.URL)[b1.srv.URL]
+	if !s1.Healthy || s1.Ejections != 0 {
+		t.Fatalf("throttling replica flapped: healthy=%v ejections=%d", s1.Healthy, s1.Ejections)
+	}
+
+	b2.throttle.Store(true)
+	status, _, gerr, _ := classifyVia(t, gw.URL)
+	if status != http.StatusTooManyRequests || gerr.Code != CodeReplicaThrottled {
+		t.Fatalf("fleet-wide throttle answered %d/%q, want 429/%q", status, gerr.Code, CodeReplicaThrottled)
+	}
+}
+
+// TestGatewayOwnRateLimit checks the gateway's front-door limiter: a
+// client that exhausts its bucket gets the middleware's typed 429
+// (code "throttled", not replica_throttled — no backend was consulted),
+// and the backends never see the rejected requests.
+func TestGatewayOwnRateLimit(t *testing.T) {
+	b := newStubBackend(t, 0)
+	g := newTestGateway(t, Config{ProbeInterval: time.Hour, Rate: 0.001, Burst: 2}, b)
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+
+	var ok200, ok429 int
+	for i := 0; i < 5; i++ {
+		status, _, gerr, _ := classifyVia(t, gw.URL)
+		switch status {
+		case http.StatusOK:
+			ok200++
+		case http.StatusTooManyRequests:
+			ok429++
+			if gerr.Code != "throttled" {
+				t.Fatalf("front-door 429 code = %q, want throttled", gerr.Code)
+			}
+		default:
+			t.Fatalf("request %d answered %d", i, status)
+		}
+	}
+	if ok200 != 2 || ok429 != 3 {
+		t.Fatalf("front door: %d×200 %d×429, want 2×200 3×429", ok200, ok429)
+	}
+	if b.hits.Load() != 2 {
+		t.Fatalf("backend saw %d requests, want only the 2 admitted", b.hits.Load())
 	}
 }

@@ -28,12 +28,25 @@ const (
 // flushes (bulk cold batches) still get the parallel engine.
 const serialMissMax = 128
 
+// deadlineSlack is how far ahead of the earliest member deadline the
+// dispatcher cuts a coalescing wait short: waking exactly at the
+// deadline would leave no time to classify, expiring the very request
+// the wake-up was for. Requests with less than this much budget left
+// flush immediately instead of waiting for company.
+const deadlineSlack = 5 * time.Millisecond
+
 // ErrQueueFull is returned by Submit when the bounded request queue is at
 // capacity — the server is saturated and the client should back off.
 var ErrQueueFull = errors.New("serve: request queue full")
 
 // ErrStopped is returned by Submit when the batcher has been closed.
 var ErrStopped = errors.New("serve: batcher stopped")
+
+// ErrDeadlineExceeded is returned when a request's deadline passes
+// before its micro-batch is dispatched: the group is rejected without
+// ever touching the model, so an overloaded server spends no
+// classification work on answers nobody is waiting for.
+var ErrDeadlineExceeded = errors.New("serve: request deadline exceeded")
 
 // errShortOut flags a Submit caller whose output slice cannot hold one
 // class per record.
@@ -45,10 +58,11 @@ var errShortOut = errors.New("serve: output slice shorter than record count")
 // through the channel. Groups are pooled; every field except out is reset
 // between uses.
 type group struct {
-	records [][]float64
-	dst     []int
-	cached  int
-	out     chan groupResult
+	records  [][]float64
+	dst      []int
+	cached   int
+	deadline time.Time // zero = no deadline
+	out      chan groupResult
 }
 
 // groupResult signals a group's completion: the cache-hit count and the
@@ -98,6 +112,7 @@ type Batcher struct {
 	records atomic.Int64
 	groups  atomic.Int64
 	rejects atomic.Int64
+	expired atomic.Int64
 	largest atomic.Int64
 
 	// Live gauges: work accepted but not yet answered, and batches mid-flush.
@@ -150,20 +165,75 @@ func NewBatcher(model func() *Model, maxBatch int, delay time.Duration, queueDep
 // ErrQueueFull when the bounded queue is at capacity and with ErrStopped
 // when the batcher is shut down. The steady-state path allocates nothing.
 func (b *Batcher) Submit(records [][]float64, out []int) (int, *Model, error) {
+	return b.submit(records, out, time.Time{}, false)
+}
+
+// SubmitDeadline is Submit with an absolute deadline threaded through
+// the micro-batcher: the dispatcher never holds a batch open past the
+// earliest member's deadline, and a group whose deadline passes while
+// queued is answered ErrDeadlineExceeded without reaching the model.
+// A zero deadline means none.
+func (b *Batcher) SubmitDeadline(records [][]float64, out []int, deadline time.Time) (int, *Model, error) {
+	return b.submit(records, out, deadline, false)
+}
+
+// SubmitWait is SubmitDeadline except that a full queue blocks until
+// space frees (or the deadline passes) instead of failing fast with
+// ErrQueueFull. It exists as the no-shedding baseline — queueing into
+// timeout — that the saturation benchmarks contrast load shedding
+// against; the serving path proper always fails fast.
+func (b *Batcher) SubmitWait(records [][]float64, out []int, deadline time.Time) (int, *Model, error) {
+	return b.submit(records, out, deadline, true)
+}
+
+// QueueLoad reports the queued group count and the queue capacity — the
+// saturation signal the load-shedding middleware samples before a
+// request body is even parsed.
+func (b *Batcher) QueueLoad() (depth, capacity int) { return len(b.queue), cap(b.queue) }
+
+// submit implements the Submit variants.
+func (b *Batcher) submit(records [][]float64, out []int, deadline time.Time, wait bool) (int, *Model, error) {
 	if b.closed.Load() {
 		return 0, nil, ErrStopped
 	}
 	if len(out) < len(records) {
 		return 0, nil, errShortOut
 	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		b.expired.Add(1)
+		return 0, nil, ErrDeadlineExceeded
+	}
 	g := groupPool.Get().(*group)
-	g.records, g.dst, g.cached = records, out[:len(records)], 0
-	select {
-	case b.queue <- g:
-	default:
-		b.rejects.Add(1)
-		g.release()
-		return 0, nil, ErrQueueFull
+	g.records, g.dst, g.cached, g.deadline = records, out[:len(records)], 0, deadline
+	if wait && !deadline.IsZero() {
+		t := time.NewTimer(time.Until(deadline))
+		select {
+		case b.queue <- g:
+			t.Stop()
+		case <-t.C:
+			b.expired.Add(1)
+			g.release()
+			return 0, nil, ErrDeadlineExceeded
+		case <-b.done:
+			t.Stop()
+			g.release()
+			return 0, nil, ErrStopped
+		}
+	} else if wait {
+		select {
+		case b.queue <- g:
+		case <-b.done:
+			g.release()
+			return 0, nil, ErrStopped
+		}
+	} else {
+		select {
+		case b.queue <- g:
+		default:
+			b.rejects.Add(1)
+			g.release()
+			return 0, nil, ErrQueueFull
+		}
 	}
 	b.inflightGroups.Add(1)
 	b.inflightRecords.Add(int64(len(records)))
@@ -193,7 +263,7 @@ func (b *Batcher) Submit(records [][]float64, out []int) (int, *Model, error) {
 // release drops the group's references to caller memory and returns it to
 // the pool.
 func (g *group) release() {
-	g.records, g.dst, g.cached = nil, nil, 0
+	g.records, g.dst, g.cached, g.deadline = nil, nil, 0, time.Time{}
 	groupPool.Put(g)
 }
 
@@ -220,6 +290,9 @@ type Stats struct {
 	LargestBatch int64 `json:"largest_batch"`
 	// QueueRejects counts submissions bounced off the full queue.
 	QueueRejects int64 `json:"queue_rejects"`
+	// DeadlineRejects counts requests whose deadline expired before their
+	// micro-batch was dispatched (rejected without reaching the model).
+	DeadlineRejects int64 `json:"deadline_rejects"`
 	// QueueDepth is the current number of queued groups.
 	QueueDepth int `json:"queue_depth"`
 	// QueueCap is the bounded queue's capacity in groups.
@@ -242,8 +315,10 @@ func (b *Batcher) Stats() Stats {
 		Groups:       b.groups.Load(),
 		LargestBatch: b.largest.Load(),
 		QueueRejects: b.rejects.Load(),
-		QueueDepth:   len(b.queue),
-		QueueCap:     cap(b.queue),
+
+		DeadlineRejects: b.expired.Load(),
+		QueueDepth:      len(b.queue),
+		QueueCap:        cap(b.queue),
 
 		InFlightGroups:  b.inflightGroups.Load(),
 		InFlightRecords: b.inflightRecords.Load(),
@@ -274,13 +349,13 @@ func (b *Batcher) run() {
 }
 
 // waitDelay parks the dispatcher on the reusable flush timer until a group
-// arrives, the delay passes, or the batcher stops; it returns the group (or
+// arrives, d passes, or the batcher stops; it returns the group (or
 // nil) with the timer fully quiesced either way.
-func (b *Batcher) waitDelay() *group {
+func (b *Batcher) waitDelay(d time.Duration) *group {
 	if b.timer == nil {
-		b.timer = time.NewTimer(b.delay)
+		b.timer = time.NewTimer(d)
 	} else {
-		b.timer.Reset(b.delay)
+		b.timer.Reset(d)
 	}
 	fired := false
 	var g *group
@@ -308,31 +383,54 @@ func (b *Batcher) waitDelay() *group {
 // never idles. Only when the queue goes momentarily empty does an
 // incomplete batch wait — once, for at most the flush delay — for company
 // before flushing, which bounds the latency a solitary request can pay at
-// delay and costs the saturated path nothing.
+// delay and costs the saturated path nothing. The wait is additionally
+// capped by the earliest member deadline, so a batch never idles past
+// the moment one of its requests would expire.
 func (b *Batcher) collectAndFlush(first *group) {
 	pending := append(b.pending[:0], first)
 	n := len(first.records)
+	earliest := first.deadline
 	waited := false
 	for n < b.maxBatch {
 		select {
 		case g := <-b.queue:
 			pending = append(pending, g)
 			n += len(g.records)
+			earliest = earlierDeadline(earliest, g.deadline)
 			continue
 		default:
 		}
 		if waited || b.delay <= 0 {
 			break
 		}
+		wait := b.delay
+		if !earliest.IsZero() {
+			if rem := time.Until(earliest) - deadlineSlack; rem < wait {
+				wait = rem
+			}
+		}
+		if wait <= 0 {
+			break
+		}
 		waited = true
-		if g := b.waitDelay(); g != nil {
+		if g := b.waitDelay(wait); g != nil {
 			pending = append(pending, g)
 			n += len(g.records)
+			earliest = earlierDeadline(earliest, g.deadline)
 		}
 	}
 	b.flush(pending, n)
 	clear(pending)
 	b.pending = pending[:0]
+}
+
+// earlierDeadline returns the earlier of two deadlines, treating the
+// zero time as "none".
+func earlierDeadline(a, b time.Time) time.Time {
+	if a.IsZero() || (!b.IsZero() && b.Before(a)) {
+		return b
+	}
+	return a
 }
 
 // drain flushes every group still in the queue at shutdown, in maxBatch-
@@ -378,10 +476,23 @@ func (b *Batcher) flush(pending []*group, n int) {
 		b.largest.Store(int64(n)) // dispatcher-only write; no CAS needed
 	}
 
-	// Validate groups up front so one malformed record fails only its own
-	// request, never the whole batch.
+	// Reject groups whose deadline already passed — nobody is waiting for
+	// the answer, so spend no model work on them — then validate the rest
+	// up front so one malformed record fails only its own request, never
+	// the whole batch.
+	var now time.Time
 	live := b.live[:0]
 	for _, g := range pending {
+		if !g.deadline.IsZero() {
+			if now.IsZero() {
+				now = time.Now()
+			}
+			if !now.Before(g.deadline) {
+				b.expired.Add(1)
+				g.out <- groupResult{err: ErrDeadlineExceeded}
+				continue
+			}
+		}
 		if err := checkGroup(m, g.records); err != nil {
 			g.out <- groupResult{err: err}
 			continue

@@ -14,7 +14,7 @@ import (
 
 // trainTree trains a small ByClass tree on perturbed benchmark data and
 // returns the classifier plus its serialized bytes.
-func trainTree(t *testing.T, fn synth.Function, seed uint64) (*core.Classifier, []byte) {
+func trainTree(t testing.TB, fn synth.Function, seed uint64) (*core.Classifier, []byte) {
 	t.Helper()
 	table, err := synth.Generate(synth.Config{Function: fn, N: 4000, Seed: seed})
 	if err != nil {
@@ -40,7 +40,7 @@ func trainTree(t *testing.T, fn synth.Function, seed uint64) (*core.Classifier, 
 }
 
 // trainNB trains a small naive-Bayes model and returns it with its bytes.
-func trainNB(t *testing.T, fn synth.Function, seed uint64) (*bayes.Classifier, []byte) {
+func trainNB(t testing.TB, fn synth.Function, seed uint64) (*bayes.Classifier, []byte) {
 	t.Helper()
 	table, err := synth.Generate(synth.Config{Function: fn, N: 4000, Seed: seed})
 	if err != nil {
@@ -60,7 +60,7 @@ func trainNB(t *testing.T, fn synth.Function, seed uint64) (*bayes.Classifier, [
 // writeModelAtomic installs model bytes with the same crash-safe
 // discipline ppdm-train -save uses (core.WriteFileAtomic), so a
 // concurrently reloading server can never observe a truncated document.
-func writeModelAtomic(t *testing.T, path string, data []byte) {
+func writeModelAtomic(t testing.TB, path string, data []byte) {
 	t.Helper()
 	err := core.WriteFileAtomic(path, func(w io.Writer) error {
 		_, err := w.Write(data)
@@ -72,7 +72,7 @@ func writeModelAtomic(t *testing.T, path string, data []byte) {
 }
 
 // testRecords samples clean benchmark records for query traffic.
-func testRecords(t *testing.T, n int, seed uint64) [][]float64 {
+func testRecords(t testing.TB, n int, seed uint64) [][]float64 {
 	t.Helper()
 	table, err := synth.Generate(synth.Config{Function: synth.F2, N: n, Seed: seed})
 	if err != nil {

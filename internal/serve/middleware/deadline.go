@@ -1,0 +1,63 @@
+package middleware
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// DeadlineHeader names the request header carrying a client's time
+// budget: either a Go duration ("50ms", "1.5s") or a bare number of
+// milliseconds ("120").
+const DeadlineHeader = "X-Ppdm-Deadline"
+
+// parseBudget parses a DeadlineHeader value.
+func parseBudget(v string) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if ms, err := strconv.ParseFloat(v, 64); err == nil {
+		return time.Duration(ms * float64(time.Millisecond)), true
+	}
+	if d, err := time.ParseDuration(v); err == nil {
+		return d, true
+	}
+	return 0, false
+}
+
+// RequestDeadline resolves the effective absolute deadline of r: the
+// DeadlineHeader budget when present, else def (0 = none) — in either
+// case clamped by the request context's own deadline, whichever is
+// earlier. The zero time means no deadline. Handlers call this to
+// thread the deadline through the micro-batcher without allocating a
+// derived context (which would break the zero-allocation serving
+// contract).
+func RequestDeadline(r *http.Request, def time.Duration) time.Time {
+	var dl time.Time
+	if budget, ok := parseBudget(r.Header.Get(DeadlineHeader)); ok {
+		dl = time.Now().Add(budget)
+	} else if def > 0 {
+		dl = time.Now().Add(def)
+	}
+	if ctxDL, ok := r.Context().Deadline(); ok && (dl.IsZero() || ctxDL.Before(dl)) {
+		dl = ctxDL
+	}
+	return dl
+}
+
+// Deadline rejects requests whose deadline has already expired with 504
+// before any body is read, applying def to requests that carry no
+// budget of their own. The downstream handler re-resolves the deadline
+// to hand the batcher an absolute cutoff; this stage only guarantees
+// that dead-on-arrival requests never reach the parser.
+func Deadline(def time.Duration) func(http.Handler) http.Handler {
+	return func(h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if dl := RequestDeadline(r, def); !dl.IsZero() && !time.Now().Before(dl) {
+				writeError(w, http.StatusGatewayTimeout, "deadline", "request deadline already expired")
+				return
+			}
+			h.ServeHTTP(w, r)
+		})
+	}
+}

@@ -1,0 +1,90 @@
+package middleware
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// within asserts dl lands in [now+lo, now+hi] relative to the call.
+func within(t *testing.T, dl time.Time, lo, hi time.Duration) {
+	t.Helper()
+	now := time.Now()
+	if dl.Before(now.Add(lo-50*time.Millisecond)) || dl.After(now.Add(hi+50*time.Millisecond)) {
+		t.Fatalf("deadline %v outside [now+%v, now+%v]", dl.Sub(now), lo, hi)
+	}
+}
+
+func TestRequestDeadlineHeaderForms(t *testing.T) {
+	r := httptest.NewRequest(http.MethodPost, "/classify", nil)
+	if dl := RequestDeadline(r, 0); !dl.IsZero() {
+		t.Fatalf("no header, no default: deadline = %v, want zero", dl)
+	}
+
+	r.Header.Set(DeadlineHeader, "250ms")
+	within(t, RequestDeadline(r, 0), 250*time.Millisecond, 250*time.Millisecond)
+
+	r.Header.Set(DeadlineHeader, "120") // bare milliseconds
+	within(t, RequestDeadline(r, 0), 120*time.Millisecond, 120*time.Millisecond)
+
+	r.Header.Set(DeadlineHeader, "not-a-duration") // ignored
+	if dl := RequestDeadline(r, 0); !dl.IsZero() {
+		t.Fatalf("garbage header produced deadline %v", dl)
+	}
+}
+
+func TestRequestDeadlineDefaultAndContext(t *testing.T) {
+	r := httptest.NewRequest(http.MethodPost, "/classify", nil)
+	within(t, RequestDeadline(r, time.Second), time.Second, time.Second)
+
+	// The request context's deadline clamps a later header budget.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	r = r.WithContext(ctx)
+	r.Header.Set(DeadlineHeader, "10s")
+	within(t, RequestDeadline(r, 0), 0, 100*time.Millisecond)
+}
+
+func TestDeadlineMiddlewareRejectsExpired(t *testing.T) {
+	called := false
+	h := Deadline(0)(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { called = true }))
+
+	r := httptest.NewRequest(http.MethodPost, "/classify", nil)
+	r.Header.Set(DeadlineHeader, "-5ms")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, r)
+	if called {
+		t.Fatal("expired request reached the handler")
+	}
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("expired request = %d, want 504", rec.Code)
+	}
+
+	r.Header.Set(DeadlineHeader, "10s")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, r)
+	if !called || rec.Code != http.StatusOK {
+		t.Fatalf("live request: called=%v status=%d", called, rec.Code)
+	}
+}
+
+func TestChainOrderAndNilStages(t *testing.T) {
+	var order []string
+	tag := func(name string) func(http.Handler) http.Handler {
+		return func(h http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				order = append(order, name)
+				h.ServeHTTP(w, r)
+			})
+		}
+	}
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		order = append(order, "handler")
+	}), tag("outer"), nil, tag("inner"))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	if len(order) != 3 || order[0] != "outer" || order[1] != "inner" || order[2] != "handler" {
+		t.Fatalf("chain order = %v", order)
+	}
+}

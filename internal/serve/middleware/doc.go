@@ -1,0 +1,28 @@
+// Package middleware hardens the ppdm serving tier (ppdm-serve and
+// ppdm-gateway) against heavy traffic with a chain of composable
+// http.Handler wrappers:
+//
+//   - Metrics: a hand-rolled Prometheus text-exposition registry
+//     (per-endpoint latency histograms, in-flight gauges, request
+//     counters with a model-generation label, plus caller-registered
+//     gauge/counter callbacks for batcher and cache state) served on
+//     /metrics. The observation hot path is allocation-free so the
+//     serving tier's zero-allocation steady state survives wrapping.
+//   - RateLimiter: per-client token buckets keyed by X-Ppdm-Client or
+//     the remote address, answering 429 with Retry-After when a client
+//     exceeds its budget, so one greedy client cannot starve others.
+//   - Shedder: load shedding that samples the bounded micro-batch queue
+//     before parsing a request body and answers 503 with Retry-After the
+//     moment the queue saturates, instead of queueing into timeout.
+//   - Deadline: deadline propagation — requests carry a time budget in
+//     X-Ppdm-Deadline (or inherit one from the request context), and
+//     already-expired requests are rejected with 504 before any work.
+//
+// The wrappers compose with Chain; each is independently disableable
+// (a nil *RateLimiter or *Shedder passes requests through untouched),
+// so the same chain is wired into both daemons with different knobs.
+// All rejections share one typed JSON error document
+// ({"error": ..., "code": ...}) whose code ("throttled", "shed",
+// "deadline") the gateway uses to count backend pushback against
+// replica health without ejecting the replica.
+package middleware

@@ -1,0 +1,178 @@
+package middleware
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition validates Prometheus text-exposition output: every
+// sample belongs to a family announced by # HELP and # TYPE lines,
+// sample lines parse as name{labels} value, histogram buckets are
+// cumulative (non-decreasing with ascending le, ending at +Inf), and
+// each histogram's _count equals its +Inf bucket. Golden tests in both
+// the serve and gateway packages scrape /metrics through it.
+func CheckExposition(data []byte) error {
+	types := map[string]string{}
+	helped := map[string]bool{}
+	// histogram buckets keyed by family + non-le labels
+	hbuckets := map[string][]histBucket{}
+	hcounts := map[string]float64{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "# HELP ") {
+			f := strings.Fields(text)
+			if len(f) < 4 {
+				return fmt.Errorf("line %d: HELP without name and text: %q", line, text)
+			}
+			helped[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(text, "# TYPE ") {
+			f := strings.Fields(text)
+			if len(f) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE line: %q", line, text)
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", line, f[3])
+			}
+			types[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue
+		}
+		name, labels, value, err := parseSample(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && types[base] == "histogram" {
+				family = base
+				break
+			}
+		}
+		if types[family] == "" {
+			return fmt.Errorf("line %d: sample %q precedes its # TYPE line", line, name)
+		}
+		if !helped[family] {
+			return fmt.Errorf("line %d: sample %q has no # HELP line", line, name)
+		}
+		if types[family] == "histogram" {
+			key := family + "{" + stripLabel(labels, "le") + "}"
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				le, ok := labelValue(labels, "le")
+				if !ok {
+					return fmt.Errorf("line %d: histogram bucket without le label", line)
+				}
+				bound := math.Inf(1)
+				if le != "+Inf" {
+					bound, err = strconv.ParseFloat(le, 64)
+					if err != nil {
+						return fmt.Errorf("line %d: bad le %q: %v", line, le, err)
+					}
+				}
+				hbuckets[key] = append(hbuckets[key], histBucket{bound, value})
+			case strings.HasSuffix(name, "_count"):
+				hcounts[key] = value
+			}
+		}
+		if (types[family] == "counter" || strings.HasSuffix(name, "_bucket") ||
+			strings.HasSuffix(name, "_count")) && value < 0 {
+			return fmt.Errorf("line %d: negative counter value %g", line, value)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key, bs := range hbuckets {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		if len(bs) == 0 || !math.IsInf(bs[len(bs)-1].le, 1) {
+			return fmt.Errorf("histogram %s: missing +Inf bucket", key)
+		}
+		for i := 1; i < len(bs); i++ {
+			if bs[i].count < bs[i-1].count {
+				return fmt.Errorf("histogram %s: bucket le=%g count %g < le=%g count %g",
+					key, bs[i].le, bs[i].count, bs[i-1].le, bs[i-1].count)
+			}
+		}
+		if c, ok := hcounts[key]; ok && c != bs[len(bs)-1].count {
+			return fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", key, c, bs[len(bs)-1].count)
+		}
+	}
+	return nil
+}
+
+// histBucket is one parsed histogram bucket sample.
+type histBucket struct {
+	le    float64
+	count float64
+}
+
+// parseSample splits a sample line into name, raw label text, and value.
+func parseSample(text string) (name, labels string, value float64, err error) {
+	rest := text
+	if i := strings.IndexByte(text, '{'); i >= 0 {
+		j := strings.LastIndexByte(text, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces: %q", text)
+		}
+		name, labels, rest = text[:i], text[i+1:j], strings.TrimSpace(text[j+1:])
+	} else {
+		f := strings.Fields(text)
+		if len(f) != 2 {
+			return "", "", 0, fmt.Errorf("malformed sample: %q", text)
+		}
+		name, rest = f[0], f[1]
+	}
+	value, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad sample value in %q: %v", text, err)
+	}
+	if name == "" {
+		return "", "", 0, fmt.Errorf("empty metric name: %q", text)
+	}
+	return name, labels, value, nil
+}
+
+// labelValue extracts the unquoted value of one label from raw label
+// text like `endpoint="classify",le="0.005"`.
+func labelValue(labels, key string) (string, bool) {
+	for _, part := range strings.Split(labels, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if ok && k == key {
+			return strings.Trim(v, `"`), true
+		}
+	}
+	return "", false
+}
+
+// stripLabel removes one label pair from raw label text, preserving the
+// order of the rest.
+func stripLabel(labels, key string) string {
+	parts := strings.Split(labels, ",")
+	kept := parts[:0]
+	for _, part := range parts {
+		k, _, _ := strings.Cut(strings.TrimSpace(part), "=")
+		if k != key {
+			kept = append(kept, part)
+		}
+	}
+	return strings.Join(kept, ",")
+}

@@ -1,0 +1,293 @@
+package middleware
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBuckets are the latency histogram bucket upper bounds in
+// seconds, spanning cache-hit micro-batch responses (sub-millisecond)
+// through saturated-queue tail latencies.
+var DefaultBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// trackedCodes are the status codes the request counter tracks exactly;
+// anything else lands in a shared "other" cell. A fixed array keeps the
+// per-request accounting a plain atomic add with no map or allocation.
+var trackedCodes = [10]int{200, 400, 404, 405, 413, 429, 500, 502, 503, 504}
+
+// codeIndex maps a status code to its cell in a genNode, with the last
+// cell as the overflow for untracked codes.
+func codeIndex(status int) int {
+	for i, c := range trackedCodes {
+		if c == status {
+			return i
+		}
+	}
+	return len(trackedCodes)
+}
+
+// genNode holds request-counter cells for one model generation. Nodes
+// are prepended to a per-endpoint lock-free list only when the serving
+// generation changes (a hot reload), so the steady-state observe path
+// never allocates.
+type genNode struct {
+	gen   int64
+	prev  *genNode
+	codes [len(trackedCodes) + 1]atomic.Int64
+}
+
+// series is the per-endpoint slot: request counters (per generation and
+// status code), a latency histogram, and an in-flight gauge.
+type series struct {
+	endpoint string
+	inFlight atomic.Int64
+	count    atomic.Int64
+	sumNS    atomic.Int64
+	buckets  []atomic.Int64 // len(bounds)+1; last cell is +Inf
+	gens     atomic.Pointer[genNode]
+}
+
+// counters returns the counter cells for generation gen, reusing the
+// existing node when the generation has not changed (the common case)
+// and CAS-prepending a fresh node otherwise.
+func (s *series) counters(gen int64) *genNode {
+	head := s.gens.Load()
+	for n := head; n != nil; n = n.prev {
+		if n.gen == gen {
+			return n
+		}
+	}
+	node := &genNode{gen: gen, prev: head}
+	for !s.gens.CompareAndSwap(head, node) {
+		head = s.gens.Load()
+		for n := head; n != nil; n = n.prev {
+			if n.gen == gen {
+				return n
+			}
+		}
+		node.prev = head
+	}
+	return node
+}
+
+// MetricsConfig configures a Metrics registry.
+type MetricsConfig struct {
+	// Namespace prefixes every metric name (default "ppdm").
+	Namespace string
+	// Generation, when set, labels the request counter with the current
+	// model generation so dashboards can split traffic across a hot
+	// reload. It is read once per completed request and must be cheap
+	// and allocation-free (an atomic load).
+	Generation func() int64
+	// Buckets overrides the latency histogram upper bounds in seconds
+	// (default DefaultBuckets). Must be sorted ascending.
+	Buckets []float64
+}
+
+// gaugeDef is a caller-registered gauge or counter callback, sampled at
+// scrape time only.
+type gaugeDef struct {
+	name    string
+	help    string
+	counter bool
+	fn      func() float64
+}
+
+// Metrics is a hand-rolled Prometheus registry: it wraps handlers to
+// observe per-endpoint traffic and renders the text exposition format
+// on scrape. It exists so the serving tier exports metrics with zero
+// new dependencies and zero steady-state allocations.
+type Metrics struct {
+	namespace  string
+	generation func() int64
+	bounds     []float64
+
+	mu     sync.Mutex
+	series []*series
+	gauges []gaugeDef
+}
+
+// NewMetrics builds a registry from cfg.
+func NewMetrics(cfg MetricsConfig) *Metrics {
+	ns := cfg.Namespace
+	if ns == "" {
+		ns = "ppdm"
+	}
+	bounds := cfg.Buckets
+	if len(bounds) == 0 {
+		bounds = DefaultBuckets
+	}
+	return &Metrics{namespace: ns, generation: cfg.Generation, bounds: bounds}
+}
+
+// register returns the series for endpoint, creating it on first use.
+func (m *Metrics) register(endpoint string) *series {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.series {
+		if s.endpoint == endpoint {
+			return s
+		}
+	}
+	s := &series{endpoint: endpoint, buckets: make([]atomic.Int64, len(m.bounds)+1)}
+	m.series = append(m.series, s)
+	return s
+}
+
+// Gauge registers a gauge callback rendered as <namespace>_<name>,
+// sampled only at scrape time.
+func (m *Metrics) Gauge(name, help string, fn func() float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gauges = append(m.gauges, gaugeDef{name: name, help: help, fn: fn})
+}
+
+// Counter registers a monotonic counter callback rendered as
+// <namespace>_<name>, sampled only at scrape time.
+func (m *Metrics) Counter(name, help string, fn func() float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gauges = append(m.gauges, gaugeDef{name: name, help: help, counter: true, fn: fn})
+}
+
+// Wrap instruments h as the named endpoint: it maintains the in-flight
+// gauge, observes latency into the histogram, and counts the completed
+// request by status code (and model generation when configured). The
+// per-request path performs only atomic operations on pooled state.
+func (m *Metrics) Wrap(endpoint string, h http.Handler) http.Handler {
+	s := m.register(endpoint)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.inFlight.Add(1)
+		sw := statusWriters.Get().(*statusWriter)
+		sw.ResponseWriter, sw.status = w, http.StatusOK
+		h.ServeHTTP(sw, r)
+		status := sw.status
+		sw.ResponseWriter = nil
+		statusWriters.Put(sw)
+		s.inFlight.Add(-1)
+
+		dur := time.Since(start)
+		sec := dur.Seconds()
+		idx := len(m.bounds)
+		for i, b := range m.bounds {
+			if sec <= b {
+				idx = i
+				break
+			}
+		}
+		s.buckets[idx].Add(1)
+		s.count.Add(1)
+		s.sumNS.Add(int64(dur))
+		var gen int64
+		if m.generation != nil {
+			gen = m.generation()
+		}
+		s.counters(gen).codes[codeIndex(status)].Add(1)
+	})
+}
+
+// Handler serves the registry in the Prometheus text exposition format.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var buf bytes.Buffer
+		m.render(&buf)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(buf.Bytes())
+	})
+}
+
+// fmtFloat renders a float the way Prometheus expects (shortest
+// round-trip representation).
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// render writes the full exposition into buf. Scrapes are rare, so this
+// path is free to allocate.
+func (m *Metrics) render(buf *bytes.Buffer) {
+	m.mu.Lock()
+	series := append([]*series(nil), m.series...)
+	gauges := append([]gaugeDef(nil), m.gauges...)
+	m.mu.Unlock()
+	sort.Slice(series, func(i, j int) bool { return series[i].endpoint < series[j].endpoint })
+	ns := m.namespace
+
+	// Request counters, optionally split by model generation.
+	fmt.Fprintf(buf, "# HELP %s_http_requests_total Completed HTTP requests by endpoint and status code.\n", ns)
+	fmt.Fprintf(buf, "# TYPE %s_http_requests_total counter\n", ns)
+	for _, s := range series {
+		var nodes []*genNode
+		for n := s.gens.Load(); n != nil; n = n.prev {
+			nodes = append(nodes, n)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].gen < nodes[j].gen })
+		for _, n := range nodes {
+			for i := range n.codes {
+				v := n.codes[i].Load()
+				if v == 0 {
+					continue
+				}
+				code := "other"
+				if i < len(trackedCodes) {
+					code = strconv.Itoa(trackedCodes[i])
+				}
+				if m.generation != nil {
+					fmt.Fprintf(buf, "%s_http_requests_total{endpoint=%q,code=%q,generation=\"%d\"} %d\n",
+						ns, s.endpoint, code, n.gen, v)
+				} else {
+					fmt.Fprintf(buf, "%s_http_requests_total{endpoint=%q,code=%q} %d\n",
+						ns, s.endpoint, code, v)
+				}
+			}
+		}
+	}
+
+	// Latency histograms.
+	fmt.Fprintf(buf, "# HELP %s_http_request_duration_seconds HTTP request latency by endpoint.\n", ns)
+	fmt.Fprintf(buf, "# TYPE %s_http_request_duration_seconds histogram\n", ns)
+	for _, s := range series {
+		var cum int64
+		for i, b := range m.bounds {
+			cum += s.buckets[i].Load()
+			fmt.Fprintf(buf, "%s_http_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				ns, s.endpoint, fmtFloat(b), cum)
+		}
+		cum += s.buckets[len(m.bounds)].Load()
+		fmt.Fprintf(buf, "%s_http_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n",
+			ns, s.endpoint, cum)
+		fmt.Fprintf(buf, "%s_http_request_duration_seconds_sum{endpoint=%q} %s\n",
+			ns, s.endpoint, fmtFloat(float64(s.sumNS.Load())/float64(time.Second)))
+		fmt.Fprintf(buf, "%s_http_request_duration_seconds_count{endpoint=%q} %d\n",
+			ns, s.endpoint, cum)
+	}
+
+	// In-flight gauges.
+	fmt.Fprintf(buf, "# HELP %s_http_in_flight In-flight HTTP requests by endpoint.\n", ns)
+	fmt.Fprintf(buf, "# TYPE %s_http_in_flight gauge\n", ns)
+	for _, s := range series {
+		fmt.Fprintf(buf, "%s_http_in_flight{endpoint=%q} %d\n", ns, s.endpoint, s.inFlight.Load())
+	}
+
+	// Caller-registered gauges and counters, in registration order.
+	for _, g := range gauges {
+		kind := "gauge"
+		if g.counter {
+			kind = "counter"
+		}
+		fmt.Fprintf(buf, "# HELP %s_%s %s\n", ns, g.name, g.help)
+		fmt.Fprintf(buf, "# TYPE %s_%s %s\n", ns, g.name, kind)
+		fmt.Fprintf(buf, "%s_%s %s\n", ns, g.name, fmtFloat(g.fn()))
+	}
+}

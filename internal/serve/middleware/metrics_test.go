@@ -1,0 +1,164 @@
+package middleware
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// hit drives one request through h.
+func hit(h http.Handler, target string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, target, nil))
+	return rec
+}
+
+// scrape renders m's exposition and validates the format.
+func scrape(t *testing.T, m *Metrics) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("scrape status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("scrape Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	if err := CheckExposition([]byte(body)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+	return body
+}
+
+// wantLine asserts an exact sample line is present.
+func wantLine(t *testing.T, body, line string) {
+	t.Helper()
+	if !strings.Contains(body, line+"\n") {
+		t.Fatalf("exposition missing %q:\n%s", line, body)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	var gen atomic.Int64
+	gen.Store(1)
+	m := NewMetrics(MetricsConfig{Namespace: "test", Generation: gen.Load})
+	ok := m.Wrap("ok", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "hi")
+	}))
+	fail := m.Wrap("fail", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	for i := 0; i < 3; i++ {
+		hit(ok, "/ok")
+	}
+	hit(fail, "/fail")
+
+	body := scrape(t, m)
+	wantLine(t, body, `test_http_requests_total{endpoint="ok",code="200",generation="1"} 3`)
+	wantLine(t, body, `test_http_requests_total{endpoint="fail",code="500",generation="1"} 1`)
+	wantLine(t, body, `test_http_request_duration_seconds_count{endpoint="ok"} 3`)
+	wantLine(t, body, `test_http_in_flight{endpoint="ok"} 0`)
+
+	// A generation bump opens a new labeled counter and freezes the old
+	// one; both stay visible so dashboards can split reload traffic.
+	gen.Store(2)
+	hit(ok, "/ok")
+	body = scrape(t, m)
+	wantLine(t, body, `test_http_requests_total{endpoint="ok",code="200",generation="1"} 3`)
+	wantLine(t, body, `test_http_requests_total{endpoint="ok",code="200",generation="2"} 1`)
+
+	// Counters are monotonic across scrapes.
+	hit(ok, "/ok")
+	body = scrape(t, m)
+	wantLine(t, body, `test_http_requests_total{endpoint="ok",code="200",generation="2"} 2`)
+}
+
+func TestMetricsWithoutGenerationLabel(t *testing.T) {
+	m := NewMetrics(MetricsConfig{Namespace: "plain"})
+	h := m.Wrap("e", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	hit(h, "/e")
+	body := scrape(t, m)
+	wantLine(t, body, `plain_http_requests_total{endpoint="e",code="200"} 1`)
+	if strings.Contains(body, "generation=") {
+		t.Fatalf("generation label present without a Generation callback:\n%s", body)
+	}
+}
+
+func TestMetricsGaugesAndCounters(t *testing.T) {
+	m := NewMetrics(MetricsConfig{Namespace: "g"})
+	depth := 7.0
+	m.Gauge("queue_depth", "Queued groups.", func() float64 { return depth })
+	m.Counter("records_total", "Records.", func() float64 { return 123 })
+	body := scrape(t, m)
+	wantLine(t, body, "# TYPE g_queue_depth gauge")
+	wantLine(t, body, "g_queue_depth 7")
+	wantLine(t, body, "# TYPE g_records_total counter")
+	wantLine(t, body, "g_records_total 123")
+}
+
+func TestMetricsHandlerRejectsPost(t *testing.T) {
+	m := NewMetrics(MetricsConfig{})
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/metrics", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics = %d, want 405", rec.Code)
+	}
+}
+
+func TestCheckExpositionCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"sample before TYPE", "x_total 1\n"},
+		{"missing HELP", "# TYPE x_total counter\nx_total 1\n"},
+		{"garbage value", "# HELP x_total h\n# TYPE x_total counter\nx_total abc\n"},
+		{"negative counter", "# HELP x_total h\n# TYPE x_total counter\nx_total -1\n"},
+		{"missing +Inf", "# HELP h_s h\n# TYPE h_s histogram\nh_s_bucket{le=\"1\"} 1\n"},
+		{"non-monotone buckets", "# HELP h_s h\n# TYPE h_s histogram\n" +
+			"h_s_bucket{le=\"1\"} 5\nh_s_bucket{le=\"2\"} 3\nh_s_bucket{le=\"+Inf\"} 5\n"},
+		{"count mismatch", "# HELP h_s h\n# TYPE h_s histogram\n" +
+			"h_s_bucket{le=\"+Inf\"} 5\nh_s_count 4\n"},
+	}
+	for _, tc := range cases {
+		if err := CheckExposition([]byte(tc.body)); err == nil {
+			t.Errorf("%s: CheckExposition accepted invalid input", tc.name)
+		}
+	}
+	if err := CheckExposition([]byte("")); err != nil {
+		t.Errorf("empty exposition rejected: %v", err)
+	}
+}
+
+// nullResponseWriter is an allocation-free ResponseWriter for the alloc
+// guard below.
+type nullResponseWriter struct{ h http.Header }
+
+func (w *nullResponseWriter) Header() http.Header         { return w.h }
+func (w *nullResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *nullResponseWriter) WriteHeader(int)             {}
+
+// TestMetricsObserveAllocs pins the wrapper's per-request cost at zero
+// heap allocations: the serving tier's allocation-free /classify
+// contract must survive the chain being enabled by default.
+func TestMetricsObserveAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under -race")
+	}
+	var gen atomic.Int64
+	gen.Store(1)
+	m := NewMetrics(MetricsConfig{Namespace: "a", Generation: gen.Load})
+	h := m.Wrap("hot", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	req := httptest.NewRequest(http.MethodPost, "/hot", nil)
+	w := &nullResponseWriter{h: make(http.Header)}
+	for i := 0; i < 20; i++ {
+		h.ServeHTTP(w, req) // warm the statusWriter pool and generation node
+	}
+	if allocs := testing.AllocsPerRun(500, func() { h.ServeHTTP(w, req) }); allocs != 0 {
+		t.Fatalf("metrics-wrapped request allocates %.1f times, want 0", allocs)
+	}
+}

@@ -1,0 +1,47 @@
+package middleware
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Chain wraps h in the given middleware, first wrapper outermost: the
+// request flows through wrappers[0], then wrappers[1], ..., then h.
+// Nil wrappers are skipped so optional stages (a disabled rate limiter,
+// a disabled shedder) can be passed unconditionally.
+func Chain(h http.Handler, wrappers ...func(http.Handler) http.Handler) http.Handler {
+	for i := len(wrappers) - 1; i >= 0; i-- {
+		if wrappers[i] != nil {
+			h = wrappers[i](h)
+		}
+	}
+	return h
+}
+
+// statusWriter records the response status code so the metrics wrapper
+// can label the request counter. Instances are pooled: the serving tier
+// guarantees an allocation-free steady state on /classify and the
+// middleware chain must not break that contract.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader records the status code before delegating.
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+var statusWriters = sync.Pool{New: func() any { return new(statusWriter) }}
+
+// writeError emits the chain's typed JSON error document
+// ({"error": msg, "code": code}). The code — "throttled", "shed", or
+// "deadline" — lets the gateway distinguish backend pushback from hard
+// failures without parsing free-form text.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "{\"error\": %q, \"code\": %q}\n", msg, code)
+}

@@ -1,0 +1,148 @@
+package middleware
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ClientHeader names the request header that identifies a rate-limit
+// principal. When absent, the remote address (without port) is used, so
+// co-located clients can opt into separate budgets.
+const ClientHeader = "X-Ppdm-Client"
+
+// maxBuckets bounds the per-client bucket map; beyond it, idle buckets
+// (full ones, which would admit a fresh burst anyway) are swept.
+const maxBuckets = 1 << 16
+
+// bucket is one client's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// RateLimiter applies per-client token-bucket rate limiting. Each
+// client refills at rate tokens/second up to burst; a request costs one
+// token, and a client with an empty bucket is answered 429 with a
+// Retry-After estimate. A nil *RateLimiter is valid and disables the
+// stage, so callers can pass l.Middleware unconditionally.
+type RateLimiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time // injectable clock for deterministic tests
+
+	throttled atomic.Int64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// NewRateLimiter builds a limiter admitting rate requests/second per
+// client with the given burst capacity (burst <= 0 defaults to
+// max(1, 2*rate)). A rate <= 0 disables limiting: the result is nil.
+func NewRateLimiter(rate float64, burst int) *RateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if burst <= 0 {
+		b = math.Max(1, 2*rate)
+	}
+	return &RateLimiter{rate: rate, burst: b, now: time.Now, buckets: make(map[string]*bucket)}
+}
+
+// ClientKey returns the rate-limit principal for r: the ClientHeader
+// value if present, otherwise the remote address with any port
+// stripped. It never allocates.
+func ClientKey(r *http.Request) string {
+	if c := r.Header.Get(ClientHeader); c != "" {
+		return c
+	}
+	addr := r.RemoteAddr
+	if i := strings.LastIndexByte(addr, ':'); i >= 0 {
+		return addr[:i]
+	}
+	return addr
+}
+
+// Allow spends one token from key's bucket. When the bucket is empty it
+// reports false and how long until a token accrues. The steady-state
+// path (bucket exists) performs one map lookup and float math only.
+func (l *RateLimiter) Allow(key string) (ok bool, retryAfter time.Duration) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	bk := l.buckets[key]
+	if bk == nil {
+		if len(l.buckets) >= maxBuckets {
+			l.sweepLocked()
+		}
+		bk = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = bk
+	} else {
+		bk.tokens = math.Min(l.burst, bk.tokens+now.Sub(bk.last).Seconds()*l.rate)
+		bk.last = now
+	}
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - bk.tokens) / l.rate * float64(time.Second))
+}
+
+// sweepLocked drops full buckets (clients that would be admitted a
+// fresh burst anyway) to bound the map; if every bucket is mid-drain it
+// drops arbitrary entries, trading one client's budget reset for a
+// bounded footprint.
+func (l *RateLimiter) sweepLocked() {
+	for k, bk := range l.buckets {
+		if bk.tokens >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+	for k := range l.buckets {
+		if len(l.buckets) < maxBuckets/2 {
+			break
+		}
+		delete(l.buckets, k)
+	}
+}
+
+// Throttled reports how many requests this limiter has rejected.
+func (l *RateLimiter) Throttled() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.throttled.Load()
+}
+
+// Middleware rejects over-budget clients with 429 and a Retry-After
+// header before the request body is touched.
+func (l *RateLimiter) Middleware(h http.Handler) http.Handler {
+	if l == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ok, wait := l.Allow(ClientKey(r))
+		if !ok {
+			l.throttled.Add(1)
+			w.Header().Set("Retry-After", retrySeconds(wait))
+			writeError(w, http.StatusTooManyRequests, "throttled", "rate limit exceeded for this client")
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// retrySeconds renders a wait as whole Retry-After seconds, at least 1.
+func retrySeconds(wait time.Duration) string {
+	s := int(math.Ceil(wait.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return strconv.Itoa(s)
+}

@@ -1,0 +1,147 @@
+package middleware
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// fixedClock pins a limiter to manual time so token arithmetic is exact.
+type fixedClock struct{ t time.Time }
+
+func (c *fixedClock) now() time.Time          { return c.t }
+func (c *fixedClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestLimiter(rate float64, burst int) (*RateLimiter, *fixedClock) {
+	l := NewRateLimiter(rate, burst)
+	c := &fixedClock{t: time.Unix(1000, 0)}
+	l.now = c.now
+	return l, c
+}
+
+func TestRateLimiterPerClientIsolation(t *testing.T) {
+	l, c := newTestLimiter(1, 2)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("greedy"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, retry := l.Allow("greedy")
+	if ok {
+		t.Fatal("greedy client admitted past its burst")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retryAfter = %v, want (0s, 1s]", retry)
+	}
+	// The greedy client's exhaustion must not touch the polite client.
+	if ok, _ := l.Allow("polite"); !ok {
+		t.Fatal("polite client starved by greedy client")
+	}
+	// Refill: one second buys one token.
+	c.advance(time.Second)
+	if ok, _ := l.Allow("greedy"); !ok {
+		t.Fatal("greedy client still denied after refill")
+	}
+	if ok, _ := l.Allow("greedy"); ok {
+		t.Fatal("greedy client got more than the refilled token")
+	}
+}
+
+func TestRateLimiterDefaults(t *testing.T) {
+	if l := NewRateLimiter(0, 10); l != nil {
+		t.Fatal("rate 0 should disable the limiter")
+	}
+	if l := NewRateLimiter(10, 0); l.burst != 20 {
+		t.Fatalf("default burst = %v, want 2*rate", l.burst)
+	}
+	if l := NewRateLimiter(0.25, 0); l.burst != 1 {
+		t.Fatalf("default burst = %v, want at least 1", l.burst)
+	}
+}
+
+func TestRateLimiterMiddleware(t *testing.T) {
+	l, _ := newTestLimiter(1, 1)
+	okHandler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	h := l.Middleware(okHandler)
+
+	req := httptest.NewRequest(http.MethodPost, "/classify", nil)
+	req.Header.Set(ClientHeader, "c1")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("first request = %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request = %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var doc struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("429 body is not the typed JSON error: %v", err)
+	}
+	if doc.Code != "throttled" {
+		t.Fatalf("429 code = %q, want throttled", doc.Code)
+	}
+	if l.Throttled() != 1 {
+		t.Fatalf("Throttled() = %d, want 1", l.Throttled())
+	}
+
+	// A different client (keyed by remote address) has its own bucket.
+	other := httptest.NewRequest(http.MethodPost, "/classify", nil)
+	other.RemoteAddr = "10.9.8.7:4242"
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, other)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("other client = %d, want 200", rec.Code)
+	}
+}
+
+func TestClientKey(t *testing.T) {
+	r := httptest.NewRequest(http.MethodGet, "/", nil)
+	r.RemoteAddr = "10.0.0.1:5000"
+	if k := ClientKey(r); k != "10.0.0.1" {
+		t.Fatalf("ClientKey = %q", k)
+	}
+	r.RemoteAddr = "[::1]:5000"
+	if k := ClientKey(r); k != "[::1]" {
+		t.Fatalf("ipv6 ClientKey = %q", k)
+	}
+	r.Header.Set(ClientHeader, "tenant-7")
+	if k := ClientKey(r); k != "tenant-7" {
+		t.Fatalf("header ClientKey = %q", k)
+	}
+}
+
+func TestNilRateLimiterPassesThrough(t *testing.T) {
+	var l *RateLimiter
+	called := false
+	h := l.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { called = true }))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	if !called {
+		t.Fatal("nil limiter blocked the request")
+	}
+	if l.Throttled() != 0 {
+		t.Fatal("nil limiter reports throttles")
+	}
+}
+
+func TestRateLimiterAllowAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under -race")
+	}
+	l, _ := newTestLimiter(1e9, 1<<30)
+	l.Allow("hot") // create the bucket
+	if allocs := testing.AllocsPerRun(500, func() { l.Allow("hot") }); allocs != 0 {
+		t.Fatalf("steady-state Allow allocates %.1f times, want 0", allocs)
+	}
+}

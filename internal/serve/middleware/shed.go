@@ -1,0 +1,62 @@
+package middleware
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Shedder rejects work the moment the bounded micro-batch queue
+// saturates, before the request body is read or parsed. Shedding early
+// converts what would be a slow timeout (the request queueing behind a
+// saturated batcher until the client gives up) into an immediate 503
+// with Retry-After, preserving goodput for the requests already
+// admitted. Endpoints that must stay reachable under overload
+// (/healthz, /stats, /metrics, /reload) are simply not wrapped — that
+// is the always-admit budget. A nil *Shedder disables the stage.
+type Shedder struct {
+	load func() (depth, capacity int)
+	max  int
+	shed atomic.Int64
+}
+
+// NewShedder builds a shedder sampling load (queue depth and capacity)
+// per request. Requests are shed while depth >= maxQueue; maxQueue <= 0
+// means shed only at full capacity. A nil load or a negative maxQueue
+// disables shedding: the result is nil.
+func NewShedder(load func() (depth, capacity int), maxQueue int) *Shedder {
+	if load == nil || maxQueue < 0 {
+		return nil
+	}
+	return &Shedder{load: load, max: maxQueue}
+}
+
+// Shed reports how many requests this shedder has rejected.
+func (s *Shedder) Shed() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.shed.Load()
+}
+
+// Middleware answers 503 with Retry-After while the queue is saturated;
+// the check is a channel-length read, so shed requests cost almost
+// nothing.
+func (s *Shedder) Middleware(h http.Handler) http.Handler {
+	if s == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		depth, capacity := s.load()
+		limit := s.max
+		if limit <= 0 || limit > capacity {
+			limit = capacity
+		}
+		if limit > 0 && depth >= limit {
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "shed", "server overloaded: micro-batch queue is full")
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,73 @@
+package middleware
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestShedderShedsAtCapacity(t *testing.T) {
+	depth := 0
+	s := NewShedder(func() (int, int) { return depth, 4 }, 0)
+	h := s.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+
+	depth = 3
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/classify", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("below capacity = %d, want 200", rec.Code)
+	}
+
+	depth = 4
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/classify", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("at capacity = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("shed response without Retry-After")
+	}
+	var doc struct {
+		Code string `json:"code"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil || doc.Code != "shed" {
+		t.Fatalf("shed body = %q (err %v), want code shed", rec.Body.String(), err)
+	}
+	if s.Shed() != 1 {
+		t.Fatalf("Shed() = %d, want 1", s.Shed())
+	}
+}
+
+func TestShedderCustomThreshold(t *testing.T) {
+	depth := 2
+	s := NewShedder(func() (int, int) { return depth, 8 }, 2)
+	h := s.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/classify", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("depth 2 with max-queue 2 = %d, want 503", rec.Code)
+	}
+	depth = 1
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/classify", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("depth 1 with max-queue 2 = %d, want 200", rec.Code)
+	}
+}
+
+func TestShedderDisabled(t *testing.T) {
+	if s := NewShedder(nil, 0); s != nil {
+		t.Fatal("nil load should disable shedding")
+	}
+	if s := NewShedder(func() (int, int) { return 0, 1 }, -1); s != nil {
+		t.Fatal("negative max-queue should disable shedding")
+	}
+	var s *Shedder
+	called := false
+	h := s.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { called = true }))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	if !called || s.Shed() != 0 {
+		t.Fatal("nil shedder interfered with the request")
+	}
+}

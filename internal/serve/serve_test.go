@@ -15,7 +15,7 @@ import (
 )
 
 // newTestServer saves a fresh tree model and starts a server over it.
-func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, string) {
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server, string) {
 	t.Helper()
 	_, modelBytes := trainTree(t, synth.F2, 1)
 	path := filepath.Join(t.TempDir(), "model.json")

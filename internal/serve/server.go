@@ -13,6 +13,7 @@ import (
 
 	"ppdm/internal/noise"
 	"ppdm/internal/prng"
+	"ppdm/internal/serve/middleware"
 	"ppdm/internal/stream"
 )
 
@@ -43,6 +44,22 @@ type Config struct {
 	// StreamBatch is the records-per-batch granularity for gzipped-CSV
 	// request bodies (0 = stream.DefaultBatchSize).
 	StreamBatch int
+	// Rate is the per-client token-bucket limit in requests/second on
+	// /classify and /perturb (0 disables rate limiting). Clients are
+	// keyed by X-Ppdm-Client or remote address; over-budget requests
+	// get 429 with Retry-After.
+	Rate float64
+	// Burst is the token-bucket burst capacity (0 = max(1, 2*Rate)).
+	Burst int
+	// MaxQueue is the queued-group threshold at which /classify and
+	// /perturb shed load with an immediate 503 + Retry-After, before the
+	// request body is parsed (0 = shed only at full queue capacity;
+	// negative disables shedding).
+	MaxQueue int
+	// DefaultDeadline is the time budget applied to requests that carry
+	// no X-Ppdm-Deadline header (0 = none). Expired requests are
+	// rejected with 504 before reaching the model.
+	DefaultDeadline time.Duration
 }
 
 // Server is the inference daemon: a model snapshot behind an atomic
@@ -53,8 +70,17 @@ type Server struct {
 	model   atomic.Pointer[Model]
 	batcher *Batcher
 	metrics *metrics
+	prom    *middleware.Metrics
+	limiter *middleware.RateLimiter
+	shedder *middleware.Shedder
 	mux     *http.ServeMux
 	start   time.Time
+
+	// noShed switches /classify to the blocking SubmitWait path (queueing
+	// into timeout instead of failing fast). It exists only so the
+	// saturation benchmarks can measure the no-shedding baseline; the
+	// serving path never sets it.
+	noShed bool
 
 	reloadMu   sync.Mutex // serializes Reload; swaps stay atomic for readers
 	generation atomic.Int64
@@ -76,13 +102,74 @@ func New(cfg Config) (*Server, error) {
 	s.model.Store(m)
 	s.batcher = NewBatcher(s.Current, cfg.MaxBatch, cfg.FlushDelay, cfg.QueueDepth, cfg.Workers)
 	s.metrics = newMetrics("classify", "perturb", "healthz", "stats", "reload")
+
+	// The traffic-hardening chain, outermost first: Prometheus metrics on
+	// every endpoint, then per-client rate limiting, load shedding, and
+	// dead-on-arrival rejection on the work endpoints only — /healthz,
+	// /stats, /metrics, and /reload stay always-admitted so operators can
+	// observe and fix an overloaded server.
+	s.prom = middleware.NewMetrics(middleware.MetricsConfig{
+		Namespace:  "ppdm_serve",
+		Generation: func() int64 { return s.Current().Generation },
+	})
+	s.registerGauges()
+	s.limiter = middleware.NewRateLimiter(cfg.Rate, cfg.Burst)
+	s.shedder = middleware.NewShedder(s.batcher.QueueLoad, cfg.MaxQueue)
+	work := func(name string, h http.Handler) http.Handler {
+		return s.prom.Wrap(name, middleware.Chain(h,
+			s.limiter.Middleware,
+			s.shedder.Middleware,
+			middleware.Deadline(cfg.DefaultDeadline),
+		))
+	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/classify", s.instrument("classify", s.handleClassify))
-	s.mux.HandleFunc("/perturb", s.instrument("perturb", s.handlePerturb))
-	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
-	s.mux.HandleFunc("/stats", s.instrument("stats", s.handleStats))
-	s.mux.HandleFunc("/reload", s.instrument("reload", s.handleReload))
+	s.mux.Handle("/classify", work("classify", s.instrument("classify", s.handleClassify)))
+	s.mux.Handle("/perturb", work("perturb", s.instrument("perturb", s.handlePerturb)))
+	s.mux.Handle("/healthz", s.prom.Wrap("healthz", s.instrument("healthz", s.handleHealthz)))
+	s.mux.Handle("/stats", s.prom.Wrap("stats", s.instrument("stats", s.handleStats)))
+	s.mux.Handle("/reload", s.prom.Wrap("reload", s.instrument("reload", s.handleReload)))
+	s.mux.Handle("/metrics", s.prom.Wrap("metrics", s.prom.Handler()))
 	return s, nil
+}
+
+// registerGauges exposes batcher, cache, and chain state on /metrics.
+// Everything here is sampled at scrape time only; cache hit/miss counts
+// are gauges, not counters, because each reload starts a fresh cache.
+func (s *Server) registerGauges() {
+	s.prom.Gauge("batch_queue_depth", "Request groups waiting in the bounded micro-batch queue.",
+		func() float64 { d, _ := s.batcher.QueueLoad(); return float64(d) })
+	s.prom.Gauge("batch_queue_capacity", "Bounded micro-batch queue capacity in groups.",
+		func() float64 { _, c := s.batcher.QueueLoad(); return float64(c) })
+	s.prom.Gauge("batch_largest_records", "High-watermark micro-batch flush size in records.",
+		func() float64 { return float64(s.batcher.Stats().LargestBatch) })
+	s.prom.Gauge("batch_inflight_records", "Records accepted by the micro-batcher but not yet answered.",
+		func() float64 { return float64(s.batcher.Stats().InFlightRecords) })
+	s.prom.Counter("batch_records_total", "Records classified through the micro-batcher.",
+		func() float64 { return float64(s.batcher.Stats().Records) })
+	s.prom.Counter("batch_queue_rejects_total", "Submissions bounced off the full micro-batch queue.",
+		func() float64 { return float64(s.batcher.Stats().QueueRejects) })
+	s.prom.Counter("deadline_rejects_total", "Requests expired before dispatch and rejected unclassified.",
+		func() float64 { return float64(s.batcher.Stats().DeadlineRejects) })
+	s.prom.Counter("shed_total", "Requests shed with 503 by the saturation middleware.",
+		func() float64 { return float64(s.shedder.Shed()) })
+	s.prom.Counter("throttled_total", "Requests rejected with 429 by the per-client rate limiter.",
+		func() float64 { return float64(s.limiter.Throttled()) })
+	s.prom.Gauge("cache_hits", "Prediction-cache hits of the live model snapshot.",
+		func() float64 { h, _, _ := s.cacheCounts(); return float64(h) })
+	s.prom.Gauge("cache_misses", "Prediction-cache misses of the live model snapshot.",
+		func() float64 { _, m, _ := s.cacheCounts(); return float64(m) })
+	s.prom.Gauge("cache_size", "Prediction-cache entries of the live model snapshot.",
+		func() float64 { _, _, n := s.cacheCounts(); return float64(n) })
+	s.prom.Gauge("model_generation", "Generation of the live model snapshot (bumps on hot reload).",
+		func() float64 { return float64(s.Current().Generation) })
+}
+
+// cacheCounts samples the live snapshot's prediction cache.
+func (s *Server) cacheCounts() (hits, misses int64, size int) {
+	if c := s.Current().cache; c != nil {
+		return c.stats()
+	}
+	return 0, 0, 0
 }
 
 // Handler returns the HTTP surface of the server.
@@ -300,10 +387,23 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) int {
 		sc.classes = make([]int, len(records))
 	}
 	classes := sc.classes[:len(records)]
-	cached, m, err := s.batcher.Submit(records, classes)
+	deadline := middleware.RequestDeadline(r, s.cfg.DefaultDeadline)
+	var (
+		cached int
+		m      *Model
+	)
+	if s.noShed {
+		cached, m, err = s.batcher.SubmitWait(records, classes, deadline)
+	} else {
+		cached, m, err = s.batcher.SubmitDeadline(records, classes, deadline)
+	}
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrStopped):
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
+		return len(records)
+	case errors.Is(err, ErrDeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err)
 		return len(records)
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)

@@ -41,11 +41,23 @@ type results struct {
 	Benchmarks  []benchmark    `json:"benchmarks"`
 }
 
-// benchmark is one recorded measurement.
+// benchmark is one recorded measurement. Beyond the required trio, an
+// entry may carry named custom metrics (b.ReportMetric values) and a
+// ratio gate tying one of its metrics to another benchmark in the same
+// file: metrics[metric] / baseline.metrics[metric] must be >= min_ratio
+// (when set) and <= max_ratio (when set). The serving overload curve
+// uses this to pin "shedding holds goodput near the pre-saturation
+// ceiling while the unshed baseline collapses" as a schema fact CI
+// re-checks on every commit.
 type benchmark struct {
-	Name       string  `json:"name"`
-	Iterations int     `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics"`
+	Baseline   string             `json:"baseline"`
+	Metric     string             `json:"metric"`
+	MinRatio   float64            `json:"min_ratio"`
+	MaxRatio   float64            `json:"max_ratio"`
 }
 
 func main() {
@@ -106,6 +118,10 @@ func check(path string) []string {
 	if len(r.Benchmarks) == 0 {
 		problems = append(problems, `missing or empty "benchmarks" array`)
 	}
+	byName := make(map[string]benchmark, len(r.Benchmarks))
+	for _, b := range r.Benchmarks {
+		byName[b.Name] = b
+	}
 	for i, b := range r.Benchmarks {
 		if b.Name == "" {
 			problems = append(problems, fmt.Sprintf("benchmarks[%d] has no name", i))
@@ -116,6 +132,43 @@ func check(path string) []string {
 		if b.NsPerOp <= 0 {
 			problems = append(problems, fmt.Sprintf("benchmarks[%d] (%s) has non-positive ns_per_op", i, b.Name))
 		}
+		problems = append(problems, checkRatio(b, byName)...)
+	}
+	return problems
+}
+
+// checkRatio enforces one benchmark's ratio gate against its baseline.
+func checkRatio(b benchmark, byName map[string]benchmark) []string {
+	if b.Baseline == "" {
+		if b.MinRatio != 0 || b.MaxRatio != 0 {
+			return []string{fmt.Sprintf("%s sets a ratio bound without a baseline", b.Name)}
+		}
+		return nil
+	}
+	if b.Metric == "" {
+		return []string{fmt.Sprintf("%s names baseline %q without a metric", b.Name, b.Baseline)}
+	}
+	base, ok := byName[b.Baseline]
+	if !ok {
+		return []string{fmt.Sprintf("%s names unknown baseline %q", b.Name, b.Baseline)}
+	}
+	val, ok := b.Metrics[b.Metric]
+	if !ok {
+		return []string{fmt.Sprintf("%s lacks its gated metric %q", b.Name, b.Metric)}
+	}
+	ref, ok := base.Metrics[b.Metric]
+	if !ok || ref <= 0 {
+		return []string{fmt.Sprintf("baseline %s lacks a positive metric %q", b.Baseline, b.Metric)}
+	}
+	var problems []string
+	ratio := val / ref
+	if b.MinRatio > 0 && ratio < b.MinRatio {
+		problems = append(problems, fmt.Sprintf("%s %s is %.3fx of %s, below the %.2f floor",
+			b.Name, b.Metric, ratio, b.Baseline, b.MinRatio))
+	}
+	if b.MaxRatio > 0 && ratio > b.MaxRatio {
+		problems = append(problems, fmt.Sprintf("%s %s is %.3fx of %s, above the %.2f ceiling",
+			b.Name, b.Metric, ratio, b.Baseline, b.MaxRatio))
 	}
 	return problems
 }
