@@ -1,6 +1,7 @@
 package assoc
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 )
@@ -11,10 +12,34 @@ type Itemset struct {
 	Support float64
 }
 
-// Key returns a canonical string key for set comparison.
+// Key returns a compact canonical key for set comparison: the items encoded
+// as a uvarint byte sequence (self-delimiting, so distinct item lists always
+// produce distinct keys). The key is an opaque map key, not a display
+// string — render s.Items for humans.
 func (s Itemset) Key() string {
-	return fmt.Sprint(s.Items)
+	var arr [80]byte // 16 items of up to 5 varint bytes stay allocation-free
+	b := arr[:0]
+	for _, it := range s.Items {
+		b = binary.AppendUvarint(b, uint64(it))
+	}
+	return string(b)
 }
+
+// VerticalPolicy selects the support-counting engine Frequent and
+// FrequentFromRandomized mine on. The engines count the same exact integers,
+// so the mined itemsets and supports are byte-identical under every policy;
+// the policy only trades transpose cost against per-candidate scan cost.
+type VerticalPolicy int
+
+// Vertical-engine policies: VerticalAuto (the zero value) builds the
+// TID-bitmap index when the dataset holds at least VerticalThreshold
+// transactions, VerticalOn always builds it, and VerticalOff forces the
+// horizontal row-scan engine (the streaming-ingestion fallback).
+const (
+	VerticalAuto VerticalPolicy = iota
+	VerticalOn
+	VerticalOff
+)
 
 // MiningConfig bounds the Apriori search.
 type MiningConfig struct {
@@ -27,6 +52,9 @@ type MiningConfig struct {
 	// Workers bounds the support-counting parallelism (0 = all cores).
 	// Mined itemsets and supports are identical for every worker count.
 	Workers int
+	// Vertical selects the counting engine (default VerticalAuto). Mined
+	// itemsets and supports are identical for every policy.
+	Vertical VerticalPolicy
 }
 
 // DefaultMaxSize is the default itemset-size bound.
@@ -42,44 +70,184 @@ func (c MiningConfig) withDefaults() (MiningConfig, error) {
 	if c.MaxSize < 1 || c.MaxSize > 16 {
 		return c, fmt.Errorf("assoc: max size %d must be in [1,16]", c.MaxSize)
 	}
+	if c.Vertical != VerticalAuto && c.Vertical != VerticalOn && c.Vertical != VerticalOff {
+		return c, fmt.Errorf("assoc: unknown vertical policy %d", c.Vertical)
+	}
 	return c, nil
+}
+
+// miningIndex resolves the config's engine policy against the dataset.
+func (d *Dataset) miningIndex(cfg MiningConfig) *Index {
+	switch cfg.Vertical {
+	case VerticalOff:
+		return nil
+	case VerticalOn:
+		return d.Index(cfg.Workers)
+	default:
+		return d.autoIndex(cfg.Workers)
+	}
 }
 
 // supportFn estimates the support of an itemset.
 type supportFn func(items []int) (float64, error)
 
 // Frequent mines all frequent itemsets of the clean dataset with exact
-// support counting (classic Apriori), sharded across cfg.Workers. Results
-// are sorted by size, then lexicographically.
+// support counting, sorted by size then lexicographically. On the vertical
+// engine (see MiningConfig.Vertical) mining runs as a depth-first walk of
+// prefix equivalence classes that reuses each (k−1)-prefix's intersection
+// bitmap, so a k-candidate costs one column AND; the horizontal fallback is
+// classic level-wise Apriori over TxChunk-sharded row scans. Both engines
+// mine byte-identical results at every worker count.
 func Frequent(d *Dataset, cfg MiningConfig) ([]Itemset, error) {
 	if d == nil || d.N() == 0 {
 		return nil, fmt.Errorf("assoc: empty dataset")
 	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if idx := d.miningIndex(cfg); idx != nil {
+		return mineVertical(idx, cfg, nil, nil)
+	}
 	return apriori(d.NumItems(), cfg, func(items []int) (float64, error) {
-		return d.SupportWorkers(items, cfg.Workers)
+		return d.supportHorizontal(items, cfg.Workers)
 	})
 }
 
 // FrequentFromRandomized mines frequent itemsets of the *original* data
 // given only the randomized dataset: candidate supports are estimated by
-// inverting the randomization channel, with pattern counting sharded across
-// cfg.Workers.
+// inverting the randomization channel over each candidate's 2^k pattern
+// counts. The vertical engine reads those counts off the TID-bitmap index
+// (masked subset popcounts + inclusion–exclusion) inside the same
+// prefix-class walk as Frequent; the horizontal fallback scans rows. The
+// counts are exact integers on both engines, so estimates — and the mined
+// set — are byte-identical at every worker count.
 func FrequentFromRandomized(randomized *Dataset, bf BitFlip, cfg MiningConfig) ([]Itemset, error) {
 	if randomized == nil || randomized.N() == 0 {
 		return nil, fmt.Errorf("assoc: empty dataset")
 	}
-	return apriori(randomized.NumItems(), cfg, func(items []int) (float64, error) {
-		return bf.EstimateSupportWorkers(randomized, items, cfg.Workers)
-	})
-}
-
-// apriori runs level-wise candidate generation over the item universe.
-func apriori(numItems int, cfg MiningConfig, support supportFn) ([]Itemset, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
+	if idx := randomized.miningIndex(cfg); idx != nil {
+		return mineVertical(idx, cfg, &bf, randomized)
+	}
+	return apriori(randomized.NumItems(), cfg, func(items []int) (float64, error) {
+		counts, err := randomized.patternCountsHorizontal(items, cfg.Workers)
+		if err != nil {
+			return 0, err
+		}
+		return bf.estimateFromCounts(counts, randomized.N(), len(items)), nil
+	})
+}
 
+// vMember is one frequent extension of the DFS prefix: the itemset
+// prefix∪{item}, its support, and — exact mining only — its TID bitmap.
+type vMember struct {
+	item int
+	sup  float64
+	bm   []uint64
+}
+
+// mineVertical mines the index by depth-first prefix equivalence classes:
+// the class of prefix P holds every frequent P∪{x}, and joining members i<j
+// yields exactly the level-wise prefix-join candidates, so the mined set
+// matches Apriori's (subset pruning is redundant here — by anti-monotonicity
+// a candidate with an infrequent subset fails its own support test, which
+// the bitmap makes cheaper than the subset lookups).
+//
+// est == nil mines exact supports: each member carries the intersection
+// bitmap of its itemset, so a candidate is one cached-prefix AND+popcount.
+// With est set, supports are channel-inversion estimates over the
+// candidate's pattern counts (see BitFlip.estimateVertical); members then
+// carry no bitmaps, and rd backs the large-k horizontal fallback.
+func mineVertical(idx *Index, cfg MiningConfig, est *BitFlip, rd *Dataset) ([]Itemset, error) {
+	workers := cfg.Workers
+	n := float64(idx.n)
+	var all []Itemset
+
+	// Size 1: a column popcount (exact) or a 2-pattern inversion (estimated).
+	var roots []vMember
+	for it := 0; it < idx.numItems; it++ {
+		var s float64
+		if est == nil {
+			s = float64(popcountWorkers(idx.col(it), workers)) / n
+		} else {
+			var err error
+			if s, err = est.estimateVertical(rd, idx, []int{it}, workers); err != nil {
+				return nil, err
+			}
+		}
+		if s >= cfg.MinSupport {
+			roots = append(roots, vMember{item: it, sup: s, bm: idx.col(it)})
+			all = append(all, Itemset{Items: []int{it}, Support: s})
+		}
+	}
+
+	prefix := make([]int, 0, cfg.MaxSize)
+	var spare []uint64 // recycled candidate bitmap; kept only when frequent
+	var dfs func(members []vMember, size int) error
+	dfs = func(members []vMember, size int) error {
+		if size >= cfg.MaxSize {
+			return nil
+		}
+		for i := 0; i+1 < len(members); i++ {
+			a := members[i]
+			prefix = append(prefix, a.item)
+			var class []vMember
+			for j := i + 1; j < len(members); j++ {
+				b := members[j]
+				var items []int
+				var s float64
+				var bm []uint64
+				if est == nil {
+					if size+1 < cfg.MaxSize {
+						if spare == nil {
+							spare = make([]uint64, idx.words)
+						}
+						s = float64(andIntoWorkers(spare, a.bm, b.bm, workers)) / n
+						bm = spare
+					} else {
+						s = float64(andPopcountWorkers(a.bm, b.bm, workers)) / n
+					}
+				} else {
+					items = append(append(make([]int, 0, size+1), prefix...), b.item)
+					var err error
+					if s, err = est.estimateVertical(rd, idx, items, workers); err != nil {
+						return err
+					}
+				}
+				if s >= cfg.MinSupport {
+					if items == nil {
+						items = append(append(make([]int, 0, size+1), prefix...), b.item)
+					}
+					all = append(all, Itemset{Items: items, Support: s})
+					class = append(class, vMember{item: b.item, sup: s, bm: bm})
+					if bm != nil {
+						spare = nil // the class keeps the bitmap
+					}
+				}
+			}
+			if len(class) >= 2 {
+				if err := dfs(class, size+1); err != nil {
+					return err
+				}
+			}
+			prefix = prefix[:len(prefix)-1]
+		}
+		return nil
+	}
+	if err := dfs(roots, 1); err != nil {
+		return nil, err
+	}
+	sortItemsets(all)
+	return all, nil
+}
+
+// apriori runs level-wise candidate generation over the item universe — the
+// horizontal engine, kept as the streaming-ingestion fallback.
+func apriori(numItems int, cfg MiningConfig, support supportFn) ([]Itemset, error) {
 	// Level 1: frequent single items.
 	var level []Itemset
 	for it := 0; it < numItems; it++ {
@@ -109,6 +277,13 @@ func apriori(numItems int, cfg MiningConfig, support supportFn) ([]Itemset, erro
 		all = append(all, level...)
 	}
 
+	sortItemsets(all)
+	return all, nil
+}
+
+// sortItemsets orders mined itemsets by size, then lexicographically — the
+// one output order both engines normalize to.
+func sortItemsets(all []Itemset) {
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i].Items, all[j].Items
 		if len(a) != len(b) {
@@ -121,49 +296,72 @@ func apriori(numItems int, cfg MiningConfig, support supportFn) ([]Itemset, erro
 		}
 		return false
 	})
-	return all, nil
 }
 
 // generateCandidates joins frequent (k-1)-itemsets sharing a (k-2)-prefix
 // and prunes candidates with an infrequent (k-1)-subset — the classic
-// Apriori candidate generation.
+// Apriori candidate generation. The level is grouped by prefix first (in
+// first-appearance order, so the result never depends on map iteration) and
+// joined within groups, with each group's candidates built into one
+// exactly-sized arena instead of a per-pair copy.
 func generateCandidates(level []Itemset) [][]int {
+	if len(level) < 2 {
+		return nil
+	}
 	frequent := make(map[string]bool, len(level))
 	for _, s := range level {
 		frequent[s.Key()] = true
 	}
+	k := len(level[0].Items) + 1
+
+	groupOf := make(map[string]int, len(level))
+	var groups [][]int // member indices into level, grouped by (k-2)-prefix
+	for i, s := range level {
+		pk := Itemset{Items: s.Items[:len(s.Items)-1]}.Key()
+		g, ok := groupOf[pk]
+		if !ok {
+			g = len(groups)
+			groupOf[pk] = g
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], i)
+	}
+
 	var out [][]int
-	for i := 0; i < len(level); i++ {
-		for j := i + 1; j < len(level); j++ {
-			a, b := level[i].Items, level[j].Items
-			if !samePrefix(a, b) {
-				continue
-			}
-			var cand []int
-			if a[len(a)-1] < b[len(b)-1] {
-				cand = append(append([]int(nil), a...), b[len(b)-1])
-			} else {
-				cand = append(append([]int(nil), b...), a[len(a)-1])
-			}
-			if allSubsetsFrequent(cand, frequent) {
-				out = append(out, cand)
+	sub := make([]int, 0, k-1)
+	for _, g := range groups {
+		if len(g) < 2 {
+			continue
+		}
+		// The arena is sized for every pair of the group, so appends never
+		// reallocate and the kept candidate subslices stay valid.
+		arena := make([]int, 0, len(g)*(len(g)-1)/2*k)
+		for x := 0; x < len(g); x++ {
+			for y := x + 1; y < len(g); y++ {
+				a, b := level[g[x]].Items, level[g[y]].Items
+				la, lb := a[len(a)-1], b[len(b)-1]
+				start := len(arena)
+				arena = append(arena, a[:len(a)-1]...)
+				if la < lb {
+					arena = append(arena, la, lb)
+				} else {
+					arena = append(arena, lb, la)
+				}
+				cand := arena[start : start+k]
+				if allSubsetsFrequent(cand, frequent, sub) {
+					out = append(out, cand)
+				} else {
+					arena = arena[:start]
+				}
 			}
 		}
 	}
 	return out
 }
 
-func samePrefix(a, b []int) bool {
-	for i := 0; i < len(a)-1; i++ {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
-func allSubsetsFrequent(cand []int, frequent map[string]bool) bool {
-	sub := make([]int, 0, len(cand)-1)
+// allSubsetsFrequent reports whether every (k-1)-subset of cand is in the
+// frequent set; sub is a reusable scratch slice.
+func allSubsetsFrequent(cand []int, frequent map[string]bool, sub []int) bool {
 	for skip := range cand {
 		sub = sub[:0]
 		for i, v := range cand {

@@ -219,12 +219,13 @@ func TestFrequentHandMined(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	key := func(items ...int) string { return Itemset{Items: items}.Key() }
 	want := map[string]float64{
-		"[0]":   5.0 / 6,
-		"[1]":   4.0 / 6,
-		"[2]":   3.0 / 6,
-		"[0 1]": 3.0 / 6,
-		"[0 2]": 3.0 / 6,
+		key(0):    5.0 / 6,
+		key(1):    4.0 / 6,
+		key(2):    3.0 / 6,
+		key(0, 1): 3.0 / 6,
+		key(0, 2): 3.0 / 6,
 	}
 	if len(got) != len(want) {
 		t.Fatalf("mined %d itemsets, want %d: %v", len(got), len(want), got)

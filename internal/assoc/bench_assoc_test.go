@@ -1,0 +1,99 @@
+package assoc
+
+import "testing"
+
+// The mining pairs run the E12-style 100k-transaction, 40-item workload
+// through both counting engines; results are byte-identical (TestMiningGolden,
+// TestMiningEngineEquivalence), so the pair isolates pure counting cost. Each
+// vertical iteration drops the cached index first, so the transpose is paid
+// inside the measurement.
+
+func benchWorkload(b *testing.B) *Dataset {
+	b.Helper()
+	d, _, err := Generate(GenConfig{N: 100000, Items: 40, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func benchMine(b *testing.B, d *Dataset, policy VerticalPolicy) {
+	b.Helper()
+	cfg := MiningConfig{MinSupport: 0.1, MaxSize: 4, Workers: 1, Vertical: policy}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.dropIndex()
+		if _, err := Frequent(d, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMineLevelwiseDense100k(b *testing.B) { benchMine(b, benchWorkload(b), VerticalOff) }
+func BenchmarkMineVertical100k(b *testing.B)       { benchMine(b, benchWorkload(b), VerticalOn) }
+
+func benchMineRandomized(b *testing.B, policy VerticalPolicy) {
+	b.Helper()
+	d := benchWorkload(b)
+	bf, err := NewBitFlip(0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rd, err := bf.Randomize(d, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := MiningConfig{MinSupport: 0.1, MaxSize: 3, Workers: 1, Vertical: policy}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.dropIndex()
+		if _, err := FrequentFromRandomized(rd, bf, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMineRandomizedDense100k(b *testing.B)    { benchMineRandomized(b, VerticalOff) }
+func BenchmarkMineRandomizedVertical100k(b *testing.B) { benchMineRandomized(b, VerticalOn) }
+
+// BenchmarkIndexBuild100k isolates the transpose the vertical pairs pay per
+// iteration.
+func BenchmarkIndexBuild100k(b *testing.B) {
+	d := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.dropIndex()
+		if d.Index(1) == nil {
+			b.Fatal("no index")
+		}
+	}
+}
+
+// BenchmarkItemsetKey measures the packed canonical key on a typical mined
+// 4-itemset (the candidate-pruning and comparison hot path).
+func BenchmarkItemsetKey(b *testing.B) {
+	s := Itemset{Items: []int{3, 17, 128, 70000}}
+	for i := 0; i < b.N; i++ {
+		if len(s.Key()) == 0 {
+			b.Fatal("empty key")
+		}
+	}
+}
+
+// BenchmarkGenerateCandidates measures prefix-grouped candidate generation
+// on a 435-itemset level (every pair from a 30-item universe), the shape the
+// old O(level²) all-pairs join was slowest on.
+func BenchmarkGenerateCandidates(b *testing.B) {
+	var level []Itemset
+	for i := 0; i < 30; i++ {
+		for j := i + 1; j < 30; j++ {
+			level = append(level, Itemset{Items: []int{i, j}})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := generateCandidates(level); len(out) == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}

@@ -4,24 +4,36 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"ppdm/internal/parallel"
 )
 
-// TxChunk is the fixed transaction-chunk length of parallel support
-// counting: the dataset is read as a stream of TxChunk-sized shards, each
-// counted independently on internal/parallel and folded in index order.
+// TxChunk is the fixed transaction-chunk length of parallel horizontal
+// support counting: the dataset is read as a stream of TxChunk-sized shards,
+// each counted independently on internal/parallel and folded in index order.
 // Counts are exact integers, so the result is identical for every worker
 // count.
 const TxChunk = 4096
 
+// VerticalThreshold is the transaction count at which the counting paths
+// switch from horizontal row scans to the vertical TID-bitmap index
+// automatically: below it the one-off transpose costs more than it saves,
+// above it the index is built lazily on the first counting call and cached
+// until the dataset grows again.
+const VerticalThreshold = TxChunk
+
 // Dataset is a collection of boolean transactions over a fixed item
-// universe, stored as packed bitsets.
+// universe, stored as packed bitsets. All methods except Add/AddBatch are
+// safe for concurrent use.
 type Dataset struct {
 	numItems int
 	words    int      // words per transaction
 	rows     []uint64 // row-major packed bits
 	n        int
+
+	mu  sync.Mutex // guards idx
+	idx *Index     // lazily built vertical index; nil until first use
 }
 
 // NewDataset returns an empty dataset over items 0..numItems-1.
@@ -64,7 +76,43 @@ func (d *Dataset) AddBatch(txs [][]int) error {
 		}
 	}
 	d.n += len(txs)
+	d.dropIndex() // the cached vertical index no longer covers every row
 	return nil
+}
+
+// dropIndex discards the cached vertical index.
+func (d *Dataset) dropIndex() {
+	d.mu.Lock()
+	d.idx = nil
+	d.mu.Unlock()
+}
+
+// Index returns the dataset's vertical TID-bitmap index, transposing the
+// packed rows on first use (parallel across cfg-bounded workers) and caching
+// the result until the dataset grows. Returns nil for an empty dataset.
+func (d *Dataset) Index(workers int) *Index {
+	if d.n == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.idx == nil {
+		d.idx = buildIndex(d, workers)
+	}
+	return d.idx
+}
+
+// autoIndex returns the cached vertical index, building it only when the
+// dataset is at least VerticalThreshold transactions; nil means "stay on the
+// horizontal path". Selection is purely a cost heuristic — both paths
+// produce bit-identical results.
+func (d *Dataset) autoIndex(workers int) *Index {
+	if d.n < VerticalThreshold {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return d.idx // use a forced Index() build if one exists
+	}
+	return d.Index(workers)
 }
 
 // Contains reports whether transaction i contains the item.
@@ -99,10 +147,25 @@ func (d *Dataset) Support(items []int) (float64, error) {
 }
 
 // SupportWorkers is Support with an explicit worker count (0 = all cores).
-// Transactions are streamed through the TxChunk shard grid; per-shard counts
-// are folded in index order, so the result is identical for every worker
-// count.
+// At or above VerticalThreshold transactions the count is the popcount of
+// the intersected item columns of the (lazily built, cached) vertical index;
+// below, transactions are streamed through the TxChunk shard grid with
+// per-shard counts folded in index order. Both paths produce the same exact
+// integer count, so the result is identical for every path and worker count.
 func (d *Dataset) SupportWorkers(items []int, workers int) (float64, error) {
+	if d.n == 0 {
+		return 0, errors.New("assoc: empty dataset")
+	}
+	if idx := d.autoIndex(workers); idx != nil {
+		return idx.Support(items, workers)
+	}
+	return d.supportHorizontal(items, workers)
+}
+
+// supportHorizontal is the row-major counting path: the streaming-ingestion
+// fallback below VerticalThreshold, and the dense side of the engine
+// benchmarks.
+func (d *Dataset) supportHorizontal(items []int, workers int) (float64, error) {
 	if d.n == 0 {
 		return 0, errors.New("assoc: empty dataset")
 	}
@@ -142,11 +205,30 @@ func (d *Dataset) PatternCounts(items []int) ([]int, error) {
 	return d.PatternCountsWorkers(items, 0)
 }
 
+// verticalPatternMaxK bounds the itemset size routed through the vertical
+// index's 2^k masked-popcount pattern counting: past it the subset lattice
+// outgrows the k-bit-tests-per-row horizontal scan, which takes over. Either
+// path returns the same exact integers.
+const verticalPatternMaxK = 8
+
 // PatternCountsWorkers is PatternCounts with an explicit worker count
-// (0 = all cores). Transactions are streamed through the TxChunk shard grid
-// into per-worker-slot tables that are summed at the end; the sums are
-// exact integers, so the result is identical for every worker count.
+// (0 = all cores). Small patterns (k <= 8) over datasets at or above
+// VerticalThreshold are counted on the vertical index (masked subset
+// popcounts + inclusion–exclusion); otherwise transactions are streamed
+// through the TxChunk shard grid into per-worker-slot tables that are summed
+// at the end. The counts are exact integers either way, so the result is
+// identical for every path and worker count.
 func (d *Dataset) PatternCountsWorkers(items []int, workers int) ([]int, error) {
+	if len(items) >= 1 && len(items) <= verticalPatternMaxK {
+		if idx := d.autoIndex(workers); idx != nil {
+			return idx.PatternCounts(items, workers)
+		}
+	}
+	return d.patternCountsHorizontal(items, workers)
+}
+
+// patternCountsHorizontal is the row-major pattern-counting path.
+func (d *Dataset) patternCountsHorizontal(items []int, workers int) ([]int, error) {
 	k := len(items)
 	if k == 0 || k > 20 {
 		return nil, fmt.Errorf("assoc: pattern counting needs 1..20 items, got %d", k)

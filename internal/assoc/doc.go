@@ -11,8 +11,39 @@
 // supports. Individual transactions stay plausibly deniable while frequent
 // itemsets are recovered.
 //
-// Support counting — the Apriori hot path — reads the transactions as a
-// stream of TxChunk-sized shards on the internal/parallel worker pool, with
-// per-shard counts folded in index order; MiningConfig.Workers bounds the
-// parallelism and every worker count produces identical results.
+// # Counting engines
+//
+// Support counting — the mining hot path — has two interchangeable engines
+// that produce byte-identical results:
+//
+// The horizontal engine reads the row-major packed transactions as a stream
+// of TxChunk-sized shards on the internal/parallel worker pool, testing
+// each row against the itemset's word mask. It needs no preprocessing, so
+// it is the natural fit for freshly ingested or still-growing data.
+//
+// The vertical engine (Zaki-style, as in Eclat) transposes the dataset
+// once into a TID-bitmap Index: one N-bit column per item, stored as a
+// contiguous word slab, built by scattering each row's set bits so the
+// transpose costs time proportional to the 1-bits rather than the full
+// item×transaction grid. support(S) is then the popcount of the AND of the
+// columns of S — a handful of 4-wide unrolled word kernels instead of a
+// full row scan. Mining runs depth-first over prefix equivalence classes,
+// reusing each (k-1)-prefix intersection bitmap for every extension, so
+// deep levels cost one column AND apiece. The randomization estimator
+// routes through the same index: a masked-subset DFS collects
+// contains-all counts and an integer Möbius pass converts them to the
+// exact 2^k presence/absence pattern table the channel inversion needs.
+//
+// MiningConfig.Vertical selects the engine: VerticalOn and VerticalOff
+// force one side, and the VerticalAuto default indexes datasets of at
+// least VerticalThreshold transactions while small ones stay horizontal.
+// Dataset.Index builds lazily and is cached until AddBatch invalidates it.
+//
+// # Determinism
+//
+// Both engines compute exact integer counts divided by N: per-shard and
+// per-word-chunk partial counts fold in index order, so every engine,
+// worker count, and chunk size produces identical floats bit for bit.
+// MiningConfig.Workers bounds the parallelism without ever changing a
+// result.
 package assoc

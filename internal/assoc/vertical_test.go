@@ -1,0 +1,435 @@
+package assoc
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ppdm/internal/parallel"
+	"ppdm/internal/prng"
+)
+
+// renderItemsets renders mined itemsets with exact hex-float supports, so
+// golden comparisons are byte-level.
+func renderItemsets(sets []Itemset) string {
+	var b strings.Builder
+	for _, s := range sets {
+		fmt.Fprintf(&b, "%v %s\n", s.Items, strconv.FormatFloat(s.Support, 'x', -1, 64))
+	}
+	return b.String()
+}
+
+// goldenExact and goldenRandomized pin the exact output of Frequent and
+// FrequentFromRandomized on the seed-21 workload, recorded with the
+// pre-index level-wise horizontal engine. Every engine/worker combination
+// must reproduce them byte for byte.
+const goldenExact = `[0] 0x1.4083126e978d5p-03
+[2] 0x1.41e098ead65b8p-03
+[4] 0x1.4057619f0fb39p-03
+[6] 0x1.43c131d5acb6fp-03
+[8] 0x1.3a06d3a06d3ap-03
+[10] 0x1.44f3078263ab6p-03
+[15] 0x1.3a06d3a06d3ap-03
+[17] 0x1.4bf258bf258bfp-03
+[18] 0x1.4c1e098ead65bp-03
+[19] 0x1.46508dfea2798p-03
+[23] 0x1.4c756b2dbd194p-03
+[26] 0x1.4395810624dd3p-03
+[27] 0x1.41e098ead65b8p-03
+[28] 0x1.3a32846ff513dp-03
+[29] 0x1.4057619f0fb39p-03
+[0 10] 0x1.2ec33e1f67153p-03
+[0 26] 0x1.2ec33e1f67153p-03
+[2 4] 0x1.317e4b17e4b18p-03
+[2 19] 0x1.31a9fbe76c8b4p-03
+[4 19] 0x1.317e4b17e4b18p-03
+[6 27] 0x1.31a9fbe76c8b4p-03
+[6 29] 0x1.317e4b17e4b18p-03
+[8 15] 0x1.29a485cd7b901p-03
+[8 28] 0x1.29d0369d0369dp-03
+[10 26] 0x1.2ec33e1f67153p-03
+[15 28] 0x1.29d0369d0369dp-03
+[17 18] 0x1.3a32846ff513dp-03
+[17 23] 0x1.39db22d0e5604p-03
+[18 23] 0x1.3a5e353f7ced9p-03
+[27 29] 0x1.317e4b17e4b18p-03
+[0 10 26] 0x1.2e978d4fdf3b6p-03
+[2 4 19] 0x1.317e4b17e4b18p-03
+[6 27 29] 0x1.317e4b17e4b18p-03
+[8 15 28] 0x1.29a485cd7b901p-03
+[17 18 23] 0x1.39db22d0e5604p-03
+`
+
+const goldenRandomized = `[0] 0x1.45b05b05b05b1p-03
+[2] 0x1.4fedcba987655p-03
+[4] 0x1.3b2a1907f6e5dp-03
+[6] 0x1.3530eca864201p-03
+[8] 0x1.50c83fb72ea63p-03
+[10] 0x1.3654320fedcbbp-03
+[15] 0x1.261d950c83fb8p-03
+[17] 0x1.4e81b4e81b4e9p-03
+[18] 0x1.53579be02468cp-03
+[19] 0x1.579be02468ad2p-03
+[23] 0x1.4a8641fdb9753p-03
+[26] 0x1.3f258bf258bf3p-03
+[27] 0x1.47f6e5d4c3b2ap-03
+[28] 0x1.3851eb851eb84p-03
+[29] 0x1.44d5e6f8091a5p-03
+[0 10] 0x1.2fc962fc962fcp-03
+[0 26] 0x1.4efb11d33f562p-03
+[2 4] 0x1.2956d9b1df624p-03
+[2 19] 0x1.277166054f43fp-03
+[4 19] 0x1.313579be02468p-03
+[6 27] 0x1.2e759203cae77p-03
+[6 29] 0x1.3b5aa49938829p-03
+[8 15] 0x1.16789abcdf015p-03
+[8 28] 0x1.226af37c048d1p-03
+[10 26] 0x1.389abcdf01234p-03
+[15 28] 0x1.2be635dad524ep-03
+[17 18] 0x1.388277166055p-03
+[17 23] 0x1.2b549327104fp-03
+[18 23] 0x1.3333333333337p-03
+[27 29] 0x1.314dbf86a314ep-03
+[0 10 26] 0x1.3d17a3f767492p-03
+[2 4 19] 0x1.3851eb851eb86p-03
+[6 27 29] 0x1.3851eb851eb87p-03
+[8 15 28] 0x1.25ccac6fc14bbp-03
+[17 18 23] 0x1.2c474cfd585e3p-03
+`
+
+// TestMiningGolden pins Frequent and FrequentFromRandomized byte-identical
+// to the pre-index engine across every counting engine and worker count.
+func TestMiningGolden(t *testing.T) {
+	d, _, err := Generate(GenConfig{N: 12000, Items: 30, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := NewBitFlip(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := bf.Randomize(d, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []VerticalPolicy{VerticalAuto, VerticalOn, VerticalOff} {
+		for _, workers := range []int{1, 8} {
+			d.dropIndex()
+			rd.dropIndex()
+			cfg := MiningConfig{MinSupport: 0.08, MaxSize: 4, Workers: workers, Vertical: policy}
+			exact, err := Frequent(d, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := renderItemsets(exact); got != goldenExact {
+				t.Errorf("policy %d workers %d: exact mining diverged from the golden:\n%s", policy, workers, got)
+			}
+			cfg.MaxSize = 3
+			inv, err := FrequentFromRandomized(rd, bf, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := renderItemsets(inv); got != goldenRandomized {
+				t.Errorf("policy %d workers %d: randomized mining diverged from the golden:\n%s", policy, workers, got)
+			}
+		}
+	}
+}
+
+// randomDataset draws a small dataset with awkward shapes: item universes
+// not divisible by 64 and a guaranteed all-zero column.
+func randomDataset(t *testing.T, r *rand.Rand) (*Dataset, int) {
+	numItems := 1 + r.Intn(130)
+	n := 1 + r.Intn(300)
+	d, err := NewDataset(numItems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := r.Intn(numItems) // this item never appears: an all-zero column
+	for i := 0; i < n; i++ {
+		var tx []int
+		for it := 0; it < numItems; it++ {
+			if it != zero && r.Float64() < 0.3 {
+				tx = append(tx, it)
+			}
+		}
+		if err := d.Add(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d, zero
+}
+
+// TestVerticalHorizontalSupportProperty checks vertical ≡ horizontal support
+// and pattern counting on random datasets, including all-zero columns and
+// item universes not divisible by 64.
+func TestVerticalHorizontalSupportProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d, zero := randomDataset(t, r)
+		idx := d.Index(1)
+		// random itemsets, always including one containing the zero column
+		queries := [][]int{{zero}}
+		for q := 0; q < 8; q++ {
+			k := 1 + r.Intn(5)
+			items := make([]int, k)
+			for i := range items {
+				items[i] = r.Intn(d.NumItems())
+			}
+			queries = append(queries, items)
+		}
+		for _, items := range queries {
+			hs, err := d.supportHorizontal(items, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vs, err := idx.Support(items, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hs != vs {
+				t.Logf("support mismatch on %v: horizontal %v vertical %v", items, hs, vs)
+				return false
+			}
+			hc, err := d.patternCountsHorizontal(items, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vc, err := idx.PatternCounts(items, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(hc, vc) {
+				t.Logf("pattern counts mismatch on %v:\nhorizontal %v\nvertical   %v", items, hc, vc)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIndexedWorkerDeterminism exercises the chunked AND/popcount kernels
+// with columns long enough to span several ColChunk shards and checks that
+// every indexed result is identical at workers 1 vs 8.
+func TestIndexedWorkerDeterminism(t *testing.T) {
+	// 3*64*ColChunk transactions → 3 word-chunks per column.
+	n := 3 * 64 * ColChunk
+	d, err := NewDataset(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prng.New(17)
+	batch := make([][]int, 0, TxFileBatch)
+	for i := 0; i < n; i++ {
+		var tx []int
+		for it := 0; it < 6; it++ {
+			if r.Bernoulli(0.25) {
+				tx = append(tx, it)
+			}
+		}
+		batch = append(batch, tx)
+		if len(batch) == cap(batch) {
+			if err := d.AddBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := d.AddBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	idx := d.Index(1)
+	items := []int{0, 2, 5}
+	s1, err := idx.Support(items, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s8, err := idx.Support(items, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s8 {
+		t.Errorf("indexed support differs: workers 1 %v, workers 8 %v", s1, s8)
+	}
+	hs, err := d.supportHorizontal(items, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != hs {
+		t.Errorf("indexed support %v differs from horizontal %v", s1, hs)
+	}
+	c1, err := idx.PatternCounts(items, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8, err := idx.PatternCounts(items, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c1, c8) {
+		t.Errorf("indexed pattern counts differ across worker counts:\n%v\n%v", c1, c8)
+	}
+}
+
+// TestMiningEngineEquivalence mines one dataset under every policy and
+// checks the results are deeply equal — the auto threshold sits inside the
+// dataset's size so both engines actually run.
+func TestMiningEngineEquivalence(t *testing.T) {
+	d, _, err := Generate(GenConfig{N: TxChunk + 500, Items: 30, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := NewBitFlip(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := bf.Randomize(d, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MiningConfig{MinSupport: 0.1, MaxSize: 3, Workers: 1}
+
+	cfg.Vertical = VerticalOff
+	exactH, err := Frequent(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invH, err := FrequentFromRandomized(rd, bf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []VerticalPolicy{VerticalAuto, VerticalOn} {
+		cfg.Vertical = policy
+		exactV, err := Frequent(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(exactH, exactV) {
+			t.Errorf("policy %d: exact vertical mining differs from horizontal", policy)
+		}
+		invV, err := FrequentFromRandomized(rd, bf, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(invH, invV) {
+			t.Errorf("policy %d: randomized vertical mining differs from horizontal", policy)
+		}
+	}
+}
+
+// TestConcurrentAutoIndex hammers the lazy index build from many
+// goroutines; run under -race this checks the build-once locking.
+func TestConcurrentAutoIndex(t *testing.T) {
+	d, patterns, err := Generate(GenConfig{N: VerticalThreshold + 100, Items: 20, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.supportHorizontal(patterns[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := parallel.Map(16, 8, func(i int) (float64, error) {
+		return d.SupportWorkers(patterns[0], 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range got {
+		if s != want {
+			t.Fatalf("concurrent indexed support %v, want %v", s, want)
+		}
+	}
+}
+
+// TestAddBatchInvalidatesIndex checks that growing the dataset drops the
+// cached index so later counts cover the new rows.
+func TestAddBatchInvalidatesIndex(t *testing.T) {
+	d, err := NewDataset(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := d.Add([]int{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if idx := d.Index(1); idx == nil || idx.N() != 10 {
+		t.Fatal("index not built")
+	}
+	if err := d.Add([]int{1}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.Support([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 10.0 / 11.0; s != want {
+		t.Errorf("support after growth = %v, want %v", s, want)
+	}
+	if idx := d.Index(1); idx.N() != 11 {
+		t.Errorf("rebuilt index covers %d rows, want 11", idx.N())
+	}
+}
+
+// TestIndexValidation covers the index's error paths and the engine-policy
+// validation.
+func TestIndexValidation(t *testing.T) {
+	empty, _ := NewDataset(3)
+	if empty.Index(1) != nil {
+		t.Error("empty dataset produced an index")
+	}
+	d, _ := NewDataset(3)
+	_ = d.Add([]int{0, 2})
+	idx := d.Index(1)
+	if _, err := idx.Support([]int{5}, 1); err == nil {
+		t.Error("out-of-range item accepted by Index.Support")
+	}
+	if _, err := idx.PatternCounts(nil, 1); err == nil {
+		t.Error("empty pattern list accepted")
+	}
+	if _, err := idx.PatternCounts([]int{-1}, 1); err == nil {
+		t.Error("negative item accepted")
+	}
+	if s, err := idx.Support(nil, 1); err != nil || s != 1 {
+		t.Errorf("empty-itemset support = %v, %v; want 1", s, err)
+	}
+	if _, err := Frequent(d, MiningConfig{MinSupport: 0.5, Vertical: VerticalPolicy(9)}); err == nil {
+		t.Error("unknown vertical policy accepted")
+	}
+}
+
+// TestKeyCanonical checks the packed key is injective over item lists: keys
+// are equal exactly when the lists are equal, including multi-byte IDs.
+func TestKeyCanonical(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		ia := make([]int, len(a))
+		for i, v := range a {
+			ia[i] = int(v)
+		}
+		ib := make([]int, len(b))
+		for i, v := range b {
+			ib[i] = int(v)
+		}
+		ka := Itemset{Items: ia}.Key()
+		kb := Itemset{Items: ib}.Key()
+		return (ka == kb) == reflect.DeepEqual(ia, ib)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// a set larger than the stack array still round-trips distinctly
+	big := make([]int, 40)
+	for i := range big {
+		big[i] = 1 << 20 * (i + 1)
+	}
+	if (Itemset{Items: big}).Key() == (Itemset{Items: big[:39]}).Key() {
+		t.Error("long keys collide")
+	}
+}

@@ -189,8 +189,25 @@ type (
 	Itemset = assoc.Itemset
 	// MiningConfig bounds Apriori mining.
 	MiningConfig = assoc.MiningConfig
+	// VerticalPolicy selects the mining counting engine via
+	// MiningConfig.Vertical.
+	VerticalPolicy = assoc.VerticalPolicy
 	// BasketGenConfig parameterizes GenerateBaskets.
 	BasketGenConfig = assoc.GenConfig
+)
+
+// Counting-engine policies for MiningConfig.Vertical: the zero-value
+// VerticalAuto indexes datasets of at least assoc.VerticalThreshold
+// transactions and scans smaller ones horizontally; VerticalOn and
+// VerticalOff force one engine. Both engines produce byte-identical
+// results.
+const (
+	// VerticalAuto picks the engine by dataset size (the default).
+	VerticalAuto = assoc.VerticalAuto
+	// VerticalOn forces the TID-bitmap index engine.
+	VerticalOn = assoc.VerticalOn
+	// VerticalOff forces the horizontal row-scan engine.
+	VerticalOff = assoc.VerticalOff
 )
 
 // Benchmark and harness types.

@@ -24,6 +24,7 @@ import (
 // requiredFiles is the baseline set every checkout must carry; the no-args
 // invocation (what CI runs) fails when one goes missing.
 var requiredFiles = []string{
+	"BENCH_assoc.json",
 	"BENCH_classify.json",
 	"BENCH_cluster.json",
 	"BENCH_parallel.json",

@@ -2,10 +2,11 @@
 // exported identifiers without doc comments, or lacks a package comment.
 // CI runs it over internal/stream, internal/tree, internal/parallel,
 // internal/core, internal/serve, internal/reconstruct, internal/noise,
-// internal/bayes, and internal/eval (and any other directory passed as an
-// argument) so the streaming, tree-learner, worker-pool, training, serving,
-// reconstruction-kernel, noise-model, naive-Bayes, and eval-harness API
-// surfaces stay fully documented.
+// internal/bayes, internal/eval, and internal/assoc (and any other
+// directory passed as an argument) so the streaming, tree-learner,
+// worker-pool, training, serving, reconstruction-kernel, noise-model,
+// naive-Bayes, eval-harness, and mining-engine API surfaces stay fully
+// documented.
 //
 // Usage: go run ./scripts/doccheck <pkgdir> [pkgdir...]
 package main
