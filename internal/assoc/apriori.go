@@ -107,7 +107,7 @@ func Frequent(d *Dataset, cfg MiningConfig) ([]Itemset, error) {
 		return nil, err
 	}
 	if idx := d.miningIndex(cfg); idx != nil {
-		return mineVertical(idx, cfg, nil, nil)
+		return mineVertical(idx, cfg)
 	}
 	return apriori(d.NumItems(), cfg, func(items []int) (float64, error) {
 		return d.supportHorizontal(items, cfg.Workers)
@@ -117,11 +117,15 @@ func Frequent(d *Dataset, cfg MiningConfig) ([]Itemset, error) {
 // FrequentFromRandomized mines frequent itemsets of the *original* data
 // given only the randomized dataset: candidate supports are estimated by
 // inverting the randomization channel over each candidate's 2^k pattern
-// counts. The vertical engine reads those counts off the TID-bitmap index
-// (masked subset popcounts + inclusion–exclusion) inside the same
-// prefix-class walk as Frequent; the horizontal fallback scans rows. The
-// counts are exact integers on both engines, so estimates — and the mined
-// set — are byte-identical at every worker count.
+// counts. Inverted estimates are NOT anti-monotone (a superset's estimate
+// can exceed a subset's), so — unlike exact mining — the full
+// all-(k-1)-subsets-frequent prune is load-bearing here, and both engines
+// must walk the exact same candidates to mine the same set. Estimated
+// mining therefore always runs the level-wise apriori walk; the engines
+// differ only in how a candidate's pattern counts are produced (masked
+// subset popcounts + inclusion–exclusion on the TID-bitmap index vs
+// horizontal row scans). The counts are exact integers on both engines, so
+// estimates — and the mined set — are byte-identical at every worker count.
 func FrequentFromRandomized(randomized *Dataset, bf BitFlip, cfg MiningConfig) ([]Itemset, error) {
 	if randomized == nil || randomized.N() == 0 {
 		return nil, fmt.Errorf("assoc: empty dataset")
@@ -131,7 +135,9 @@ func FrequentFromRandomized(randomized *Dataset, bf BitFlip, cfg MiningConfig) (
 		return nil, err
 	}
 	if idx := randomized.miningIndex(cfg); idx != nil {
-		return mineVertical(idx, cfg, &bf, randomized)
+		return apriori(randomized.NumItems(), cfg, func(items []int) (float64, error) {
+			return bf.estimateVertical(randomized, idx, items, cfg.Workers)
+		})
 	}
 	return apriori(randomized.NumItems(), cfg, func(items []int) (float64, error) {
 		counts, err := randomized.patternCountsHorizontal(items, cfg.Workers)
@@ -143,42 +149,34 @@ func FrequentFromRandomized(randomized *Dataset, bf BitFlip, cfg MiningConfig) (
 }
 
 // vMember is one frequent extension of the DFS prefix: the itemset
-// prefix∪{item}, its support, and — exact mining only — its TID bitmap.
+// prefix∪{item}, its support, and its TID bitmap.
 type vMember struct {
 	item int
 	sup  float64
 	bm   []uint64
 }
 
-// mineVertical mines the index by depth-first prefix equivalence classes:
-// the class of prefix P holds every frequent P∪{x}, and joining members i<j
-// yields exactly the level-wise prefix-join candidates, so the mined set
-// matches Apriori's (subset pruning is redundant here — by anti-monotonicity
-// a candidate with an infrequent subset fails its own support test, which
-// the bitmap makes cheaper than the subset lookups).
+// mineVertical mines the index with exact supports by depth-first prefix
+// equivalence classes: the class of prefix P holds every frequent P∪{x},
+// and joining members i<j yields exactly the level-wise prefix-join
+// candidates, so the mined set matches Apriori's (subset pruning is
+// redundant here — by anti-monotonicity a candidate with an infrequent
+// subset fails its own support test, which the bitmap makes cheaper than
+// the subset lookups). Each member carries the intersection bitmap of its
+// itemset, so a candidate is one cached-prefix AND+popcount.
 //
-// est == nil mines exact supports: each member carries the intersection
-// bitmap of its itemset, so a candidate is one cached-prefix AND+popcount.
-// With est set, supports are channel-inversion estimates over the
-// candidate's pattern counts (see BitFlip.estimateVertical); members then
-// carry no bitmaps, and rd backs the large-k horizontal fallback.
-func mineVertical(idx *Index, cfg MiningConfig, est *BitFlip, rd *Dataset) ([]Itemset, error) {
+// The anti-monotonicity argument holds only for exact supports; estimated
+// mining (FrequentFromRandomized) keeps the level-wise walk so its subset
+// pruning stays byte-identical across engines.
+func mineVertical(idx *Index, cfg MiningConfig) ([]Itemset, error) {
 	workers := cfg.Workers
 	n := float64(idx.n)
 	var all []Itemset
 
-	// Size 1: a column popcount (exact) or a 2-pattern inversion (estimated).
+	// Size 1: a column popcount per item.
 	var roots []vMember
 	for it := 0; it < idx.numItems; it++ {
-		var s float64
-		if est == nil {
-			s = float64(popcountWorkers(idx.col(it), workers)) / n
-		} else {
-			var err error
-			if s, err = est.estimateVertical(rd, idx, []int{it}, workers); err != nil {
-				return nil, err
-			}
-		}
+		s := float64(popcountWorkers(idx.col(it), workers)) / n
 		if s >= cfg.MinSupport {
 			roots = append(roots, vMember{item: it, sup: s, bm: idx.col(it)})
 			all = append(all, Itemset{Items: []int{it}, Support: s})
@@ -187,10 +185,10 @@ func mineVertical(idx *Index, cfg MiningConfig, est *BitFlip, rd *Dataset) ([]It
 
 	prefix := make([]int, 0, cfg.MaxSize)
 	var spare []uint64 // recycled candidate bitmap; kept only when frequent
-	var dfs func(members []vMember, size int) error
-	dfs = func(members []vMember, size int) error {
+	var dfs func(members []vMember, size int)
+	dfs = func(members []vMember, size int) {
 		if size >= cfg.MaxSize {
-			return nil
+			return
 		}
 		for i := 0; i+1 < len(members); i++ {
 			a := members[i]
@@ -198,30 +196,19 @@ func mineVertical(idx *Index, cfg MiningConfig, est *BitFlip, rd *Dataset) ([]It
 			var class []vMember
 			for j := i + 1; j < len(members); j++ {
 				b := members[j]
-				var items []int
 				var s float64
 				var bm []uint64
-				if est == nil {
-					if size+1 < cfg.MaxSize {
-						if spare == nil {
-							spare = make([]uint64, idx.words)
-						}
-						s = float64(andIntoWorkers(spare, a.bm, b.bm, workers)) / n
-						bm = spare
-					} else {
-						s = float64(andPopcountWorkers(a.bm, b.bm, workers)) / n
+				if size+1 < cfg.MaxSize {
+					if spare == nil {
+						spare = make([]uint64, idx.words)
 					}
+					s = float64(andIntoWorkers(spare, a.bm, b.bm, workers)) / n
+					bm = spare
 				} else {
-					items = append(append(make([]int, 0, size+1), prefix...), b.item)
-					var err error
-					if s, err = est.estimateVertical(rd, idx, items, workers); err != nil {
-						return err
-					}
+					s = float64(andPopcountWorkers(a.bm, b.bm, workers)) / n
 				}
 				if s >= cfg.MinSupport {
-					if items == nil {
-						items = append(append(make([]int, 0, size+1), prefix...), b.item)
-					}
+					items := append(append(make([]int, 0, size+1), prefix...), b.item)
 					all = append(all, Itemset{Items: items, Support: s})
 					class = append(class, vMember{item: b.item, sup: s, bm: bm})
 					if bm != nil {
@@ -230,17 +217,12 @@ func mineVertical(idx *Index, cfg MiningConfig, est *BitFlip, rd *Dataset) ([]It
 				}
 			}
 			if len(class) >= 2 {
-				if err := dfs(class, size+1); err != nil {
-					return err
-				}
+				dfs(class, size+1)
 			}
 			prefix = prefix[:len(prefix)-1]
 		}
-		return nil
 	}
-	if err := dfs(roots, 1); err != nil {
-		return nil, err
-	}
+	dfs(roots, 1)
 	sortItemsets(all)
 	return all, nil
 }
@@ -347,7 +329,9 @@ func generateCandidates(level []Itemset) [][]int {
 				} else {
 					arena = append(arena, lb, la)
 				}
-				cand := arena[start : start+k]
+				// Cap the candidate at its own length so an append by a
+				// caller can never clobber a sibling's arena words.
+				cand := arena[start : start+k : start+k]
 				if allSubsetsFrequent(cand, frequent, sub) {
 					out = append(out, cand)
 				} else {

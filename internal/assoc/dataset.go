@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"ppdm/internal/parallel"
 )
@@ -32,8 +33,8 @@ type Dataset struct {
 	rows     []uint64 // row-major packed bits
 	n        int
 
-	mu  sync.Mutex // guards idx
-	idx *Index     // lazily built vertical index; nil until first use
+	idx     atomic.Pointer[Index] // published vertical index; nil until built
+	buildMu sync.Mutex            // serializes index builds
 }
 
 // NewDataset returns an empty dataset over items 0..numItems-1.
@@ -80,39 +81,59 @@ func (d *Dataset) AddBatch(txs [][]int) error {
 	return nil
 }
 
-// dropIndex discards the cached vertical index.
+// dropIndex discards the cached vertical index. Taking buildMu first keeps
+// the drop ordered after any build already in flight.
 func (d *Dataset) dropIndex() {
-	d.mu.Lock()
-	d.idx = nil
-	d.mu.Unlock()
+	d.buildMu.Lock()
+	d.idx.Store(nil)
+	d.buildMu.Unlock()
 }
 
 // Index returns the dataset's vertical TID-bitmap index, transposing the
 // packed rows on first use (parallel across cfg-bounded workers) and caching
-// the result until the dataset grows. Returns nil for an empty dataset.
+// the result until the dataset grows. The built index is published through
+// an atomic pointer, so concurrent callers that find it already cached never
+// touch the build lock. Returns nil for an empty dataset.
 func (d *Dataset) Index(workers int) *Index {
 	if d.n == 0 {
 		return nil
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.idx == nil {
-		d.idx = buildIndex(d, workers)
+	if idx := d.idx.Load(); idx != nil {
+		return idx
 	}
-	return d.idx
+	d.buildMu.Lock()
+	defer d.buildMu.Unlock()
+	if idx := d.idx.Load(); idx != nil {
+		return idx
+	}
+	idx := buildIndex(d, workers)
+	d.idx.Store(idx)
+	return idx
 }
 
 // autoIndex returns the cached vertical index, building it only when the
 // dataset is at least VerticalThreshold transactions; nil means "stay on the
-// horizontal path". Selection is purely a cost heuristic — both paths
-// produce bit-identical results.
+// horizontal path". While another goroutine holds the build lock, callers
+// return nil instead of stalling behind the transpose — the horizontal
+// fallback counts the same exact integers, so selection stays purely a cost
+// heuristic and never changes a result.
 func (d *Dataset) autoIndex(workers int) *Index {
-	if d.n < VerticalThreshold {
-		d.mu.Lock()
-		defer d.mu.Unlock()
-		return d.idx // use a forced Index() build if one exists
+	if idx := d.idx.Load(); idx != nil {
+		return idx // covers a forced Index() build below the threshold too
 	}
-	return d.Index(workers)
+	if d.n < VerticalThreshold {
+		return nil
+	}
+	if !d.buildMu.TryLock() {
+		return nil // a build is in flight; count horizontally meanwhile
+	}
+	defer d.buildMu.Unlock()
+	if idx := d.idx.Load(); idx != nil {
+		return idx
+	}
+	idx := buildIndex(d, workers)
+	d.idx.Store(idx)
+	return idx
 }
 
 // Contains reports whether transaction i contains the item.

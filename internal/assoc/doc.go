@@ -27,12 +27,16 @@
 // transpose costs time proportional to the 1-bits rather than the full
 // item×transaction grid. support(S) is then the popcount of the AND of the
 // columns of S — a handful of 4-wide unrolled word kernels instead of a
-// full row scan. Mining runs depth-first over prefix equivalence classes,
-// reusing each (k-1)-prefix intersection bitmap for every extension, so
-// deep levels cost one column AND apiece. The randomization estimator
-// routes through the same index: a masked-subset DFS collects
-// contains-all counts and an integer Möbius pass converts them to the
-// exact 2^k presence/absence pattern table the channel inversion needs.
+// full row scan. Exact mining runs depth-first over prefix equivalence
+// classes, reusing each (k-1)-prefix intersection bitmap for every
+// extension, so deep levels cost one column AND apiece; skipping Apriori's
+// subset prune there is safe because exact supports are anti-monotone.
+// Channel-inversion estimates are not anti-monotone, so estimated mining
+// keeps the level-wise walk (identical candidate generation and subset
+// pruning on both engines) and routes only the counting through the
+// index: a masked-subset DFS collects contains-all counts and an integer
+// Möbius pass converts them to the exact 2^k presence/absence pattern
+// table the channel inversion needs.
 //
 // MiningConfig.Vertical selects the engine: VerticalOn and VerticalOff
 // force one side, and the VerticalAuto default indexes datasets of at

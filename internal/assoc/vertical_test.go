@@ -324,6 +324,67 @@ func TestMiningEngineEquivalence(t *testing.T) {
 	}
 }
 
+// noisyEstimationDataset draws a small, dense dataset: few transactions and
+// a near-0.5 flip probability make the channel-inversion estimates noisy
+// enough that a superset's estimate regularly exceeds a subset's.
+func noisyEstimationDataset(t *testing.T, r *rand.Rand) *Dataset {
+	numItems := 8 + r.Intn(16)
+	n := 30 + r.Intn(100)
+	d, err := NewDataset(numItems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		var tx []int
+		for it := 0; it < numItems; it++ {
+			if r.Float64() < 0.4 {
+				tx = append(tx, it)
+			}
+		}
+		if err := d.Add(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+// TestRandomizedMiningEngineProperty races the estimated-mining engines on
+// noisy datasets with the support threshold drawn inside the estimate
+// distribution. Channel-inversion estimates are not anti-monotone (a
+// superset's inverted estimate can exceed a subset's), so Apriori's
+// all-(k-1)-subsets-frequent prune actually removes candidates here — this
+// pins the property that both engines run the identical level-wise candidate
+// walk, prune included; a vertical engine that skipped the prune would
+// diverge on these workloads. The seed sweep is fixed (not time-seeded)
+// because the divergence shape — prefix pair frequent, cross-branch subset
+// infrequent, candidate estimate above threshold — only arises on some
+// seeds, and those must be covered on every run.
+func TestRandomizedMiningEngineProperty(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		d := noisyEstimationDataset(t, r)
+		bf, err := NewBitFlip(0.4 + 0.08*r.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := MiningConfig{MinSupport: 0.1 + 0.15*r.Float64(), MaxSize: 4, Workers: 1}
+		cfg.Vertical = VerticalOff
+		want, err := FrequentFromRandomized(d, bf, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Vertical = VerticalOn
+		got, err := FrequentFromRandomized(d, bf, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("seed %d: engines mined different sets:\nhorizontal:\n%svertical:\n%s",
+				seed, renderItemsets(want), renderItemsets(got))
+		}
+	}
+}
+
 // TestConcurrentAutoIndex hammers the lazy index build from many
 // goroutines; run under -race this checks the build-once locking.
 func TestConcurrentAutoIndex(t *testing.T) {
